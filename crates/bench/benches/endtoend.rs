@@ -1,0 +1,67 @@
+//! End-to-end benchmarks: full paper-grid simulation points per scheme.
+//! These time the *simulator* (how long a figure cell takes to compute),
+//! complementing the `experiments` binary which reports *simulated* time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dosas::{Driver, DriverConfig, Scheme, Workload};
+use kernels::KernelParams;
+use std::hint::black_box;
+
+fn workload(n: usize) -> Workload {
+    Workload::uniform_active(n, 1, 128 << 20, "gaussian2d", KernelParams::with_width(4096))
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_cell");
+    for n in [4usize, 64] {
+        let w = workload(n);
+        for (label, scheme) in [
+            ("TS", Scheme::Traditional),
+            ("AS", Scheme::ActiveStorage),
+            ("DOSAS", Scheme::dosas_default()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(scheme, &w),
+                |b, (scheme, w)| {
+                    b.iter(|| {
+                        black_box(Driver::run(
+                            DriverConfig::paper(scheme.clone()),
+                            black_box(w),
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_data_plane(c: &mut Criterion) {
+    // Real bytes + real kernels through the whole stack.
+    let bytes = 1 << 20;
+    let mut w = Workload::uniform_active(4, 1, bytes, "sum", KernelParams::default());
+    w.files[0].content = Some(kernels::calibrate::synthetic_f64_stream(bytes as usize));
+    c.bench_function("data_plane_4x1MiB_sum", |b| {
+        b.iter(|| {
+            let mut cfg = DriverConfig::paper(Scheme::dosas_default());
+            cfg.data_plane = true;
+            black_box(Driver::run(cfg, black_box(&w)))
+        })
+    });
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_schemes, bench_data_plane
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Kernel throughput benchmarks: the data-plane rates behind Table III.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kernels::calibrate::{synthetic_f64_stream, synthetic_image};
+use kernels::parallel::{par_grep_count, par_process};
+use kernels::{
+    GaussianFilter2D, GaussianOutput, GrepKernel, HistogramKernel, Kernel, StatsKernel, SumKernel,
+};
+use std::hint::black_box;
+
+fn bench_single_core(c: &mut Criterion) {
+    let stream = synthetic_f64_stream(4 << 20);
+    let image = synthetic_image(1024, 1024);
+
+    let mut g = c.benchmark_group("kernel_single_core");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("sum", |b| {
+        b.iter(|| {
+            let mut k = SumKernel::new();
+            k.process_chunk(black_box(&stream));
+            black_box(k.finalize())
+        })
+    });
+    g.bench_function("stats", |b| {
+        b.iter(|| {
+            let mut k = StatsKernel::new();
+            k.process_chunk(black_box(&stream));
+            black_box(k.finalize())
+        })
+    });
+    g.bench_function("histogram", |b| {
+        b.iter(|| {
+            let mut k = HistogramKernel::new();
+            k.process_chunk(black_box(&stream));
+            black_box(k.finalize())
+        })
+    });
+    g.bench_function("grep", |b| {
+        b.iter(|| {
+            let mut k = GrepKernel::new(b"needle").unwrap();
+            k.process_chunk(black_box(&stream));
+            black_box(k.finalize())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("gaussian");
+    g.throughput(Throughput::Bytes(image.len() as u64));
+    g.bench_function("digest_1024x1024", |b| {
+        b.iter(|| {
+            let mut k = GaussianFilter2D::new(1024, GaussianOutput::Digest).unwrap();
+            k.process_chunk(black_box(&image));
+            black_box(k.finalize())
+        })
+    });
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let stream = synthetic_f64_stream(16 << 20);
+    let mut g = c.benchmark_group("kernel_parallel");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("sum_rayon", |b| {
+        b.iter(|| black_box(par_process(SumKernel::new, black_box(&stream), 1 << 20).finalize()))
+    });
+    g.bench_function("grep_rayon", |b| {
+        b.iter(|| black_box(par_grep_count(black_box(&stream), b"needle", 1 << 20)))
+    });
+    g.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    // The interruption path: checkpoint + restore + finish.
+    let image = synthetic_image(1024, 256);
+    c.bench_function("gaussian_checkpoint_restore", |b| {
+        b.iter(|| {
+            let mut k = GaussianFilter2D::new(1024, GaussianOutput::Digest).unwrap();
+            k.process_chunk(&image[..image.len() / 2]);
+            let state = k.checkpoint();
+            let mut k2 = GaussianFilter2D::from_state(black_box(&state)).unwrap();
+            k2.process_chunk(&image[image.len() / 2..]);
+            black_box(k2.finalize())
+        })
+    });
+}
+
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_single_core, bench_parallel, bench_checkpoint
+}
+criterion_main!(benches);

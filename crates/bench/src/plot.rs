@@ -1,0 +1,198 @@
+//! Minimal SVG line plots for the paper's figures — no dependencies, just
+//! hand-rolled SVG. `experiments` writes one `.svg` next to each figure's
+//! CSV so `results/` holds viewable figures, not only numbers.
+
+use crate::report::Table;
+use std::fmt::Write as _;
+
+const W: f64 = 640.0;
+const H: f64 = 400.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+const COLORS: [&str; 4] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd"];
+
+/// Render `value_cols` of `table` as series over `label_col` (categorical
+/// x-axis, linear y from zero). Returns the SVG document.
+pub fn line_plot(table: &Table, label_col: usize, value_cols: &[usize], y_label: &str) -> String {
+    let parse = |cell: &str| cell.trim_end_matches('%').parse::<f64>().ok();
+    let n = table.rows.len();
+    if n == 0 || value_cols.is_empty() {
+        return String::new();
+    }
+    let y_max = table
+        .rows
+        .iter()
+        .flat_map(|r| value_cols.iter().filter_map(|&c| parse(&r[c])))
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.08;
+
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let x_of = |i: usize| MARGIN_L + plot_w * (i as f64 + 0.5) / n as f64;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - v / y_max);
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="13" font-weight="bold">{}</text>"#,
+        W / 2.0,
+        escape(&table.title)
+    );
+
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+        H - MARGIN_B
+    );
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        H - MARGIN_B,
+        W - MARGIN_R,
+        H - MARGIN_B
+    );
+    // Y ticks (5) + gridlines.
+    for t in 0..=5 {
+        let v = y_max * t as f64 / 5.0;
+        let y = y_of(v);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ddd"/>"##,
+            W - MARGIN_R
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            format_tick(v)
+        );
+    }
+    // X labels.
+    for (i, row) in table.rows.iter().enumerate() {
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{}" text-anchor="middle">{}</text>"#,
+            x_of(i),
+            H - MARGIN_B + 18.0,
+            escape(&row[label_col])
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        W / 2.0,
+        H - 10.0,
+        escape(&table.columns[label_col])
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+        H / 2.0,
+        H / 2.0,
+        escape(y_label)
+    );
+
+    // Series.
+    for (s, &col) in value_cols.iter().enumerate() {
+        let color = COLORS[s % COLORS.len()];
+        let mut path = String::new();
+        let mut markers = String::new();
+        for (i, row) in table.rows.iter().enumerate() {
+            let Some(v) = parse(&row[col]) else { continue };
+            let (x, y) = (x_of(i), y_of(v));
+            let _ = write!(path, "{}{x:.1},{y:.1} ", if path.is_empty() { "M" } else { "L" });
+            let _ = writeln!(
+                markers,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.trim_end()
+        );
+        svg.push_str(&markers);
+        // Legend.
+        let lx = MARGIN_L + 10.0 + s as f64 * 140.0;
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{lx}" y="{}" width="12" height="3" fill="{color}"/>"#,
+            MARGIN_T - 10.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}">{}</text>"#,
+            lx + 16.0,
+            MARGIN_T - 5.0,
+            escape(&table.columns[col])
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn format_tick(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "TS_secs", "AS_secs"]);
+        t.push(vec!["1".into(), "2.5".into(), "1.2".into()]);
+        t.push(vec!["4".into(), "6.0".into(), "6.8".into()]);
+        t.push(vec!["64".into(), "70.1".into(), "102.4".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = line_plot(&sample(), 0, &[1, 2], "seconds");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Two series paths + markers per point.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        // Legend entries carry the column names.
+        assert!(svg.contains("TS_secs"));
+        assert!(svg.contains("AS_secs"));
+    }
+
+    #[test]
+    fn empty_table_renders_nothing() {
+        let t = Table::new("empty", &["n", "v"]);
+        assert!(line_plot(&t, 0, &[1], "y").is_empty());
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut t = Table::new("a <b> & c", &["n", "v"]);
+        t.push(vec!["x<y".into(), "1.0".into()]);
+        let svg = line_plot(&t, 0, &[1], "y");
+        assert!(svg.contains("a &lt;b&gt; &amp; c"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(!svg.contains("<b>"));
+    }
+}

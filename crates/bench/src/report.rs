@@ -1,0 +1,188 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A rendered experiment table: header row plus data rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width must match the header"
+        );
+        self.rows.push(row);
+    }
+
+    /// Fixed-width text rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut header = String::new();
+        for (w, c) in widths.iter().zip(&self.columns) {
+            let _ = write!(header, "{:>w$}  ", c, w = w);
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{:>w$}  ", cell, w = w);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// CSV rendering (RFC-4180-ish; cells are simple numerics/idents here).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Write a table's CSV under `dir/<name>.csv`, creating the directory.
+pub fn write_csv(dir: &Path, name: &str, table: &Table) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{name}.csv")), table.to_csv())
+}
+
+impl Table {
+    /// Render numeric columns as grouped horizontal bars — a terminal
+    /// rendition of the paper's figures. `label_col` supplies the x-axis
+    /// labels; `value_cols` the series (must parse as f64 after stripping
+    /// a trailing `%`).
+    pub fn chart(&self, label_col: usize, value_cols: &[usize]) -> String {
+        const WIDTH: usize = 46;
+        let parse = |cell: &str| cell.trim_end_matches('%').parse::<f64>().ok();
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|r| value_cols.iter().filter_map(|&c| parse(&r[c])))
+            .fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} (chart)", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r[label_col].len())
+            .chain(self.columns.iter().map(|c| c.len()))
+            .max()
+            .unwrap_or(4)
+            .max(self.columns[label_col].len());
+        let series_w = value_cols
+            .iter()
+            .map(|&c| self.columns[c].len())
+            .max()
+            .unwrap_or(6);
+        for row in &self.rows {
+            for (i, &c) in value_cols.iter().enumerate() {
+                let Some(v) = parse(&row[c]) else { continue };
+                let bar_len = ((v / max) * WIDTH as f64).round() as usize;
+                let label = if i == 0 { row[label_col].as_str() } else { "" };
+                let _ = writeln!(
+                    out,
+                    "{:>label_w$} {:<series_w$} |{}{} {}",
+                    label,
+                    self.columns[c],
+                    "█".repeat(bar_len),
+                    " ".repeat(WIDTH - bar_len),
+                    row[c],
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "TS", "AS"]);
+        t.push(vec!["1".into(), "2.5".into(), "1.2".into()]);
+        t.push(vec!["64".into(), "70.1".into(), "102.4".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("TS"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,TS,AS");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], "64,70.1,102.4");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn chart_scales_bars_to_max() {
+        let s = sample().chart(0, &[1, 2]);
+        assert!(s.contains("(chart)"));
+        // The largest value owns the full-width bar.
+        let longest = s.lines().map(|l| l.matches('█').count()).max().unwrap();
+        assert_eq!(longest, 46);
+        // Every data row appears.
+        assert!(s.contains("70.1"));
+        assert!(s.contains("1.2"));
+    }
+
+    #[test]
+    fn chart_of_empty_table_is_empty() {
+        let t = Table::new("x", &["a", "b"]);
+        assert!(t.chart(0, &[1]).is_empty());
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("dosas-bench-test");
+        write_csv(&dir, "sample", &sample()).unwrap();
+        let content = std::fs::read_to_string(dir.join("sample.csv")).unwrap();
+        assert!(content.starts_with("n,TS,AS"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cluster configuration.
+//!
+//! Defaults are calibrated to the paper's experiment platform (§IV-A):
+//! Discfarm at Texas Tech — Dell R415 nodes on 1 Gigabit Ethernet with a
+//! measured bandwidth of 118 MB/s (varying 111–120 MB/s in practice), each
+//! storage node simulated with 2 cores.
+
+use crate::MIB;
+use serde::{Deserialize, Serialize};
+use simkit::SimSpan;
+
+/// All hardware parameters of a simulated cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of compute nodes.
+    pub compute_nodes: usize,
+    /// Number of storage nodes.
+    pub storage_nodes: usize,
+    /// Cores per compute node.
+    pub cores_per_compute: usize,
+    /// Cores per storage node (the paper simulates 2).
+    pub cores_per_storage: usize,
+    /// Storage-node cores reserved for file-system service (pvfs2-server,
+    /// OS, interrupt handling). Kernels processor-share the remainder.
+    /// See DESIGN.md §2 — with the paper's rates, the Figure-2 crossover at
+    /// ~4 concurrent active I/Os implies 1 of the 2 cores is effectively
+    /// unavailable to kernels.
+    pub storage_service_cores: usize,
+    /// NIC / link bandwidth in bytes/second (full duplex; applies to both
+    /// the tx and rx side of every node). Paper: 118 MB/s.
+    pub nic_bandwidth: f64,
+    /// If set, each network flow's end-to-end rate cap is drawn uniformly
+    /// from this range (bytes/second), modelling the paper's observed
+    /// 111–120 MB/s variation.
+    pub flow_bandwidth_jitter: Option<(f64, f64)>,
+    /// One-way network latency for control messages.
+    pub net_latency: SimSpan,
+    /// Aggregate switch capacity (bytes/second); `None` = non-blocking.
+    pub switch_bandwidth: Option<f64>,
+    /// Disk streaming bandwidth per storage node, bytes/second.
+    pub disk_bandwidth: f64,
+    /// Fixed per-request disk overhead (seek + request handling).
+    pub disk_overhead: SimSpan,
+    /// Memory per storage node, bytes; bounds concurrently admitted active
+    /// kernels (each pins roughly its request buffer).
+    pub storage_memory: f64,
+    /// Server-side buffer cache per storage node, bytes; 0 disables it
+    /// (the default — the paper's model has no explicit cache).
+    pub server_cache_bytes: f64,
+    /// If set, every CPU task's duration is multiplied by a factor drawn
+    /// uniformly from this range (≥ 1.0: calibrated rates are maxima; real
+    /// runs are slowed by OS scheduling, caches, and daemons — the paper's
+    /// "system variation").
+    pub cpu_time_jitter: Option<(f64, f64)>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            compute_nodes: 8,
+            storage_nodes: 1,
+            cores_per_compute: 8,
+            cores_per_storage: 2,
+            storage_service_cores: 1,
+            nic_bandwidth: 118.0 * MIB,
+            flow_bandwidth_jitter: Some((111.0 * MIB, 120.0 * MIB)),
+            net_latency: SimSpan::from_micros(100),
+            switch_bandwidth: None,
+            disk_bandwidth: 1000.0 * MIB,
+            disk_overhead: SimSpan::from_millis(5),
+            storage_memory: 16.0 * 1024.0 * MIB,
+            server_cache_bytes: 0.0,
+            cpu_time_jitter: Some((1.0, 1.08)),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's testbed: identical compute/storage processors, storage
+    /// node limited to 2 cores, 118 MB/s network.
+    pub fn discfarm() -> Self {
+        Self::default()
+    }
+
+    /// Deterministic variant (no bandwidth jitter) for analytic tests.
+    pub fn deterministic() -> Self {
+        ClusterConfig {
+            flow_bandwidth_jitter: None,
+            cpu_time_jitter: None,
+            disk_overhead: SimSpan::ZERO,
+            net_latency: SimSpan::ZERO,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.compute_nodes + self.storage_nodes
+    }
+
+    /// Cores a storage node can devote to processing kernels.
+    pub fn storage_kernel_cores(&self) -> usize {
+        self.cores_per_storage
+            .saturating_sub(self.storage_service_cores)
+            .max(1)
+    }
+
+    /// Validate internal consistency; call before building a cluster.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.compute_nodes == 0 {
+            return Err("need at least one compute node".into());
+        }
+        if self.storage_nodes == 0 {
+            return Err("need at least one storage node".into());
+        }
+        if self.cores_per_compute == 0 || self.cores_per_storage == 0 {
+            return Err("nodes need at least one core".into());
+        }
+        if !(self.nic_bandwidth.is_finite() && self.nic_bandwidth > 0.0) {
+            return Err("nic_bandwidth must be positive".into());
+        }
+        if !(self.disk_bandwidth.is_finite() && self.disk_bandwidth > 0.0) {
+            return Err("disk_bandwidth must be positive".into());
+        }
+        if let Some((lo, hi)) = self.flow_bandwidth_jitter {
+            if !(lo > 0.0 && hi >= lo) {
+                return Err("flow_bandwidth_jitter range must satisfy 0 < lo <= hi".into());
+            }
+        }
+        if let Some(sw) = self.switch_bandwidth {
+            if !(sw.is_finite() && sw > 0.0) {
+                return Err("switch_bandwidth must be positive".into());
+            }
+        }
+        if !(self.server_cache_bytes.is_finite() && self.server_cache_bytes >= 0.0) {
+            return Err("server_cache_bytes must be >= 0".into());
+        }
+        if let Some((lo, hi)) = self.cpu_time_jitter {
+            if !(lo >= 1.0 && hi >= lo) {
+                return Err("cpu_time_jitter must satisfy 1.0 <= lo <= hi".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.cores_per_storage, 2);
+        assert_eq!(c.storage_kernel_cores(), 1);
+        assert!((c.nic_bandwidth / MIB - 118.0).abs() < 1e-9);
+        let (lo, hi) = c.flow_bandwidth_jitter.unwrap();
+        assert!((lo / MIB - 111.0).abs() < 1e-9);
+        assert!((hi / MIB - 120.0).abs() < 1e-9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn kernel_cores_never_zero() {
+        let c = ClusterConfig {
+            cores_per_storage: 2,
+            storage_service_cores: 5,
+            ..Default::default()
+        };
+        assert_eq!(c.storage_kernel_cores(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let bad = [
+            ClusterConfig {
+                compute_nodes: 0,
+                ..Default::default()
+            },
+            ClusterConfig {
+                nic_bandwidth: -1.0,
+                ..Default::default()
+            },
+            ClusterConfig {
+                flow_bandwidth_jitter: Some((5.0, 1.0)),
+                ..Default::default()
+            },
+            ClusterConfig {
+                storage_nodes: 0,
+                ..Default::default()
+            },
+            ClusterConfig {
+                server_cache_bytes: -1.0,
+                ..Default::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_has_no_jitter() {
+        let c = ClusterConfig::deterministic();
+        assert!(c.flow_bandwidth_jitter.is_none());
+        assert!(c.cpu_time_jitter.is_none());
+        assert!(c.net_latency.is_zero());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn cpu_jitter_below_one_rejected() {
+        let c = ClusterConfig {
+            cpu_time_jitter: Some((0.9, 1.1)),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ClusterConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total_nodes(), c.total_nodes());
+        assert_eq!(back.nic_bandwidth, c.nic_bandwidth);
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-core CPU model.
+//!
+//! Tasks are measured in **core-seconds**: a kernel that processes `d` bytes
+//! at `r` bytes/second/core costs `d / r` core-seconds. The CPU's capacity is
+//! its number of kernel-usable cores (core-seconds per second), and no single
+//! task can exceed 1.0 — a sequential kernel cannot use more than one core.
+//! This lets kernels with different per-operation rates share one CPU without
+//! the CPU knowing anything about operations.
+//!
+//! Processor sharing approximates a time-slicing OS scheduler: with `n > cores`
+//! runnable tasks each receives `cores / n` of a core, which is the paper's
+//! contention regime on storage nodes.
+
+use simkit::share::RemovedTask;
+use simkit::{ShareResource, SimTime, TaskId};
+
+/// A node's CPU, modelled as processor-sharing over `cores` cores.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    res: ShareResource,
+    cores: usize,
+}
+
+impl Cpu {
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "a CPU needs at least one core");
+        Cpu {
+            res: ShareResource::new(cores as f64),
+            cores,
+        }
+    }
+
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Submit a task costing `core_seconds`; it runs at up to one core.
+    pub fn submit(&mut self, now: SimTime, core_seconds: f64) -> TaskId {
+        self.res.add(now, core_seconds, 1.0)
+    }
+
+    /// Interrupt a task (DOSAS kernel demotion). Returns its residual
+    /// core-seconds and progress fraction.
+    pub fn interrupt(&mut self, now: SimTime, id: TaskId) -> Option<RemovedTask> {
+        self.res.remove(now, id)
+    }
+
+    /// Earliest completion among running tasks.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.res.next_completion()
+    }
+
+    /// Collect tasks finished by `now`.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<TaskId> {
+        self.res.take_completed(now)
+    }
+
+    /// Number of runnable tasks.
+    pub fn load(&self) -> usize {
+        self.res.len()
+    }
+
+    /// Fraction of total core capacity in use, `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.res.utilization()
+    }
+
+    /// Fraction of `id`'s work done so far.
+    pub fn progress(&self, id: TaskId) -> Option<f64> {
+        self.res.progress(id)
+    }
+
+    /// Membership epoch for stale-tick detection.
+    pub fn epoch(&self) -> u64 {
+        self.res.epoch()
+    }
+
+    /// Bring internal progress accounting up to `now` (e.g. before probing
+    /// utilization from the Contention Estimator).
+    pub fn advance(&mut self, now: SimTime) {
+        self.res.advance(now);
+    }
+
+    /// The instantaneous rate (cores) granted to task `id`.
+    pub fn rate_of(&self, id: TaskId) -> Option<f64> {
+        self.res.rate_of(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn one_task_uses_one_core() {
+        let mut cpu = Cpu::new(4);
+        let id = cpu.submit(SimTime::ZERO, 2.0);
+        assert_eq!(cpu.rate_of(id), Some(1.0));
+        assert!((cpu.utilization() - 0.25).abs() < 1e-12);
+        let t = cpu.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tasks_fill_cores_then_share() {
+        let mut cpu = Cpu::new(2);
+        let a = cpu.submit(SimTime::ZERO, 1.0);
+        let b = cpu.submit(SimTime::ZERO, 1.0);
+        assert_eq!(cpu.rate_of(a), Some(1.0));
+        assert_eq!(cpu.rate_of(b), Some(1.0));
+        // Third task forces sharing: 2 cores / 3 tasks.
+        let c = cpu.submit(SimTime::ZERO, 1.0);
+        for id in [a, b, c] {
+            assert!((cpu.rate_of(id).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        }
+        assert_eq!(cpu.load(), 3);
+    }
+
+    #[test]
+    fn contention_slows_completion_linearly() {
+        // n identical kernels on 1 core finish at n * work — the paper's
+        // storage-node contention effect.
+        for n in [1usize, 2, 4, 8] {
+            let mut cpu = Cpu::new(1);
+            for _ in 0..n {
+                cpu.submit(SimTime::ZERO, 1.6); // 128 MB Gaussian at 80 MB/s
+            }
+            let t = cpu.next_completion().unwrap();
+            assert!(
+                (t.as_secs_f64() - 1.6 * n as f64).abs() < 1e-6,
+                "n={n}: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupt_reports_progress() {
+        let mut cpu = Cpu::new(1);
+        let id = cpu.submit(SimTime::ZERO, 4.0);
+        let removed = cpu.interrupt(secs(1.0), id).unwrap();
+        assert!((removed.progress - 0.25).abs() < 1e-9);
+        assert!((removed.remaining - 3.0).abs() < 1e-9);
+        assert_eq!(cpu.load(), 0);
+    }
+
+    #[test]
+    fn completion_collection() {
+        let mut cpu = Cpu::new(2);
+        let a = cpu.submit(SimTime::ZERO, 1.0);
+        let _b = cpu.submit(SimTime::ZERO, 2.0);
+        let t = cpu.next_completion().unwrap();
+        assert_eq!(cpu.take_completed(t), vec![a]);
+        assert_eq!(cpu.load(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Disk model: a FIFO server with per-request overhead plus streaming
+//! bandwidth.
+//!
+//! The paper's analytic model ignores disk time (network and CPU dominate on
+//! its testbed); the default configuration therefore gives disks enough
+//! bandwidth not to be the bottleneck, but the model is real so the
+//! disk-bound regime can be studied (ablation A4 in DESIGN.md).
+
+use simkit::fifo::{Completion, ReqId};
+use simkit::{FifoServer, SimSpan, SimTime};
+
+/// A storage node's disk subsystem.
+#[derive(Debug, Clone)]
+pub struct Disk {
+    fifo: FifoServer,
+    bandwidth: f64,
+    overhead: SimSpan,
+    bytes_read: f64,
+}
+
+impl Disk {
+    /// `bandwidth` in bytes/second; `overhead` charged once per request.
+    pub fn new(bandwidth: f64, overhead: SimSpan) -> Self {
+        assert!(bandwidth.is_finite() && bandwidth > 0.0);
+        Disk {
+            fifo: FifoServer::new(1),
+            bandwidth,
+            overhead,
+            bytes_read: 0.0,
+        }
+    }
+
+    /// Service time for a request of `bytes`.
+    pub fn service_time(&self, bytes: f64) -> SimSpan {
+        self.overhead + SimSpan::from_secs_f64(bytes / self.bandwidth)
+    }
+
+    /// Submit a read of `bytes`. FIFO behind any in-flight request.
+    pub fn submit_read(&mut self, now: SimTime, bytes: f64) -> ReqId {
+        assert!(bytes >= 0.0);
+        self.bytes_read += bytes;
+        let service = self.service_time(bytes);
+        self.fifo.submit(now, service)
+    }
+
+    /// Submit a write of `bytes`; same FIFO and service model as reads
+    /// (streaming bandwidth + per-request overhead).
+    pub fn submit_write(&mut self, now: SimTime, bytes: f64) -> ReqId {
+        self.submit_read(now, bytes)
+    }
+
+    pub fn next_event(&self) -> Option<SimTime> {
+        self.fifo.next_event()
+    }
+
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<Completion> {
+        self.fifo.take_completed(now)
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.fifo.epoch()
+    }
+
+    /// Requests waiting behind the head.
+    pub fn queue_len(&self) -> usize {
+        self.fifo.queue_len()
+    }
+
+    pub fn busy(&self) -> bool {
+        self.fifo.in_service() > 0
+    }
+
+    /// Total bytes ever requested from this disk.
+    pub fn bytes_read(&self) -> f64 {
+        self.bytes_read
+    }
+
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_time_is_overhead_plus_transfer() {
+        let d = Disk::new(100.0, SimSpan::from_millis(5));
+        let t = d.service_time(50.0);
+        assert!((t.as_secs_f64() - 0.505).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_serialize_fifo() {
+        let mut d = Disk::new(1000.0, SimSpan::ZERO);
+        let a = d.submit_read(SimTime::ZERO, 500.0);
+        let b = d.submit_read(SimTime::ZERO, 500.0);
+        let t1 = d.next_event().unwrap();
+        assert!((t1.as_secs_f64() - 0.5).abs() < 1e-9);
+        let done = d.take_completed(t1);
+        assert_eq!(done[0].id, a);
+        let t2 = d.next_event().unwrap();
+        assert!((t2.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(d.take_completed(t2)[0].id, b);
+        assert!((d.bytes_read() - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_byte_read_costs_overhead_only() {
+        let mut d = Disk::new(100.0, SimSpan::from_millis(2));
+        d.submit_read(SimTime::ZERO, 0.0);
+        let t = d.next_event().unwrap();
+        assert_eq!(t, SimTime::ZERO + SimSpan::from_millis(2));
+    }
+
+    #[test]
+    fn queue_len_counts_waiting_only() {
+        let mut d = Disk::new(10.0, SimSpan::ZERO);
+        d.submit_read(SimTime::ZERO, 10.0);
+        d.submit_read(SimTime::ZERO, 10.0);
+        d.submit_read(SimTime::ZERO, 10.0);
+        assert!(d.busy());
+        assert_eq!(d.queue_len(), 2);
+    }
+}

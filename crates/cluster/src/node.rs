@@ -1,0 +1,52 @@
+//! Node identities and roles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node in the cluster. Compute nodes come first, then storage
+/// nodes (see [`crate::topology::ClusterState`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node does. The DOSAS system model (paper §III-A) assumes separate
+/// compute and storage nodes, as on most high-end HPC systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Runs application processes and the Active Storage Client.
+    Compute,
+    /// Runs the parallel file system data server and the Active Storage
+    /// Server (Active I/O Runtime + Contention Estimator).
+    Storage,
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRole::Compute => write!(f, "compute"),
+            NodeRole::Storage => write!(f, "storage"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeRole::Compute.to_string(), "compute");
+        assert_eq!(NodeRole::Storage.to_string(), "storage");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

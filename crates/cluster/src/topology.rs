@@ -1,0 +1,153 @@
+//! Assembles per-node resources into one cluster.
+//!
+//! Node numbering: compute nodes occupy ids `0 .. compute_nodes`, storage
+//! nodes `compute_nodes .. compute_nodes + storage_nodes`. Every node has a
+//! CPU; storage nodes additionally have a disk. The fabric spans all nodes.
+
+use crate::config::ClusterConfig;
+use crate::cpu::Cpu;
+use crate::disk::Disk;
+use crate::net::Fabric;
+use crate::node::{NodeId, NodeRole};
+use simkit::RngFactory;
+
+/// All hardware state of a simulated cluster.
+#[derive(Debug)]
+pub struct ClusterState {
+    pub cfg: ClusterConfig,
+    /// One CPU per node, indexed by `NodeId.0`. Storage-node CPUs expose only
+    /// the kernel-usable cores (service cores are reserved, see DESIGN.md).
+    pub cpus: Vec<Cpu>,
+    /// One disk per *storage* node, indexed by storage ordinal
+    /// (`NodeId.0 - compute_nodes`).
+    pub disks: Vec<Disk>,
+    pub fabric: Fabric,
+}
+
+impl ClusterState {
+    /// Build a cluster; `rng` seeds the fabric's bandwidth jitter.
+    pub fn build(cfg: ClusterConfig, rng: &RngFactory) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        let total = cfg.total_nodes();
+        let mut cpus = Vec::with_capacity(total);
+        for _ in 0..cfg.compute_nodes {
+            cpus.push(Cpu::new(cfg.cores_per_compute));
+        }
+        for _ in 0..cfg.storage_nodes {
+            cpus.push(Cpu::new(cfg.storage_kernel_cores()));
+        }
+        let disks = (0..cfg.storage_nodes)
+            .map(|_| Disk::new(cfg.disk_bandwidth, cfg.disk_overhead))
+            .collect();
+        let fabric = Fabric::new(
+            total,
+            cfg.nic_bandwidth,
+            cfg.switch_bandwidth,
+            cfg.net_latency,
+            cfg.flow_bandwidth_jitter,
+            rng.stream("fabric-jitter"),
+        );
+        ClusterState {
+            cfg,
+            cpus,
+            disks,
+            fabric,
+        }
+    }
+
+    pub fn role(&self, n: NodeId) -> NodeRole {
+        if n.0 < self.cfg.compute_nodes {
+            NodeRole::Compute
+        } else {
+            NodeRole::Storage
+        }
+    }
+
+    pub fn is_storage(&self, n: NodeId) -> bool {
+        self.role(n) == NodeRole::Storage
+    }
+
+    /// Ids of all compute nodes.
+    pub fn compute_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.cfg.compute_nodes).map(NodeId)
+    }
+
+    /// Ids of all storage nodes.
+    pub fn storage_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.cfg.compute_nodes..self.cfg.total_nodes()).map(NodeId)
+    }
+
+    /// The `i`-th storage node's id.
+    pub fn storage_node(&self, ordinal: usize) -> NodeId {
+        assert!(ordinal < self.cfg.storage_nodes);
+        NodeId(self.cfg.compute_nodes + ordinal)
+    }
+
+    /// Storage ordinal of a storage node id.
+    pub fn storage_ordinal(&self, n: NodeId) -> usize {
+        assert!(self.is_storage(n), "{n} is not a storage node");
+        n.0 - self.cfg.compute_nodes
+    }
+
+    /// The disk attached to storage node `n`.
+    pub fn disk_of(&mut self, n: NodeId) -> &mut Disk {
+        let ord = self.storage_ordinal(n);
+        &mut self.disks[ord]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_default() -> ClusterState {
+        ClusterState::build(ClusterConfig::default(), &RngFactory::new(42))
+    }
+
+    #[test]
+    fn roles_partition_nodes() {
+        let c = build_default();
+        assert_eq!(c.compute_ids().count(), 8);
+        assert_eq!(c.storage_ids().count(), 1);
+        assert_eq!(c.role(NodeId(0)), NodeRole::Compute);
+        assert_eq!(c.role(NodeId(8)), NodeRole::Storage);
+        assert!(c.is_storage(c.storage_node(0)));
+    }
+
+    #[test]
+    fn storage_cpu_exposes_kernel_cores_only() {
+        let c = build_default();
+        // 2 cores, 1 reserved for service => 1 kernel core.
+        assert_eq!(c.cpus[8].cores(), 1);
+        assert_eq!(c.cpus[0].cores(), 8);
+    }
+
+    #[test]
+    fn disks_exist_per_storage_node() {
+        let cfg = ClusterConfig {
+            storage_nodes: 3,
+            ..Default::default()
+        };
+        let mut c = ClusterState::build(cfg, &RngFactory::new(1));
+        assert_eq!(c.disks.len(), 3);
+        let sn = c.storage_node(2);
+        assert_eq!(c.storage_ordinal(sn), 2);
+        let _ = c.disk_of(sn);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a storage node")]
+    fn storage_ordinal_rejects_compute_nodes() {
+        let c = build_default();
+        c.storage_ordinal(NodeId(0));
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = ClusterState::build(ClusterConfig::default(), &RngFactory::new(9));
+        let b = ClusterState::build(ClusterConfig::default(), &RngFactory::new(9));
+        assert_eq!(a.cfg.total_nodes(), b.cfg.total_nodes());
+        // Fabric jitter streams are equal: first flows get identical caps.
+        // (Exercised end-to-end in dosas driver determinism tests.)
+    }
+}

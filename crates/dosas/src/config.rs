@@ -1,0 +1,229 @@
+//! Operation rates and scheme configuration.
+
+use crate::cost::ResultModel;
+use crate::schedule::SolverKind;
+use serde::{Deserialize, Serialize};
+use simkit::SimSpan;
+use std::collections::BTreeMap;
+
+/// Bytes in a mebibyte (the paper's "MB").
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Per-core processing rate and result-size model for one operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRate {
+    /// Bytes/second one core sustains for this op (paper Table III).
+    pub per_core: f64,
+    /// The paper's `h(x)`: result size as a function of input size.
+    pub result: ResultModel,
+}
+
+/// Rate table for all known operations.
+///
+/// The Contention Estimator derives `S_{C,op}` (storage capability) and
+/// `C_{C,op}` (compute capability) from these per-core rates and the node
+/// core counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRates {
+    rates: BTreeMap<String, OpRate>,
+}
+
+impl OpRates {
+    pub fn empty() -> Self {
+        OpRates {
+            rates: BTreeMap::new(),
+        }
+    }
+
+    /// The paper's measured rates (Table III): SUM 860 MB/s/core, 2-D
+    /// Gaussian 80 MB/s/core — plus plausible rates for the extension
+    /// kernels (not in the paper; calibrate on your host with
+    /// `bench/calibrate` for real numbers).
+    pub fn paper() -> Self {
+        let mut r = Self::empty();
+        r.set("sum", 860.0 * MIB, ResultModel::fixed(16));
+        r.set("gaussian2d", 80.0 * MIB, ResultModel::fixed(32));
+        r.set("stats", 700.0 * MIB, ResultModel::fixed(40));
+        r.set("grep", 900.0 * MIB, ResultModel::fixed(8));
+        r.set("histogram", 1100.0 * MIB, ResultModel::fixed(2048));
+        r.set("kmeans1d", 250.0 * MIB, ResultModel::fixed(72));
+        r.set("smooth1d", 500.0 * MIB, ResultModel::fixed(32));
+        r
+    }
+
+    pub fn set(&mut self, op: &str, per_core: f64, result: ResultModel) {
+        assert!(per_core.is_finite() && per_core > 0.0);
+        self.rates.insert(
+            op.to_string(),
+            OpRate {
+                per_core,
+                result,
+            },
+        );
+    }
+
+    pub fn get(&self, op: &str) -> Option<&OpRate> {
+        self.rates.get(op)
+    }
+
+    /// Per-core rate for `op`; panics on unknown ops (a config error).
+    pub fn per_core(&self, op: &str) -> f64 {
+        self.rates
+            .get(op)
+            .unwrap_or_else(|| panic!("no rate configured for op {op:?}"))
+            .per_core
+    }
+
+    pub fn result_model(&self, op: &str) -> ResultModel {
+        self.rates
+            .get(op)
+            .unwrap_or_else(|| panic!("no rate configured for op {op:?}"))
+            .result
+    }
+
+    pub fn ops(&self) -> impl Iterator<Item = &str> {
+        self.rates.keys().map(|s| s.as_str())
+    }
+}
+
+/// The three evaluated schemes (paper §IV-A3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Traditional Storage: servers only move bytes; kernels run at clients.
+    Traditional,
+    /// Normal Active Storage: kernels always run server-side.
+    ActiveStorage,
+    /// Dynamic Operation Scheduling Active Storage.
+    Dosas(DosasConfig),
+}
+
+impl Scheme {
+    pub fn dosas_default() -> Self {
+        Scheme::Dosas(DosasConfig::default())
+    }
+
+    /// DOSAS with fractional (partial-offload) scheduling — the
+    /// future-work extension; see [`crate::schedule::fractional`].
+    pub fn dosas_partial() -> Self {
+        Scheme::Dosas(DosasConfig {
+            partial_offload: true,
+            kernel_fifo: true,
+            ..Default::default()
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Traditional => "TS",
+            Scheme::ActiveStorage => "AS",
+            Scheme::Dosas(_) => "DOSAS",
+        }
+    }
+}
+
+/// Tunables of the DOSAS scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DosasConfig {
+    /// Which solver the Contention Estimator runs (paper: 2^k enumeration;
+    /// default here: the exact O(k log k) threshold solver).
+    pub solver: SolverKind,
+    /// How often the CE re-probes the system and refreshes the policy.
+    pub probe_period: SimSpan,
+    /// Whether the runtime may interrupt kernels that are already running
+    /// (paper §III-C: it may; disable for ablation).
+    pub allow_interrupt: bool,
+    /// Also re-evaluate the policy on every request arrival (the "on the
+    /// fly" scheduling of §II), not only at probe ticks.
+    pub decide_on_arrival: bool,
+    /// Extension beyond the paper: split each active request fractionally
+    /// between the storage node and the client (planned mid-kernel
+    /// migration) instead of the binary offload/demote decision. See
+    /// [`crate::schedule::fractional`].
+    pub partial_offload: bool,
+    /// Plan with an online bandwidth estimate (EWMA over the storage
+    /// node's observed saturated-link throughput) instead of the nominal
+    /// bandwidth. Extension: addresses the paper's first misjudgment cause
+    /// ("the network bandwidth is not always fixed in practice").
+    pub estimate_bandwidth: bool,
+    /// Run kernels from a FIFO work queue (one per kernel core) instead of
+    /// processor-sharing all admitted kernels. FIFO pipelines each
+    /// request's result/residue transfer behind the next kernel, which is
+    /// what realizes the partial-offload overlap; processor sharing is the
+    /// paper's (and the default binary mode's) behaviour.
+    pub kernel_fifo: bool,
+}
+
+impl Default for DosasConfig {
+    fn default() -> Self {
+        DosasConfig {
+            solver: SolverKind::Threshold,
+            probe_period: SimSpan::from_millis(100),
+            allow_interrupt: true,
+            decide_on_arrival: true,
+            partial_offload: false,
+            estimate_bandwidth: false,
+            kernel_fifo: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates_match_table_iii() {
+        let r = OpRates::paper();
+        assert!((r.per_core("sum") / MIB - 860.0).abs() < 1e-9);
+        assert!((r.per_core("gaussian2d") / MIB - 80.0).abs() < 1e-9);
+        assert_eq!(r.result_model("sum").bytes(128.0 * MIB), 16.0);
+    }
+
+    #[test]
+    fn ops_enumerates_sorted() {
+        let r = OpRates::paper();
+        let ops: Vec<&str> = r.ops().collect();
+        assert!(ops.contains(&"sum"));
+        assert!(ops.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no rate configured")]
+    fn unknown_op_panics() {
+        OpRates::empty().per_core("sum");
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Traditional.name(), "TS");
+        assert_eq!(Scheme::ActiveStorage.name(), "AS");
+        assert_eq!(Scheme::dosas_default().name(), "DOSAS");
+    }
+
+    #[test]
+    fn dosas_defaults() {
+        let c = DosasConfig::default();
+        assert!(c.allow_interrupt);
+        assert!(c.decide_on_arrival);
+        assert!(!c.partial_offload);
+        assert_eq!(c.solver, SolverKind::Threshold);
+    }
+
+    #[test]
+    fn partial_constructor_sets_flag() {
+        match Scheme::dosas_partial() {
+            Scheme::Dosas(c) => {
+                assert!(c.partial_offload);
+                assert!(c.kernel_fifo);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn set_replaces_rate() {
+        let mut r = OpRates::paper();
+        r.set("sum", 1.0, ResultModel::fixed(1));
+        assert_eq!(r.per_core("sum"), 1.0);
+    }
+}

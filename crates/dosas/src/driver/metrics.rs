@@ -1,0 +1,166 @@
+//! Run metrics: everything the paper's figures and tables are built from.
+
+use crate::runtime::RuntimeCounters;
+use mpiio::status::ExecutionSite;
+use serde::Serialize;
+use simkit::SimTime;
+use std::collections::BTreeMap;
+
+/// One application-level I/O (one `Read`/`ReadEx` call of one rank).
+#[derive(Debug, Clone, Serialize)]
+pub struct AppIoRecord {
+    pub app: u64,
+    pub rank: usize,
+    pub bytes: f64,
+    pub op: Option<String>,
+    pub issued_at: SimTime,
+    pub completed_at: SimTime,
+    pub site: ExecutionSite,
+}
+
+impl AppIoRecord {
+    pub fn latency_secs(&self) -> f64 {
+        (self.completed_at - self.issued_at).as_secs_f64()
+    }
+}
+
+/// One Contention Estimator policy generation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyLogEntry {
+    pub time: SimTime,
+    pub server: usize,
+    /// `k`: active requests considered.
+    pub k: usize,
+    pub kept_active: usize,
+    pub demoted: usize,
+    pub predicted_time: f64,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMetrics {
+    pub scheme: String,
+    /// Total execution time of all I/O requests (the paper's metric).
+    pub makespan_secs: f64,
+    pub total_requested_bytes: f64,
+    /// Application-perceived aggregate bandwidth:
+    /// `total requested bytes / makespan` (Figures 11–12).
+    pub achieved_bandwidth: f64,
+    pub records: Vec<AppIoRecord>,
+    pub runtime: RuntimeCounters,
+    /// Time-weighted mean I/O queue depth over all storage nodes.
+    pub mean_queue_depth: f64,
+    pub peak_queue_depth: f64,
+    pub policy_log: Vec<PolicyLogEntry>,
+    /// Final per-storage-node bandwidth estimates (bytes/s), when the
+    /// online estimator was enabled.
+    pub estimated_bandwidth: BTreeMap<usize, f64>,
+    /// Final kernel results per app I/O (data-plane runs only).
+    #[serde(skip)]
+    pub results: BTreeMap<u64, Vec<u8>>,
+    /// Execution timeline when `DriverConfig::trace` was set.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub trace: Option<Vec<crate::driver::trace::TraceEvent>>,
+    /// Simulation events dispatched (engine throughput accounting).
+    pub events: u64,
+}
+
+impl RunMetrics {
+    /// Mean per-request latency in seconds.
+    pub fn mean_latency_secs(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(AppIoRecord::latency_secs).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// How many app I/Os ended on each execution site.
+    pub fn site_histogram(&self) -> BTreeMap<String, usize> {
+        let mut h = BTreeMap::new();
+        for r in &self.records {
+            *h.entry(format!("{:?}", r.site)).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Achieved bandwidth in MB/s (MiB/s, the paper's unit).
+    pub fn bandwidth_mb_per_s(&self) -> f64 {
+        self.achieved_bandwidth / (1024.0 * 1024.0)
+    }
+
+    /// Latency quantile over all app I/Os (`q` in 0.0–1.0), seconds.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        let mut sketch = simkit::stats::Quantiles::default();
+        for r in &self.records {
+            sketch.record(r.latency_secs());
+        }
+        sketch.quantile(q)
+    }
+
+    /// p50/p95/p99 latency summary in seconds.
+    pub fn latency_percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.latency_quantile(0.5)?,
+            self.latency_quantile(0.95)?,
+            self.latency_quantile(0.99)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_latency() {
+        let r = AppIoRecord {
+            app: 0,
+            rank: 0,
+            bytes: 1.0,
+            op: None,
+            issued_at: SimTime::from_secs_f64(1.0),
+            completed_at: SimTime::from_secs_f64(3.5),
+            site: ExecutionSite::Storage,
+        };
+        assert!((r.latency_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_aggregates() {
+        let mk = |lat: f64, site| AppIoRecord {
+            app: 0,
+            rank: 0,
+            bytes: 1.0,
+            op: Some("sum".into()),
+            issued_at: SimTime::ZERO,
+            completed_at: SimTime::from_secs_f64(lat),
+            site,
+        };
+        let m = RunMetrics {
+            scheme: "AS".into(),
+            makespan_secs: 4.0,
+            total_requested_bytes: 8.0 * 1024.0 * 1024.0,
+            achieved_bandwidth: 2.0 * 1024.0 * 1024.0,
+            records: vec![
+                mk(2.0, ExecutionSite::Storage),
+                mk(4.0, ExecutionSite::Compute),
+                mk(3.0, ExecutionSite::Storage),
+            ],
+            runtime: RuntimeCounters::default(),
+            mean_queue_depth: 0.0,
+            peak_queue_depth: 0.0,
+            policy_log: vec![],
+            estimated_bandwidth: BTreeMap::new(),
+            results: BTreeMap::new(),
+            trace: None,
+            events: 0,
+        };
+        assert!((m.mean_latency_secs() - 3.0).abs() < 1e-9);
+        assert_eq!(m.site_histogram()["Storage"], 2);
+        assert!((m.bandwidth_mb_per_s() - 2.0).abs() < 1e-9);
+        let (p50, p95, p99) = m.latency_percentiles().unwrap();
+        assert_eq!(p50, 3.0);
+        assert_eq!(p95, 4.0);
+        assert_eq!(p99, 4.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Execution timeline tracing in Chrome trace-event (Catapult) format.
+//!
+//! With `DriverConfig::trace = true` the driver records one complete-event
+//! span per pipeline stage of every request — queue+disk, kernel, transfer,
+//! client compute — attributed to the node that did the work. The result
+//! loads directly into `chrome://tracing` / Perfetto
+//! (`RunMetrics::trace` → [`to_chrome_json`]).
+
+use serde::Serialize;
+
+/// One complete ("ph":"X") trace span.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceEvent {
+    /// Span label, e.g. `kernel(gaussian2d)`.
+    pub name: String,
+    /// Category: `disk`, `kernel`, `net`, `cpu`.
+    pub cat: &'static str,
+    /// Start, microseconds of simulated time.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Process lane: the node id doing the work.
+    pub node: usize,
+    /// Thread lane: the request (or app) id.
+    pub track: u64,
+}
+
+impl TraceEvent {
+    pub fn new(
+        name: String,
+        cat: &'static str,
+        start_secs: f64,
+        end_secs: f64,
+        node: usize,
+        track: u64,
+    ) -> Self {
+        debug_assert!(end_secs >= start_secs);
+        TraceEvent {
+            name,
+            cat,
+            ts_us: start_secs * 1e6,
+            dur_us: (end_secs - start_secs) * 1e6,
+            node,
+            track,
+        }
+    }
+
+    pub fn end_secs(&self) -> f64 {
+        (self.ts_us + self.dur_us) / 1e6
+    }
+}
+
+/// Serialize spans to the Chrome trace-event JSON array format.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    #[derive(Serialize)]
+    struct Chrome<'a> {
+        name: &'a str,
+        cat: &'a str,
+        ph: &'a str,
+        ts: f64,
+        dur: f64,
+        pid: usize,
+        tid: u64,
+    }
+    let rows: Vec<Chrome> = events
+        .iter()
+        .map(|e| Chrome {
+            name: &e.name,
+            cat: e.cat,
+            ph: "X",
+            ts: e.ts_us,
+            dur: e.dur_us,
+            pid: e.node,
+            tid: e.track,
+        })
+        .collect();
+    serde_json::to_string_pretty(&rows).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_construction_and_end() {
+        let e = TraceEvent::new("kernel(sum)".into(), "kernel", 1.0, 2.5, 8, 3);
+        assert_eq!(e.ts_us, 1e6);
+        assert_eq!(e.dur_us, 1.5e6);
+        assert!((e.end_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_complete() {
+        let events = vec![
+            TraceEvent::new("disk".into(), "disk", 0.0, 0.1, 8, 0),
+            TraceEvent::new("xfer".into(), "net", 0.1, 1.2, 8, 0),
+        ];
+        let json = to_chrome_json(&events);
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[1]["cat"], "net");
+        assert_eq!(arr[1]["pid"], 8);
+    }
+}

@@ -1,0 +1,54 @@
+//! # dosas — Dynamic Operation Scheduling Active Storage
+//!
+//! The paper's primary contribution: an active-storage architecture that
+//! schedules each active I/O request *dynamically* — run the processing
+//! kernel on the storage node when it has capacity, or demote the request to
+//! a normal I/O (shipping raw data for client-side processing) when the
+//! storage node is contended, including interrupting kernels already
+//! running.
+//!
+//! Architecture (paper §III, Figure 3):
+//!
+//! ```text
+//!  compute node                     storage node
+//!  ┌───────────────────┐           ┌─────────────────────────────┐
+//!  │ application       │  ReadEx   │ Active Storage Server        │
+//!  │  └─ ASC ──────────┼──────────►│  ├─ Contention Estimator (CE)│
+//!  │     └─ Processing │◄──────────┤  ├─ Active I/O Runtime (R)   │
+//!  │        Kernels    │  result / │  └─ Processing Kernels       │
+//!  └───────────────────┘  data+state└─────────────────────────────┘
+//! ```
+//!
+//! Modules:
+//!
+//! * [`config`] — operation rate tables and scheme/DOSAS configuration.
+//! * [`cost`] — the paper's analytic cost model (Table II, Eqs. 1–7).
+//! * [`schedule`] — solvers for the binary offloading optimization (Eq. 8):
+//!   the paper's literal 2^k matrix enumeration plus exact scalable solvers.
+//! * [`estimator`] — the Contention Estimator: probes system state and emits
+//!   a scheduling [`estimator::Policy`].
+//! * [`runtime`] — the Active I/O Runtime's per-request server-side state
+//!   machine (admit / demote / interrupt transitions).
+//! * [`asc`] — the Active Storage Client: request registration and
+//!   client-side completion of demoted or migrated operations.
+//! * [`driver`] — the end-to-end simulation: interprets rank programs over
+//!   the `cluster`/`pfs`/`mpiio` substrates under a chosen scheme and
+//!   produces [`driver::RunMetrics`].
+//! * [`workload`] — workload generators for the paper's experiments and the
+//!   multi-application mixes of Figure 1.
+
+pub mod asc;
+pub mod config;
+pub mod cost;
+pub mod driver;
+pub mod estimator;
+pub mod runtime;
+pub mod schedule;
+pub mod workload;
+
+pub use config::{DosasConfig, OpRates, Scheme};
+pub use cost::{CostModel, Item, RequestSpec, ResultModel};
+pub use driver::{Driver, DriverConfig, RunMetrics};
+pub use estimator::{ContentionEstimator, Decision, Policy, SystemProbe};
+pub use schedule::{Assignment, SolverKind};
+pub use workload::Workload;

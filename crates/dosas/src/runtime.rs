@@ -1,0 +1,377 @@
+//! The Active I/O Runtime (R, paper §III-C): the server-side per-request
+//! state machine.
+//!
+//! R serves requests according to the CE's policy:
+//!
+//! * a queued active request decided `Normal` is **demoted** — it will be
+//!   served as a plain read (`completed = 0`, empty status);
+//! * a *running* kernel decided `Normal` is **interrupted** — its variables
+//!   are checkpointed through the shared-memory channel and shipped with the
+//!   unprocessed bytes (`completed = 0`, status = checkpoint);
+//! * a completed kernel's result is returned with `completed = 1`.
+//!
+//! The runtime tracks states and validates transitions; the simulation
+//! driver charges the actual disk/CPU/network time against the `cluster`
+//! resources.
+
+use pfs::RequestId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Server-side lifecycle of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerStage {
+    /// Request message en route to the server.
+    InFlight,
+    /// In the I/O queue, disk read not finished yet.
+    QueuedDisk,
+    /// Kernel executing on the storage CPU (active service).
+    Running,
+    /// Result bytes being sent to the client (`completed = 1`).
+    SendingResult,
+    /// Raw data (plus checkpoint for migrations) being sent
+    /// (`completed = 0`).
+    SendingData,
+    /// Fully served.
+    Done,
+}
+
+/// How the request is currently being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceMode {
+    /// Kernel on the storage node (as requested).
+    Active,
+    /// Plain data shipping (normal I/O, or demoted before starting).
+    Normal,
+    /// Interrupted mid-kernel; residual data + checkpoint shipping.
+    Migrated,
+}
+
+/// Actions the runtime instructs the driver to take after a policy update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeAction {
+    /// Change a queued active request to normal service.
+    Demote(RequestId),
+    /// Stop a running kernel, checkpoint it, ship residue + state.
+    Interrupt(RequestId),
+}
+
+#[derive(Debug, Clone)]
+struct Tracked {
+    stage: ServerStage,
+    mode: ServiceMode,
+    active_requested: bool,
+}
+
+/// Counters the evaluation reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeCounters {
+    pub admitted: u64,
+    pub demoted: u64,
+    pub interrupted: u64,
+    /// Planned partial-offload migrations (extension).
+    pub split: u64,
+    pub completed_active: u64,
+    pub completed_normal: u64,
+    pub completed_migrated: u64,
+}
+
+/// One storage node's Active I/O Runtime.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveIoRuntime {
+    requests: BTreeMap<RequestId, Tracked>,
+    pub counters: RuntimeCounters,
+}
+
+impl ActiveIoRuntime {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a request the moment the client sends it.
+    pub fn track(&mut self, id: RequestId, active: bool) {
+        let prev = self.requests.insert(
+            id,
+            Tracked {
+                stage: ServerStage::InFlight,
+                mode: if active {
+                    ServiceMode::Active
+                } else {
+                    ServiceMode::Normal
+                },
+                active_requested: active,
+            },
+        );
+        assert!(prev.is_none(), "request {id:?} tracked twice");
+        if active {
+            self.counters.admitted += 1;
+        }
+    }
+
+    pub fn stage(&self, id: RequestId) -> Option<ServerStage> {
+        self.requests.get(&id).map(|t| t.stage)
+    }
+
+    pub fn mode(&self, id: RequestId) -> Option<ServiceMode> {
+        self.requests.get(&id).map(|t| t.mode)
+    }
+
+    /// Requests currently running kernels.
+    pub fn running(&self) -> Vec<RequestId> {
+        self.requests
+            .iter()
+            .filter(|(_, t)| t.stage == ServerStage::Running)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    fn tracked(&mut self, id: RequestId) -> &mut Tracked {
+        self.requests
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("request {id:?} not tracked"))
+    }
+
+    /// Arrival at the server: the disk read is submitted.
+    pub fn on_arrival(&mut self, id: RequestId) {
+        let t = self.tracked(id);
+        assert_eq!(t.stage, ServerStage::InFlight, "{id:?}");
+        t.stage = ServerStage::QueuedDisk;
+    }
+
+    /// Disk read finished. Returns the service mode that must now proceed:
+    /// `Active` → start the kernel; otherwise → ship the data.
+    pub fn on_disk_done(&mut self, id: RequestId) -> ServiceMode {
+        let t = self.tracked(id);
+        assert_eq!(t.stage, ServerStage::QueuedDisk, "{id:?}");
+        match t.mode {
+            ServiceMode::Active => t.stage = ServerStage::Running,
+            ServiceMode::Normal | ServiceMode::Migrated => t.stage = ServerStage::SendingData,
+        }
+        t.mode
+    }
+
+    /// Kernel finished; result transfer begins.
+    pub fn on_kernel_done(&mut self, id: RequestId) {
+        let t = self.tracked(id);
+        assert_eq!(t.stage, ServerStage::Running, "{id:?}");
+        t.stage = ServerStage::SendingResult;
+    }
+
+    /// Kernel reached its *planned* partial-offload point: checkpoint and
+    /// ship residual data + state, exactly like an interruption but
+    /// scheduled in advance (extension; see `schedule::fractional`).
+    pub fn on_kernel_split(&mut self, id: RequestId) {
+        let t = self.tracked(id);
+        assert_eq!(t.stage, ServerStage::Running, "{id:?}");
+        assert_eq!(t.mode, ServiceMode::Active, "{id:?}");
+        t.mode = ServiceMode::Migrated;
+        t.stage = ServerStage::SendingData;
+        self.counters.split += 1;
+    }
+
+    /// Final transfer delivered; the request leaves the runtime.
+    pub fn on_delivered(&mut self, id: RequestId) -> ServiceMode {
+        let t = self
+            .requests
+            .remove(&id)
+            .unwrap_or_else(|| panic!("request {id:?} not tracked"));
+        assert!(
+            matches!(
+                t.stage,
+                ServerStage::SendingResult | ServerStage::SendingData
+            ),
+            "{id:?} delivered from stage {:?}",
+            t.stage
+        );
+        match t.mode {
+            ServiceMode::Active => self.counters.completed_active += 1,
+            ServiceMode::Migrated => self.counters.completed_migrated += 1,
+            ServiceMode::Normal => {
+                if t.active_requested {
+                    self.counters.completed_normal += 1;
+                } else {
+                    // plain reads aren't counted as active completions
+                }
+            }
+        }
+        t.mode
+    }
+
+    /// Apply a CE policy: which queued requests to demote and which running
+    /// kernels to interrupt. `allow_interrupt = false` restricts R to acting
+    /// on not-yet-started requests (ablation).
+    pub fn apply_policy(
+        &mut self,
+        policy: &crate::estimator::Policy,
+        allow_interrupt: bool,
+    ) -> Vec<RuntimeAction> {
+        use crate::estimator::Decision;
+        let mut actions = Vec::new();
+        for (&id, decision) in &policy.decisions {
+            if *decision != Decision::Normal {
+                continue;
+            }
+            let Some(t) = self.requests.get_mut(&id) else {
+                continue; // completed since the probe
+            };
+            match (t.stage, t.mode) {
+                (ServerStage::InFlight | ServerStage::QueuedDisk, ServiceMode::Active) => {
+                    t.mode = ServiceMode::Normal;
+                    self.counters.demoted += 1;
+                    actions.push(RuntimeAction::Demote(id));
+                }
+                (ServerStage::Running, ServiceMode::Active) if allow_interrupt => {
+                    t.mode = ServiceMode::Migrated;
+                    t.stage = ServerStage::SendingData;
+                    self.counters.interrupted += 1;
+                    actions.push(RuntimeAction::Interrupt(id));
+                }
+                // Too late (already sending) or already normal: no-op.
+                _ => {}
+            }
+        }
+        actions
+    }
+
+    pub fn tracked_count(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{Decision, Policy};
+    use simkit::SimTime;
+    use std::collections::BTreeMap;
+
+    fn policy(entries: &[(u64, Decision)]) -> Policy {
+        Policy {
+            decisions: entries
+                .iter()
+                .map(|&(id, d)| (RequestId(id), d))
+                .collect::<BTreeMap<_, _>>(),
+            fractions: BTreeMap::new(),
+            predicted_time: 0.0,
+            generated_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn active_request_happy_path() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        assert_eq!(r.on_disk_done(RequestId(0)), ServiceMode::Active);
+        r.on_kernel_done(RequestId(0));
+        assert_eq!(r.on_delivered(RequestId(0)), ServiceMode::Active);
+        assert_eq!(r.counters.completed_active, 1);
+        assert_eq!(r.tracked_count(), 0);
+    }
+
+    #[test]
+    fn normal_request_skips_kernel() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(1), false);
+        r.on_arrival(RequestId(1));
+        assert_eq!(r.on_disk_done(RequestId(1)), ServiceMode::Normal);
+        assert_eq!(r.stage(RequestId(1)), Some(ServerStage::SendingData));
+        r.on_delivered(RequestId(1));
+        assert_eq!(r.counters.completed_active, 0);
+    }
+
+    #[test]
+    fn demotion_before_disk_read() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        let actions = r.apply_policy(&policy(&[(0, Decision::Normal)]), true);
+        assert_eq!(actions, vec![RuntimeAction::Demote(RequestId(0))]);
+        assert_eq!(r.counters.demoted, 1);
+        // Disk completion now routes to data shipping.
+        assert_eq!(r.on_disk_done(RequestId(0)), ServiceMode::Normal);
+        assert_eq!(r.on_delivered(RequestId(0)), ServiceMode::Normal);
+        assert_eq!(r.counters.completed_normal, 1);
+    }
+
+    #[test]
+    fn interruption_of_running_kernel() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        r.on_disk_done(RequestId(0));
+        assert_eq!(r.running(), vec![RequestId(0)]);
+        let actions = r.apply_policy(&policy(&[(0, Decision::Normal)]), true);
+        assert_eq!(actions, vec![RuntimeAction::Interrupt(RequestId(0))]);
+        assert_eq!(r.mode(RequestId(0)), Some(ServiceMode::Migrated));
+        assert_eq!(r.on_delivered(RequestId(0)), ServiceMode::Migrated);
+        assert_eq!(r.counters.interrupted, 1);
+        assert_eq!(r.counters.completed_migrated, 1);
+    }
+
+    #[test]
+    fn planned_split_transitions_like_interruption() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        r.on_disk_done(RequestId(0));
+        r.on_kernel_split(RequestId(0));
+        assert_eq!(r.stage(RequestId(0)), Some(ServerStage::SendingData));
+        assert_eq!(r.mode(RequestId(0)), Some(ServiceMode::Migrated));
+        assert_eq!(r.counters.split, 1);
+        assert_eq!(r.on_delivered(RequestId(0)), ServiceMode::Migrated);
+    }
+
+    #[test]
+    fn interruption_disabled_leaves_kernel_running() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        r.on_disk_done(RequestId(0));
+        let actions = r.apply_policy(&policy(&[(0, Decision::Normal)]), false);
+        assert!(actions.is_empty());
+        assert_eq!(r.stage(RequestId(0)), Some(ServerStage::Running));
+    }
+
+    #[test]
+    fn active_decision_is_noop() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        let actions = r.apply_policy(&policy(&[(0, Decision::Active)]), true);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn policy_for_unknown_request_is_ignored() {
+        let mut r = ActiveIoRuntime::new();
+        let actions = r.apply_policy(&policy(&[(42, Decision::Normal)]), true);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn double_demotion_is_idempotent() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        r.apply_policy(&policy(&[(0, Decision::Normal)]), true);
+        let again = r.apply_policy(&policy(&[(0, Decision::Normal)]), true);
+        assert!(again.is_empty());
+        assert_eq!(r.counters.demoted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tracked twice")]
+    fn double_track_panics() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.track(RequestId(0), true);
+    }
+
+    #[test]
+    #[should_panic(expected = "not tracked")]
+    fn transition_without_tracking_panics() {
+        let mut r = ActiveIoRuntime::new();
+        r.on_arrival(RequestId(5));
+    }
+}

@@ -1,0 +1,151 @@
+//! Exact branch-and-bound solver.
+//!
+//! Depth-first search over the 0/1 assignment tree with an admissible lower
+//! bound: each undecided request contributes at least `min(x_i, y_i)` and
+//! the `z` term can only grow as more requests are demoted. Requests are
+//! considered in *descending* `z` order so the expensive `max z` commitment
+//! happens near the root, making the bound tight early.
+//!
+//! Exponential worst case, but with the bound it handles the paper's
+//! 64-request queues instantly; it exists to cross-check
+//! [`super::threshold`] and as the general fallback for objective variants
+//! that break the threshold structure.
+
+use super::Assignment;
+use crate::cost::Item;
+
+struct Search<'a> {
+    items: &'a [Item],
+    /// Suffix sums of min(x, y) for the bound.
+    suffix_min: Vec<f64>,
+    best_time: f64,
+    best_active: Vec<bool>,
+    current: Vec<bool>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, idx: usize, cost: f64, z: f64) {
+        if cost + self.suffix_min[idx] + z >= self.best_time - 1e-15 {
+            return; // bound
+        }
+        if idx == self.items.len() {
+            let total = cost + z;
+            if total < self.best_time {
+                self.best_time = total;
+                self.best_active = self.current.clone();
+            }
+            return;
+        }
+        let it = &self.items[idx];
+        // Explore the locally cheaper branch first.
+        let branches: [(bool, f64, f64); 2] = if it.x <= it.y + (it.z - z).max(0.0) {
+            [(true, it.x, z), (false, it.y, z.max(it.z))]
+        } else {
+            [(false, it.y, z.max(it.z)), (true, it.x, z)]
+        };
+        for (active, step, nz) in branches {
+            self.current[idx] = active;
+            self.dfs(idx + 1, cost + step, nz);
+        }
+    }
+}
+
+/// Solve exactly with branch-and-bound.
+pub fn solve(items: &[Item]) -> Assignment {
+    let k = items.len();
+    if k == 0 {
+        return Assignment {
+            active: Vec::new(),
+            time: 0.0,
+        };
+    }
+    // Sort by z descending (permutation applied to a copy).
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        items[b]
+            .z
+            .partial_cmp(&items[a].z)
+            .expect("finite z")
+            .then(a.cmp(&b))
+    });
+    let sorted: Vec<Item> = order.iter().map(|&i| items[i]).collect();
+
+    let mut suffix_min = vec![0.0; k + 1];
+    for i in (0..k).rev() {
+        suffix_min[i] = suffix_min[i + 1] + sorted[i].x.min(sorted[i].y);
+    }
+
+    // Seed the incumbent with all-active (a feasible solution) so the bound
+    // prunes from the start.
+    let all_active_time: f64 = sorted.iter().map(|i| i.x).sum();
+    let mut search = Search {
+        items: &sorted,
+        suffix_min,
+        best_time: all_active_time + 1e-12,
+        best_active: vec![true; k],
+        current: vec![true; k],
+    };
+    search.dfs(0, 0.0, 0.0);
+
+    // Undo the permutation.
+    let mut active = vec![true; k];
+    for (pos, &orig) in order.iter().enumerate() {
+        active[orig] = search.best_active[pos];
+    }
+    let time = super::assignment_time(items, &active);
+    Assignment { active, time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{exhaustive, item};
+    use super::*;
+
+    #[test]
+    fn matches_exhaustive_on_small_cases() {
+        let cases = vec![
+            vec![item(1.0, 2.0, 0.5)],
+            vec![item(5.0, 1.0, 2.0), item(5.0, 1.0, 2.0)],
+            vec![item(1.0, 5.0, 0.1), item(4.0, 1.0, 3.0), item(2.0, 2.0, 1.0)],
+            vec![
+                item(0.5, 0.4, 0.9),
+                item(2.0, 2.5, 0.2),
+                item(1.1, 1.0, 1.0),
+                item(3.0, 0.1, 2.0),
+            ],
+        ];
+        for items in cases {
+            let a = solve(&items);
+            let b = exhaustive::solve(&items);
+            assert!(
+                (a.time - b.time).abs() < 1e-12,
+                "bnb {} vs brute {} on {items:?}",
+                a.time,
+                b.time
+            );
+        }
+    }
+
+    #[test]
+    fn handles_large_homogeneous_batches() {
+        let items = vec![item(1.6, 1.08, 1.6); 64];
+        let a = solve(&items);
+        // Homogeneous optimum is all-or-nothing.
+        assert!(a.all_active() || a.all_normal());
+        let all_a: f64 = 64.0 * 1.6;
+        let all_n = 64.0 * 1.08 + 1.6;
+        assert!((a.time - all_a.min(all_n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_preserves_optimality_with_extreme_values() {
+        let items = vec![
+            item(1e-6, 1e6, 1e-6),
+            item(1e6, 1e-6, 1e6),
+            item(1.0, 1.0, 1.0),
+        ];
+        let a = solve(&items);
+        let b = exhaustive::solve(&items);
+        assert!((a.time - b.time).abs() < 1e-9 * b.time.max(1.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Brute-force enumeration of all `2^k` assignments — the paper's "try all
+//! possible combinations and pick the one that minimizes the target
+//! function". Exact; exponential; capped.
+
+use super::{assignment_time, Assignment};
+use crate::cost::Item;
+
+/// Largest batch this solver accepts (2^24 ≈ 16M evaluations).
+pub const MAX_K: usize = 24;
+
+/// Enumerate every assignment; ties break toward the lowest bitmask, i.e.
+/// toward *fewer* active requests among equal-cost options (deterministic).
+pub fn solve(items: &[Item]) -> Assignment {
+    let k = items.len();
+    assert!(
+        k <= MAX_K,
+        "exhaustive solver supports k <= {MAX_K}, got {k}; use BranchAndBound or Threshold"
+    );
+    if k == 0 {
+        return Assignment {
+            active: Vec::new(),
+            time: 0.0,
+        };
+    }
+    let mut best_mask = 0u64;
+    let mut best_time = f64::INFINITY;
+    let mut active = vec![false; k];
+    for mask in 0u64..(1u64 << k) {
+        for (i, a) in active.iter_mut().enumerate() {
+            *a = (mask >> i) & 1 == 1;
+        }
+        let t = assignment_time(items, &active);
+        if t < best_time {
+            best_time = t;
+            best_mask = mask;
+        }
+    }
+    for (i, a) in active.iter_mut().enumerate() {
+        *a = (best_mask >> i) & 1 == 1;
+    }
+    Assignment {
+        active,
+        time: best_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::item;
+    use super::*;
+
+    #[test]
+    fn picks_cheaper_side_per_request_when_z_is_free() {
+        // z = 0: the problem decouples; each request picks min(x, y).
+        let items = vec![item(1.0, 2.0, 0.0), item(3.0, 1.0, 0.0)];
+        let a = solve(&items);
+        assert_eq!(a.active, vec![true, false]);
+        assert!((a.time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_penalty_can_keep_everything_active() {
+        // Demoting anything costs z = 100, dwarfing the x-vs-y gains.
+        let items = vec![item(1.0, 0.1, 100.0), item(1.0, 0.1, 100.0)];
+        let a = solve(&items);
+        assert!(a.all_active());
+        assert!((a.time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_shared_across_demotions() {
+        // Once one request pays z, demoting the second is free profit.
+        let items = vec![item(5.0, 1.0, 2.0), item(5.0, 1.0, 2.0)];
+        let a = solve(&items);
+        assert!(a.all_normal());
+        assert!((a.time - (1.0 + 1.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_request_decision() {
+        let a = solve(&[item(2.0, 1.0, 0.5)]);
+        assert_eq!(a.active, vec![false]);
+        assert!((a.time - 1.5).abs() < 1e-12);
+        let a = solve(&[item(1.0, 1.0, 0.5)]);
+        assert_eq!(a.active, vec![true], "tie prefers active=false mask? No: x==1.0 < y+z=1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "supports k <=")]
+    fn oversized_batch_rejected() {
+        let items = vec![item(1.0, 1.0, 1.0); MAX_K + 1];
+        solve(&items);
+    }
+}

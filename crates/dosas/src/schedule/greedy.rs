@@ -1,0 +1,92 @@
+//! Greedy local-descent heuristic.
+//!
+//! Start from the cheaper of the two trivial policies (all-active /
+//! all-normal) and repeatedly flip the single request whose flip most
+//! reduces the objective, until no flip helps. `O(k²)` per pass; not
+//! guaranteed optimal (the shared `z` term creates non-convexity) — it
+//! exists as the cheap baseline in the solver-scaling ablation (A3).
+
+use super::{assignment_time, Assignment};
+use crate::cost::Item;
+
+/// Solve heuristically.
+pub fn solve(items: &[Item]) -> Assignment {
+    let k = items.len();
+    if k == 0 {
+        return Assignment {
+            active: Vec::new(),
+            time: 0.0,
+        };
+    }
+    let all_active = vec![true; k];
+    let all_normal = vec![false; k];
+    let ta = assignment_time(items, &all_active);
+    let tn = assignment_time(items, &all_normal);
+    let (mut active, mut time) = if ta <= tn {
+        (all_active, ta)
+    } else {
+        (all_normal, tn)
+    };
+
+    loop {
+        let mut best_flip: Option<(usize, f64)> = None;
+        for i in 0..k {
+            active[i] = !active[i];
+            let t = assignment_time(items, &active);
+            active[i] = !active[i];
+            if t < time - 1e-15 && best_flip.is_none_or(|(_, bt)| t < bt) {
+                best_flip = Some((i, t));
+            }
+        }
+        match best_flip {
+            Some((i, t)) => {
+                active[i] = !active[i];
+                time = t;
+            }
+            None => break,
+        }
+    }
+    Assignment { active, time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{exhaustive, item};
+    use super::*;
+
+    #[test]
+    fn finds_optimum_on_decoupled_instances() {
+        // z = 0 decouples requests; local flips reach the global optimum.
+        let items = vec![
+            item(1.0, 2.0, 0.0),
+            item(3.0, 1.0, 0.0),
+            item(0.5, 0.6, 0.0),
+        ];
+        let g = solve(&items);
+        let b = exhaustive::solve(&items);
+        assert!((g.time - b.time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_worse_than_trivial_policies() {
+        let items = vec![item(2.0, 1.0, 5.0), item(1.0, 3.0, 0.5), item(4.0, 4.0, 1.0)];
+        let g = solve(&items);
+        let ta = assignment_time(&items, &[true, true, true]);
+        let tn = assignment_time(&items, &[false, false, false]);
+        assert!(g.time <= ta.min(tn) + 1e-12);
+    }
+
+    #[test]
+    fn reported_time_matches_assignment() {
+        let items = vec![item(1.5, 1.0, 2.0), item(0.8, 1.2, 0.3)];
+        let g = solve(&items);
+        assert!((assignment_time(&items, &g.active) - g.time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homogeneous_batch_stays_at_better_endpoint() {
+        let items = vec![item(1.6, 1.08, 1.6); 16];
+        let g = solve(&items);
+        assert!(g.all_normal(), "16 Gaussians: normal I/O wins");
+    }
+}

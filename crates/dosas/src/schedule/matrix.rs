@@ -1,0 +1,180 @@
+//! The paper's literal matrix formulation (Eqs. 9–11).
+//!
+//! Build the `k × m` decision matrix `A` (`m = 2^k`, every column a distinct
+//! 0/1 assignment), its complement `B = 1 − A`, and evaluate
+//!
+//! ```text
+//! X·A + Y·B + maxterm(B)            (Eq. 10)
+//! ```
+//!
+//! as a `1 × m` row vector, where `X = [x_1 … x_k]`, `Y = [y_1 … y_k]` and
+//! `maxterm(B)_j = max_i b_ij · z_i` (the paper writes it as
+//! `max(X_B) / C_{C,op}`, i.e. the largest demoted request's client compute
+//! time). The optimum is `argmin_j` (Eq. 11).
+//!
+//! This module exists for one-to-one fidelity with the paper; the practical
+//! solvers live in [`super::threshold`] and [`super::bnb`].
+
+use super::Assignment;
+use crate::cost::Item;
+
+/// Largest batch (2^12 columns = 4096) the literal matrix method builds.
+pub const MAX_K: usize = 12;
+
+/// Dense column-major 0/1 matrix.
+struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>, // column-major
+}
+
+impl BitMatrix {
+    fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[col * self.rows + row]
+    }
+}
+
+/// All `2^k` assignments as columns (Eq. 9); column `j`'s bits are `j`'s
+/// binary digits, so any two columns differ as the paper requires.
+fn permutation_matrix(k: usize) -> BitMatrix {
+    let m = 1usize << k;
+    let mut data = vec![0.0; k * m];
+    for j in 0..m {
+        for i in 0..k {
+            data[j * k + i] = ((j >> i) & 1) as f64;
+        }
+    }
+    BitMatrix {
+        rows: k,
+        cols: m,
+        data,
+    }
+}
+
+/// Complement matrix `B` with `b_ij = 1 − a_ij`.
+fn complement(a: &BitMatrix) -> BitMatrix {
+    BitMatrix {
+        rows: a.rows,
+        cols: a.cols,
+        data: a.data.iter().map(|v| 1.0 - v).collect(),
+    }
+}
+
+/// Row-vector × matrix product: `(1×k) · (k×m) = (1×m)`.
+fn vec_mat(v: &[f64], m: &BitMatrix) -> Vec<f64> {
+    assert_eq!(v.len(), m.rows);
+    (0..m.cols)
+        .map(|j| (0..m.rows).map(|i| v[i] * m.at(i, j)).sum())
+        .collect()
+}
+
+/// `maxterm(B)_j = max_i b_ij·z_i` — the `z` of Eq. 7 per column.
+fn max_term(b: &BitMatrix, z: &[f64]) -> Vec<f64> {
+    (0..b.cols)
+        .map(|j| {
+            (0..b.rows)
+                .map(|i| b.at(i, j) * z[i])
+                .fold(0.0, f64::max)
+        })
+        .collect()
+}
+
+/// Solve by materializing Eqs. 9–11.
+pub fn solve(items: &[Item]) -> Assignment {
+    let k = items.len();
+    assert!(
+        k <= MAX_K,
+        "matrix solver materializes 2^k columns; k <= {MAX_K} required, got {k}"
+    );
+    if k == 0 {
+        return Assignment {
+            active: Vec::new(),
+            time: 0.0,
+        };
+    }
+    let x: Vec<f64> = items.iter().map(|i| i.x).collect();
+    let y: Vec<f64> = items.iter().map(|i| i.y).collect();
+    let z: Vec<f64> = items.iter().map(|i| i.z).collect();
+
+    let a = permutation_matrix(k);
+    let b = complement(&a);
+
+    let xa = vec_mat(&x, &a);
+    let yb = vec_mat(&y, &b);
+    let zt = max_term(&b, &z);
+
+    let values: Vec<f64> = xa
+        .iter()
+        .zip(&yb)
+        .zip(&zt)
+        .map(|((xa, yb), zt)| xa + yb + zt)
+        .collect();
+
+    let (best_j, best_time) = values
+        .iter()
+        .enumerate()
+        .fold((0usize, f64::INFINITY), |(bj, bt), (j, &t)| {
+            if t < bt {
+                (j, t)
+            } else {
+                (bj, bt)
+            }
+        });
+
+    let active = (0..k).map(|i| (best_j >> i) & 1 == 1).collect();
+    Assignment {
+        active,
+        time: best_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{assignment_time, item};
+    use super::*;
+
+    #[test]
+    fn permutation_matrix_columns_are_distinct() {
+        let a = permutation_matrix(3);
+        assert_eq!(a.cols, 8);
+        let mut cols: Vec<Vec<u8>> = (0..a.cols)
+            .map(|j| (0..a.rows).map(|i| a.at(i, j) as u8).collect())
+            .collect();
+        cols.sort();
+        cols.dedup();
+        assert_eq!(cols.len(), 8, "A_j != A_p for j != p (paper requirement)");
+    }
+
+    #[test]
+    fn complement_flips_bits() {
+        let a = permutation_matrix(2);
+        let b = complement(&a);
+        for j in 0..a.cols {
+            for i in 0..a.rows {
+                assert_eq!(a.at(i, j) + b.at(i, j), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn vec_mat_is_matrix_product() {
+        let a = permutation_matrix(2); // columns: 00,10,01,11 (bit i of j)
+        let v = vec![3.0, 5.0];
+        let out = vec_mat(&v, &a);
+        assert_eq!(out, vec![0.0, 3.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn agrees_with_direct_evaluation() {
+        let items = vec![item(1.0, 2.0, 0.5), item(4.0, 1.0, 0.25), item(2.0, 2.0, 3.0)];
+        let a = solve(&items);
+        assert!((assignment_time(&items, &a.active) - a.time).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix solver materializes")]
+    fn oversized_rejected() {
+        let items = vec![item(1.0, 1.0, 1.0); MAX_K + 1];
+        solve(&items);
+    }
+}

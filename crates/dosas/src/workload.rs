@@ -1,0 +1,274 @@
+//! Workload generators for the paper's experiments.
+//!
+//! The evaluation's workload shape (§IV-A): each storage node serves
+//! `n ∈ {1, 2, 4, 8, 16, 32, 64}` concurrent I/O requests, each requesting
+//! `d ∈ {128 MB, 256 MB, 512 MB, 1 GB}`; every process issues one request at
+//! a time. [`Workload::uniform_active`] builds exactly that. Richer shapes —
+//! the multi-application mix of Figure 1 and staggered second waves that
+//! exercise kernel interruption — are provided for the extension studies.
+
+use kernels::KernelParams;
+use mpiio::program::{Op, RankProgram};
+use mpiio::Datatype;
+use serde::{Deserialize, Serialize};
+use simkit::SimSpan;
+
+/// How a file is placed on the storage nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutSpec {
+    /// Contiguous on the storage node with this ordinal.
+    OneServer(usize),
+    /// Striped round-robin over all storage nodes.
+    StripedAll { stripe_size: u64 },
+}
+
+/// A file the workload reads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileSpec {
+    pub path: String,
+    pub bytes: u64,
+    pub layout: LayoutSpec,
+    /// Real content for data-plane runs; `None` lets the driver synthesize
+    /// a deterministic f64 stream. Only used when the driver's
+    /// `data_plane` flag is on (correctness tests, small sizes).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub content: Option<Vec<u8>>,
+}
+
+/// Files plus one program per rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    pub files: Vec<FileSpec>,
+    pub programs: Vec<RankProgram>,
+}
+
+impl Workload {
+    /// The paper's benchmark: `per_server × storage_nodes` processes, each
+    /// issuing one active read of `bytes` bytes with operation `op`.
+    /// Process `i` targets storage node `i % storage_nodes`.
+    pub fn uniform_active(
+        per_server: usize,
+        storage_nodes: usize,
+        bytes: u64,
+        op: &str,
+        params: KernelParams,
+    ) -> Self {
+        assert!(per_server > 0 && storage_nodes > 0 && bytes > 0);
+        let files: Vec<FileSpec> = (0..storage_nodes)
+            .map(|s| FileSpec {
+                path: format!("/data/server{s}.dat"),
+                bytes,
+                layout: LayoutSpec::OneServer(s),
+                content: None,
+            })
+            .collect();
+        let programs = (0..per_server * storage_nodes)
+            .map(|i| {
+                RankProgram::single_read_ex(
+                    &files[i % storage_nodes].path,
+                    bytes,
+                    op,
+                    params.clone(),
+                )
+            })
+            .collect();
+        Workload { files, programs }
+    }
+
+    /// Like [`Workload::uniform_active`] but the second half of the
+    /// processes starts after `delay` — a second wave that arrives while the
+    /// first wave's kernels are running, exercising DOSAS interruption.
+    pub fn two_waves(
+        per_server: usize,
+        storage_nodes: usize,
+        bytes: u64,
+        op: &str,
+        params: KernelParams,
+        delay: SimSpan,
+    ) -> Self {
+        let mut w = Self::uniform_active(per_server, storage_nodes, bytes, op, params);
+        let half = w.programs.len() / 2;
+        for program in w.programs.iter_mut().skip(half) {
+            program.ops.insert(0, Op::Compute { span: delay });
+        }
+        w
+    }
+
+    /// The Figure-1 scenario: `apps` applications share the storage nodes,
+    /// each app with its own (op, size, active-or-normal) mix. App `a`
+    /// contributes `ranks_per_app` processes; normal-I/O apps read the same
+    /// files without an operation (their "analysis" happens client-side).
+    #[allow(clippy::type_complexity)]
+    pub fn multi_app(
+        apps: &[(String, KernelParams, u64, bool, usize)], // (op, params, bytes, active, ranks)
+        storage_nodes: usize,
+    ) -> Self {
+        assert!(storage_nodes > 0 && !apps.is_empty());
+        let mut files = Vec::new();
+        let mut programs = Vec::new();
+        for (a, (op, params, bytes, active, ranks)) in apps.iter().enumerate() {
+            for r in 0..*ranks {
+                let server = (a + r) % storage_nodes;
+                let path = format!("/data/app{a}-server{server}.dat");
+                if !files.iter().any(|f: &FileSpec| f.path == path) {
+                    files.push(FileSpec {
+                        path: path.clone(),
+                        bytes: *bytes,
+                        layout: LayoutSpec::OneServer(server),
+                        content: None,
+                    });
+                }
+                let program = if *active {
+                    RankProgram::single_read_ex(&path, *bytes, op, params.clone())
+                } else {
+                    RankProgram::single_read_with_client_op(&path, *bytes, op, params.clone())
+                };
+                programs.push(program);
+            }
+        }
+        Workload { files, programs }
+    }
+
+    /// A striped variant of the uniform workload (ablation A2): one shared
+    /// file striped over all storage nodes; every process reads the whole
+    /// range, so each request fans out to every server.
+    pub fn striped_active(
+        processes: usize,
+        stripe_size: u64,
+        bytes: u64,
+        op: &str,
+        params: KernelParams,
+    ) -> Self {
+        let file = FileSpec {
+            path: "/data/striped.dat".into(),
+            bytes,
+            layout: LayoutSpec::StripedAll { stripe_size },
+            content: None,
+        };
+        let programs = (0..processes)
+            .map(|_| RankProgram::single_read_ex(&file.path, bytes, op, params.clone()))
+            .collect();
+        Workload {
+            files: vec![file],
+            programs,
+        }
+    }
+
+    /// Total bytes all ranks will request.
+    pub fn total_request_bytes(&self) -> u64 {
+        self.programs.iter().map(|p| p.total_request_bytes()).sum()
+    }
+
+    pub fn rank_count(&self) -> usize {
+        self.programs.len()
+    }
+}
+
+/// A plain normal-read workload (no kernels anywhere) for file system tests.
+pub fn plain_reads(processes: usize, storage_nodes: usize, bytes: u64) -> Workload {
+    let files: Vec<FileSpec> = (0..storage_nodes)
+        .map(|s| FileSpec {
+            path: format!("/data/server{s}.dat"),
+            bytes,
+            layout: LayoutSpec::OneServer(s),
+            content: None,
+        })
+        .collect();
+    let programs = (0..processes)
+        .map(|i| {
+            RankProgram::new().push(Op::Read {
+                path: files[i % storage_nodes].path.clone(),
+                offset: 0,
+                count: bytes,
+                datatype: Datatype::Byte,
+                client_op: None,
+            })
+        })
+        .collect();
+    Workload { files, programs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape() {
+        let w = Workload::uniform_active(4, 2, 1024, "sum", KernelParams::default());
+        assert_eq!(w.rank_count(), 8);
+        assert_eq!(w.files.len(), 2);
+        assert_eq!(w.total_request_bytes(), 8 * 1024);
+        assert!(w.programs.iter().all(|p| p.ops[0].is_active_io()));
+    }
+
+    #[test]
+    fn ranks_round_robin_over_servers() {
+        let w = Workload::uniform_active(2, 3, 10, "sum", KernelParams::default());
+        let target = |i: usize| match &w.programs[i].ops[0] {
+            Op::ReadEx { path, .. } => path.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(target(0), "/data/server0.dat");
+        assert_eq!(target(1), "/data/server1.dat");
+        assert_eq!(target(2), "/data/server2.dat");
+        assert_eq!(target(3), "/data/server0.dat");
+    }
+
+    #[test]
+    fn two_waves_delays_second_half() {
+        let w = Workload::two_waves(
+            4,
+            1,
+            10,
+            "sum",
+            KernelParams::default(),
+            SimSpan::from_secs(1),
+        );
+        assert!(matches!(w.programs[0].ops[0], Op::ReadEx { .. }));
+        assert!(matches!(w.programs[2].ops[0], Op::Compute { .. }));
+        assert!(matches!(w.programs[3].ops[0], Op::Compute { .. }));
+    }
+
+    #[test]
+    fn multi_app_mixes_kinds() {
+        let apps = vec![
+            ("sum".to_string(), KernelParams::default(), 100, true, 2),
+            ("stats".to_string(), KernelParams::default(), 200, false, 3),
+        ];
+        let w = Workload::multi_app(&apps, 2);
+        assert_eq!(w.rank_count(), 5);
+        let actives = w
+            .programs
+            .iter()
+            .filter(|p| p.ops[0].is_active_io())
+            .count();
+        assert_eq!(actives, 2);
+        assert_eq!(w.total_request_bytes(), 2 * 100 + 3 * 200);
+    }
+
+    #[test]
+    fn striped_uses_one_shared_file() {
+        let w = Workload::striped_active(4, 64 << 10, 1 << 20, "sum", KernelParams::default());
+        assert_eq!(w.files.len(), 1);
+        assert!(matches!(
+            w.files[0].layout,
+            LayoutSpec::StripedAll { stripe_size } if stripe_size == 64 << 10
+        ));
+    }
+
+    #[test]
+    fn plain_reads_have_no_ops() {
+        let w = plain_reads(3, 1, 100);
+        assert!(w
+            .programs
+            .iter()
+            .all(|p| matches!(&p.ops[0], Op::Read { client_op: None, .. })));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let w = Workload::uniform_active(1, 1, 8, "sum", KernelParams::default());
+        let json = serde_json::to_string(&w).unwrap();
+        assert_eq!(serde_json::from_str::<Workload>(&json).unwrap(), w);
+    }
+}

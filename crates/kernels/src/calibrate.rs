@@ -1,0 +1,140 @@
+//! Kernel rate calibration — regenerates the paper's Table III.
+//!
+//! The paper measured per-core processing rates on its testbed: 860 MB/s for
+//! SUM and 80 MB/s for the 2-D Gaussian filter. These rates parameterize the
+//! simulator's cost model, so this module measures the same quantity on the
+//! host: wall-clock bytes/second of one kernel instance on one core, over a
+//! buffer large enough to defeat cache effects.
+//!
+//! The experiment harness reports both the paper's rates (used for figure
+//! reproduction) and the host's rates (for honesty about the substitution).
+
+use crate::kernel::Kernel;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Result of one calibration run.
+#[derive(Debug, Clone, Serialize)]
+pub struct CalibrationReport {
+    pub op: String,
+    /// Total bytes pushed through the kernel.
+    pub bytes: u64,
+    pub seconds: f64,
+    /// Measured rate in MB/s (MiB/second, matching the paper's units).
+    pub rate_mb_per_s: f64,
+    /// Passes over the buffer.
+    pub passes: u32,
+}
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Measure a kernel's single-core streaming rate.
+///
+/// Feeds `data` in `chunk` -byte pieces, repeating whole passes until at
+/// least `min_seconds` of wall time elapsed (minimum one pass).
+pub fn measure_rate(
+    kernel: &mut dyn Kernel,
+    data: &[u8],
+    chunk: usize,
+    min_seconds: f64,
+) -> CalibrationReport {
+    assert!(!data.is_empty() && chunk > 0);
+    let start = Instant::now();
+    let mut bytes = 0u64;
+    let mut passes = 0u32;
+    loop {
+        for piece in data.chunks(chunk) {
+            kernel.process_chunk(piece);
+        }
+        bytes += data.len() as u64;
+        passes += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_seconds {
+            // Prevent the optimizer from discarding the work.
+            std::hint::black_box(kernel.finalize());
+            return CalibrationReport {
+                op: kernel.op_name().to_string(),
+                bytes,
+                seconds: elapsed,
+                rate_mb_per_s: bytes as f64 / elapsed / MIB,
+                passes,
+            };
+        }
+    }
+}
+
+/// A synthetic f64 stream of `bytes` bytes (deterministic contents).
+pub fn synthetic_f64_stream(bytes: usize) -> Vec<u8> {
+    let items = bytes / 8;
+    let mut out = Vec::with_capacity(items * 8);
+    let mut x: u64 = 0x243F_6A88_85A3_08D3;
+    for _ in 0..items {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Map to a tame float range to avoid NaN/inf artifacts.
+        let v = (x >> 11) as f64 / (1u64 << 53) as f64;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// A synthetic f32 row-major image of `width × height` pixels.
+pub fn synthetic_image(width: usize, height: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(width * height * 4);
+    for y in 0..height {
+        for x in 0..width {
+            let v = ((x * 31 + y * 17) % 256) as f32;
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::{GaussianFilter2D, GaussianOutput};
+    use crate::sum::SumKernel;
+
+    #[test]
+    fn measures_positive_rate() {
+        let data = synthetic_f64_stream(1 << 20);
+        let mut k = SumKernel::new();
+        let r = measure_rate(&mut k, &data, 64 * 1024, 0.05);
+        assert!(r.rate_mb_per_s > 0.0);
+        assert!(r.seconds >= 0.05);
+        assert!(r.passes >= 1);
+        assert_eq!(r.op, "sum");
+        assert_eq!(r.bytes, r.passes as u64 * (1 << 20));
+    }
+
+    #[test]
+    fn sum_is_faster_than_gaussian() {
+        // The whole premise of Table III: computation complexity orders the
+        // per-core rates. SUM (1 add / 8 bytes) must beat the Gaussian
+        // (19 ops / 4 bytes) by a wide margin on any hardware.
+        let stream = synthetic_f64_stream(1 << 21);
+        let image = synthetic_image(1024, 512);
+
+        let mut sum = SumKernel::new();
+        let sum_rate = measure_rate(&mut sum, &stream, 64 * 1024, 0.1).rate_mb_per_s;
+
+        let mut gauss = GaussianFilter2D::new(1024, GaussianOutput::Digest).unwrap();
+        let gauss_rate = measure_rate(&mut gauss, &image, 64 * 1024, 0.1).rate_mb_per_s;
+
+        assert!(
+            sum_rate > gauss_rate,
+            "sum {sum_rate:.0} MB/s should exceed gaussian {gauss_rate:.0} MB/s"
+        );
+    }
+
+    #[test]
+    fn synthetic_streams_have_requested_sizes() {
+        assert_eq!(synthetic_f64_stream(800).len(), 800);
+        assert_eq!(synthetic_image(10, 4).len(), 160);
+    }
+
+    #[test]
+    fn synthetic_stream_is_deterministic() {
+        assert_eq!(synthetic_f64_stream(64), synthetic_f64_stream(64));
+    }
+}

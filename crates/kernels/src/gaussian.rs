@@ -1,0 +1,457 @@
+//! 2-D Gaussian filter — the paper's high-complexity benchmark (Table III).
+//!
+//! A 3×3 convolution with the classic kernel
+//!
+//! ```text
+//!        | 1 2 1 |
+//! 1/16 · | 2 4 2 |
+//!        | 1 2 1 |
+//! ```
+//!
+//! costing 9 multiplications, 9 additions and 1 division per pixel; the paper
+//! measured 80 MB/s per core. Pixels are little-endian f32 streamed in
+//! row-major order; the kernel buffers two rows and emits each interior row
+//! as soon as its lower neighbour is complete, so it can be interrupted and
+//! migrated at any byte offset.
+//!
+//! Two output modes:
+//!
+//! * [`GaussianOutput::Digest`] — accumulate sum/min/max/count of the output
+//!   pixels and return 32 bytes. This is the active-storage configuration:
+//!   the paper's premise is that active I/O returns a *small* result.
+//! * [`GaussianOutput::Full`] — keep the filtered image (used by the imaging
+//!   example, not by the scheduling experiments).
+
+use crate::itemstream::ItemBuf;
+use crate::kernel::{Complexity, Kernel, KernelError, KernelState, VarValue};
+
+pub const OP_NAME: &str = "gaussian2d";
+
+/// What the filter returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaussianOutput {
+    /// 32-byte summary of the filtered image.
+    Digest,
+    /// The filtered interior pixels themselves.
+    Full,
+}
+
+/// Streaming 3×3 Gaussian filter over row-major f32 pixels.
+#[derive(Debug, Clone)]
+pub struct GaussianFilter2D {
+    width: usize,
+    mode: GaussianOutput,
+    buf: ItemBuf,
+    /// Pixels of the row currently being assembled.
+    pending: Vec<f32>,
+    /// The two most recent complete rows (older first).
+    rows: Vec<Vec<f32>>,
+    rows_seen: u64,
+    // Digest accumulators.
+    out_sum: f64,
+    out_min: f64,
+    out_max: f64,
+    out_count: u64,
+    // Full-mode output.
+    out_pixels: Vec<f32>,
+    bytes: u64,
+}
+
+impl GaussianFilter2D {
+    /// `width` = pixels per row; must be ≥ 3 so interior pixels exist.
+    pub fn new(width: usize, mode: GaussianOutput) -> Result<Self, KernelError> {
+        if width < 3 {
+            return Err(KernelError::BadParams(format!(
+                "gaussian2d needs width >= 3, got {width}"
+            )));
+        }
+        Ok(GaussianFilter2D {
+            width,
+            mode,
+            buf: ItemBuf::new(),
+            pending: Vec::with_capacity(width),
+            rows: Vec::new(),
+            rows_seen: 0,
+            out_sum: 0.0,
+            out_min: f64::INFINITY,
+            out_max: f64::NEG_INFINITY,
+            out_count: 0,
+            out_pixels: Vec::new(),
+            bytes: 0,
+        })
+    }
+
+    pub fn from_state(state: &KernelState) -> Result<Self, KernelError> {
+        if state.op != OP_NAME {
+            return Err(KernelError::WrongOp {
+                expected: OP_NAME.into(),
+                found: state.op.clone(),
+            });
+        }
+        let width = state.get_u64("width")? as usize;
+        let mode = match state.get_str("mode")? {
+            "digest" => GaussianOutput::Digest,
+            "full" => GaussianOutput::Full,
+            other => return Err(KernelError::BadParams(format!("bad mode {other}"))),
+        };
+        let f32s = |name: &str| -> Result<Vec<f32>, KernelError> {
+            Ok(state.get_f64_vec(name)?.iter().map(|&v| v as f32).collect())
+        };
+        let mut rows = Vec::new();
+        for row in [f32s("row0")?, f32s("row1")?] {
+            if !row.is_empty() {
+                rows.push(row);
+            }
+        }
+        Ok(GaussianFilter2D {
+            width,
+            mode,
+            buf: ItemBuf::from_carry(state.get_bytes("carry")?.to_vec()),
+            pending: f32s("pending")?,
+            rows,
+            rows_seen: state.get_u64("rows_seen")?,
+            out_sum: state.get_f64("out_sum")?,
+            out_min: state.get_f64("out_min")?,
+            out_max: state.get_f64("out_max")?,
+            out_count: state.get_u64("out_count")?,
+            out_pixels: f32s("out_pixels")?,
+            bytes: state.get_u64("bytes")?,
+        })
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    fn push_pixel(&mut self, v: f32) {
+        self.pending.push(v);
+        if self.pending.len() == self.width {
+            let row = std::mem::replace(&mut self.pending, Vec::with_capacity(self.width));
+            self.push_row(row);
+        }
+    }
+
+    fn push_row(&mut self, row: Vec<f32>) {
+        self.rows_seen += 1;
+        self.rows.push(row);
+        if self.rows.len() == 3 {
+            let (above, mid, below) = (&self.rows[0], &self.rows[1], &self.rows[2]);
+            let mut emitted = Vec::new();
+            for x in 1..self.width - 1 {
+                let v = convolve3x3(above, mid, below, x);
+                emitted.push(v);
+            }
+            for v in &emitted {
+                let vf = *v as f64;
+                self.out_sum += vf;
+                self.out_min = self.out_min.min(vf);
+                self.out_max = self.out_max.max(vf);
+                self.out_count += 1;
+            }
+            if self.mode == GaussianOutput::Full {
+                self.out_pixels.extend_from_slice(&emitted);
+            }
+            self.rows.remove(0);
+        }
+    }
+
+    /// Decode a Digest-mode result.
+    pub fn decode_digest(bytes: &[u8]) -> Option<(f64, f64, f64, u64)> {
+        if bytes.len() != 32 {
+            return None;
+        }
+        Some((
+            f64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            f64::from_le_bytes(bytes[8..16].try_into().ok()?),
+            f64::from_le_bytes(bytes[16..24].try_into().ok()?),
+            u64::from_le_bytes(bytes[24..32].try_into().ok()?),
+        ))
+    }
+}
+
+/// 3×3 Gaussian at column `x` of the middle row — 9 muls, 9 adds, 1 div
+/// (Table III's per-item cost).
+#[inline]
+fn convolve3x3(above: &[f32], mid: &[f32], below: &[f32], x: usize) -> f32 {
+    let acc = 1.0 * above[x - 1]
+        + 2.0 * above[x]
+        + 1.0 * above[x + 1]
+        + 2.0 * mid[x - 1]
+        + 4.0 * mid[x]
+        + 2.0 * mid[x + 1]
+        + 1.0 * below[x - 1]
+        + 2.0 * below[x]
+        + 1.0 * below[x + 1];
+    acc / 16.0
+}
+
+/// Reference implementation: filter a whole image, returning the
+/// `(h-2) × (w-2)` interior. Used by tests and the imaging example.
+pub fn filter_image(pixels: &[f32], width: usize) -> Vec<f32> {
+    assert!(width >= 3 && pixels.len().is_multiple_of(width));
+    let height = pixels.len() / width;
+    let mut out = Vec::new();
+    for y in 1..height.saturating_sub(1) {
+        let above = &pixels[(y - 1) * width..y * width];
+        let mid = &pixels[y * width..(y + 1) * width];
+        let below = &pixels[(y + 1) * width..(y + 2) * width];
+        for x in 1..width - 1 {
+            out.push(convolve3x3(above, mid, below, x));
+        }
+    }
+    out
+}
+
+impl Kernel for GaussianFilter2D {
+    fn op_name(&self) -> &str {
+        OP_NAME
+    }
+
+    fn process_chunk(&mut self, chunk: &[u8]) {
+        self.bytes += chunk.len() as u64;
+        // Split borrows: drain pixels into a scratch list, then push.
+        let mut pixels = Vec::with_capacity(chunk.len() / 4 + 1);
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.feed_f32(chunk, |v| pixels.push(v));
+        self.buf = buf;
+        for v in pixels {
+            self.push_pixel(v);
+        }
+    }
+
+    fn finalize(&self) -> Vec<u8> {
+        match self.mode {
+            GaussianOutput::Digest => {
+                let mut out = Vec::with_capacity(32);
+                out.extend_from_slice(&self.out_sum.to_le_bytes());
+                let (min, max) = if self.out_count == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (self.out_min, self.out_max)
+                };
+                out.extend_from_slice(&min.to_le_bytes());
+                out.extend_from_slice(&max.to_le_bytes());
+                out.extend_from_slice(&self.out_count.to_le_bytes());
+                out
+            }
+            GaussianOutput::Full => self
+                .out_pixels
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect(),
+        }
+    }
+
+    fn checkpoint(&self) -> KernelState {
+        let f64s = |v: &[f32]| VarValue::F64Vec(v.iter().map(|&x| x as f64).collect());
+        let mut s = KernelState::new(OP_NAME);
+        s.push("width", VarValue::U64(self.width as u64));
+        s.push(
+            "mode",
+            VarValue::Str(
+                match self.mode {
+                    GaussianOutput::Digest => "digest",
+                    GaussianOutput::Full => "full",
+                }
+                .into(),
+            ),
+        );
+        s.push("carry", VarValue::Bytes(self.buf.carry().to_vec()));
+        s.push("pending", f64s(&self.pending));
+        s.push(
+            "row0",
+            f64s(self.rows.first().map(|r| r.as_slice()).unwrap_or(&[])),
+        );
+        s.push(
+            "row1",
+            f64s(self.rows.get(1).map(|r| r.as_slice()).unwrap_or(&[])),
+        );
+        s.push("rows_seen", VarValue::U64(self.rows_seen));
+        s.push("out_sum", VarValue::F64(self.out_sum));
+        s.push("out_min", VarValue::F64(self.out_min));
+        s.push("out_max", VarValue::F64(self.out_max));
+        s.push("out_count", VarValue::U64(self.out_count));
+        s.push("out_pixels", f64s(&self.out_pixels));
+        s.push("bytes", VarValue::U64(self.bytes));
+        s
+    }
+
+    fn result_size(&self, input_bytes: u64) -> u64 {
+        match self.mode {
+            GaussianOutput::Digest => 32,
+            // Interior shrinks by two rows and two columns; approximate
+            // with the input size (an upper bound the scheduler can trust).
+            GaussianOutput::Full => input_bytes,
+        }
+    }
+
+    fn complexity(&self) -> Complexity {
+        Complexity {
+            muls_per_item: 9,
+            adds_per_item: 9,
+            divs_per_item: 1,
+            item_bytes: 4,
+        }
+    }
+
+    fn bytes_processed(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(vals: &[f32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// 4×4 gradient image.
+    fn image4x4() -> Vec<f32> {
+        (0..16).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn matches_reference_filter() {
+        let img = image4x4();
+        let mut k = GaussianFilter2D::new(4, GaussianOutput::Full).unwrap();
+        k.process_chunk(&encode(&img));
+        let out = k.finalize();
+        let expect = filter_image(&img, 4);
+        let got: Vec<f32> = out
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), 4); // (4-2) × (4-2)
+    }
+
+    #[test]
+    fn uniform_image_is_fixed_point() {
+        // A constant image convolves to the same constant (kernel sums to 1).
+        let img = vec![5.0f32; 5 * 5];
+        let out = filter_image(&img, 5);
+        assert_eq!(out.len(), 9);
+        for v in out {
+            assert!((v - 5.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn digest_summarizes_output() {
+        let img = image4x4();
+        let mut k = GaussianFilter2D::new(4, GaussianOutput::Digest).unwrap();
+        k.process_chunk(&encode(&img));
+        let (sum, min, max, count) = GaussianFilter2D::decode_digest(&k.finalize()).unwrap();
+        let expect = filter_image(&img, 4);
+        let esum: f64 = expect.iter().map(|&v| v as f64).sum();
+        assert_eq!(count, 4);
+        assert!((sum - esum).abs() < 1e-6);
+        assert!(min <= max);
+    }
+
+    #[test]
+    fn chunking_invariance() {
+        let img: Vec<f32> = (0..8 * 6).map(|i| (i as f32).sin()).collect();
+        let data = encode(&img);
+        let mut whole = GaussianFilter2D::new(8, GaussianOutput::Digest).unwrap();
+        whole.process_chunk(&data);
+        let mut split = GaussianFilter2D::new(8, GaussianOutput::Digest).unwrap();
+        for c in data.chunks(13) {
+            split.process_chunk(c);
+        }
+        assert_eq!(whole.finalize(), split.finalize());
+    }
+
+    #[test]
+    fn checkpoint_restore_mid_image() {
+        let img: Vec<f32> = (0..8 * 8).map(|i| (i % 7) as f32).collect();
+        let data = encode(&img);
+        let mut whole = GaussianFilter2D::new(8, GaussianOutput::Full).unwrap();
+        whole.process_chunk(&data);
+
+        let mut a = GaussianFilter2D::new(8, GaussianOutput::Full).unwrap();
+        a.process_chunk(&data[..101]); // mid-pixel, mid-row
+        let state = a.checkpoint();
+        let mut b = GaussianFilter2D::from_state(&state).unwrap();
+        b.process_chunk(&data[101..]);
+        assert_eq!(whole.finalize(), b.finalize());
+        assert_eq!(b.bytes_processed(), data.len() as u64);
+    }
+
+    #[test]
+    fn width_below_three_rejected() {
+        assert!(matches!(
+            GaussianFilter2D::new(2, GaussianOutput::Digest),
+            Err(KernelError::BadParams(_))
+        ));
+    }
+
+    #[test]
+    fn complexity_matches_table_iii() {
+        let k = GaussianFilter2D::new(4, GaussianOutput::Digest).unwrap();
+        let c = k.complexity();
+        assert_eq!(
+            (c.muls_per_item, c.adds_per_item, c.divs_per_item),
+            (9, 9, 1)
+        );
+        assert_eq!(c.item_bytes, 4);
+    }
+
+    #[test]
+    fn digest_result_is_constant_size() {
+        let k = GaussianFilter2D::new(4, GaussianOutput::Digest).unwrap();
+        assert_eq!(k.result_size(1 << 30), 32);
+        let k = GaussianFilter2D::new(4, GaussianOutput::Full).unwrap();
+        assert_eq!(k.result_size(1 << 20), 1 << 20);
+    }
+
+    #[test]
+    fn empty_digest_decodes_to_zeroes() {
+        let k = GaussianFilter2D::new(4, GaussianOutput::Digest).unwrap();
+        let (sum, min, max, count) = GaussianFilter2D::decode_digest(&k.finalize()).unwrap();
+        assert_eq!((sum, min, max, count), (0.0, 0.0, 0.0, 0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn encode(vals: &[f32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    proptest! {
+        /// Streaming Full output equals the reference image filter for any
+        /// image shape and any checkpoint position.
+        #[test]
+        fn streaming_equals_reference(
+            w in 3usize..12,
+            h in 1usize..12,
+            seed in 0u64..1000,
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let n = w * h;
+            let img: Vec<f32> = (0..n)
+                .map(|i| ((i as u64).wrapping_mul(seed + 1) % 255) as f32)
+                .collect();
+            let data = encode(&img);
+            let cut = ((data.len() as f64) * cut_frac) as usize;
+
+            let mut k = GaussianFilter2D::new(w, GaussianOutput::Full).unwrap();
+            k.process_chunk(&data[..cut]);
+            let mut k = GaussianFilter2D::from_state(&k.checkpoint()).unwrap();
+            k.process_chunk(&data[cut..]);
+
+            let got: Vec<f32> = k
+                .finalize()
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            prop_assert_eq!(got, filter_image(&img, w));
+        }
+    }
+}

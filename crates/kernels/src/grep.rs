@@ -1,0 +1,221 @@
+//! Pattern-count kernel ("grep") — unstructured-data search, the classic
+//! active-disk workload (Riedel et al., Acharya et al.).
+//!
+//! Counts (possibly overlapping) occurrences of a byte pattern in the
+//! stream. Across chunk boundaries the kernel keeps the last
+//! `pattern.len() - 1` bytes so no match is missed; that window is part of
+//! the checkpoint.
+
+use crate::kernel::{Complexity, Kernel, KernelError, KernelState, VarValue};
+
+pub const OP_NAME: &str = "grep";
+
+/// Streaming overlapping-occurrence counter.
+#[derive(Debug, Clone)]
+pub struct GrepKernel {
+    pattern: Vec<u8>,
+    /// Last `pattern.len()-1` bytes of the stream so far.
+    window: Vec<u8>,
+    count: u64,
+    bytes: u64,
+}
+
+impl GrepKernel {
+    pub fn new(pattern: &[u8]) -> Result<Self, KernelError> {
+        if pattern.is_empty() {
+            return Err(KernelError::BadParams("grep pattern must be non-empty".into()));
+        }
+        Ok(GrepKernel {
+            pattern: pattern.to_vec(),
+            window: Vec::new(),
+            count: 0,
+            bytes: 0,
+        })
+    }
+
+    pub fn from_state(state: &KernelState) -> Result<Self, KernelError> {
+        if state.op != OP_NAME {
+            return Err(KernelError::WrongOp {
+                expected: OP_NAME.into(),
+                found: state.op.clone(),
+            });
+        }
+        let pattern = state.get_bytes("pattern")?.to_vec();
+        if pattern.is_empty() {
+            return Err(KernelError::BadParams("checkpoint has empty pattern".into()));
+        }
+        Ok(GrepKernel {
+            pattern,
+            window: state.get_bytes("window")?.to_vec(),
+            count: state.get_u64("count")?,
+            bytes: state.get_u64("bytes")?,
+        })
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn decode_result(bytes: &[u8]) -> Option<u64> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl Kernel for GrepKernel {
+    fn op_name(&self) -> &str {
+        OP_NAME
+    }
+
+    fn process_chunk(&mut self, chunk: &[u8]) {
+        self.bytes += chunk.len() as u64;
+        let m = self.pattern.len();
+        // Scan window || chunk, but only count matches that *end* inside the
+        // new chunk (matches fully inside the window were already counted).
+        let mut hay = Vec::with_capacity(self.window.len() + chunk.len());
+        hay.extend_from_slice(&self.window);
+        hay.extend_from_slice(chunk);
+        let first_new_end = self.window.len(); // matches ending before this index are old
+        if hay.len() >= m {
+            for start in 0..=hay.len() - m {
+                let end = start + m; // exclusive
+                if end > first_new_end && hay[start..end] == self.pattern[..] {
+                    self.count += 1;
+                }
+            }
+        }
+        // Keep the last m-1 bytes as the next window.
+        let keep = (m - 1).min(hay.len());
+        self.window = hay[hay.len() - keep..].to_vec();
+    }
+
+    fn finalize(&self) -> Vec<u8> {
+        self.count.to_le_bytes().to_vec()
+    }
+
+    fn checkpoint(&self) -> KernelState {
+        let mut s = KernelState::new(OP_NAME);
+        s.push("pattern", VarValue::Bytes(self.pattern.clone()));
+        s.push("window", VarValue::Bytes(self.window.clone()));
+        s.push("count", VarValue::U64(self.count));
+        s.push("bytes", VarValue::U64(self.bytes));
+        s
+    }
+
+    fn result_size(&self, _input_bytes: u64) -> u64 {
+        8
+    }
+
+    fn complexity(&self) -> Complexity {
+        Complexity {
+            muls_per_item: 0,
+            adds_per_item: 1,
+            divs_per_item: 0,
+            item_bytes: 1,
+        }
+    }
+
+    fn bytes_processed(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Count overlapping occurrences of `pattern` in `hay` (reference).
+pub fn count_occurrences(hay: &[u8], pattern: &[u8]) -> u64 {
+    assert!(!pattern.is_empty());
+    if hay.len() < pattern.len() {
+        return 0;
+    }
+    (0..=hay.len() - pattern.len())
+        .filter(|&i| &hay[i..i + pattern.len()] == pattern)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_simple_matches() {
+        let mut k = GrepKernel::new(b"ab").unwrap();
+        k.process_chunk(b"abcabcab");
+        assert_eq!(k.count(), 3);
+        assert_eq!(GrepKernel::decode_result(&k.finalize()), Some(3));
+    }
+
+    #[test]
+    fn counts_overlapping_matches() {
+        let mut k = GrepKernel::new(b"aa").unwrap();
+        k.process_chunk(b"aaaa");
+        assert_eq!(k.count(), 3);
+        assert_eq!(count_occurrences(b"aaaa", b"aa"), 3);
+    }
+
+    #[test]
+    fn matches_across_chunk_boundary() {
+        let mut k = GrepKernel::new(b"hello").unwrap();
+        k.process_chunk(b"xxhel");
+        k.process_chunk(b"loyy");
+        assert_eq!(k.count(), 1);
+    }
+
+    #[test]
+    fn no_double_count_at_boundary() {
+        // A match entirely within the first chunk must not be re-counted
+        // when its bytes reappear in the carry window.
+        let mut k = GrepKernel::new(b"ab").unwrap();
+        k.process_chunk(b"zab"); // one match
+        k.process_chunk(b"zz"); // window was "b": no new match
+        assert_eq!(k.count(), 1);
+    }
+
+    #[test]
+    fn single_byte_pattern() {
+        let mut k = GrepKernel::new(b"x").unwrap();
+        k.process_chunk(b"axbxc");
+        k.process_chunk(b"x");
+        assert_eq!(k.count(), 3);
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        assert!(GrepKernel::new(b"").is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_equivalence() {
+        let data = b"the quick brown fox the lazy dog the end";
+        let mut whole = GrepKernel::new(b"the").unwrap();
+        whole.process_chunk(data);
+
+        let mut a = GrepKernel::new(b"the").unwrap();
+        a.process_chunk(&data[..22]);
+        let mut b = GrepKernel::from_state(&a.checkpoint()).unwrap();
+        b.process_chunk(&data[22..]);
+        assert_eq!(whole.count(), b.count());
+        assert_eq!(whole.count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Streaming count equals the reference count under any chunking,
+        /// including a checkpoint/restore at an arbitrary position.
+        #[test]
+        fn matches_reference(
+            hay in proptest::collection::vec(0u8..4, 0..300),
+            pat in proptest::collection::vec(0u8..4, 1..5),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let cut = ((hay.len() as f64) * cut_frac) as usize;
+            let mut k = GrepKernel::new(&pat).unwrap();
+            k.process_chunk(&hay[..cut]);
+            let mut k = GrepKernel::from_state(&k.checkpoint()).unwrap();
+            k.process_chunk(&hay[cut..]);
+            prop_assert_eq!(k.count(), count_occurrences(&hay, &pat));
+        }
+    }
+}

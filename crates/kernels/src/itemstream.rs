@@ -1,0 +1,167 @@
+//! Fixed-size-item framing over arbitrary byte chunks.
+//!
+//! Streaming kernels receive bytes in whatever chunking the transport
+//! produced; `ItemBuf` re-frames them into fixed-size items, carrying the
+//! trailing partial item between chunks (and across checkpoints).
+
+/// Carries the partial trailing item between `process_chunk` calls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ItemBuf {
+    carry: Vec<u8>,
+}
+
+impl ItemBuf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn from_carry(carry: Vec<u8>) -> Self {
+        ItemBuf { carry }
+    }
+
+    pub fn carry(&self) -> &[u8] {
+        &self.carry
+    }
+
+    /// Feed `chunk`, invoking `f` once per complete `item_size`-byte item.
+    pub fn feed<F: FnMut(&[u8])>(&mut self, item_size: usize, chunk: &[u8], mut f: F) {
+        debug_assert!(item_size > 0);
+        let mut rest = chunk;
+        // Complete a pending partial item first.
+        if !self.carry.is_empty() {
+            let need = item_size - self.carry.len();
+            let take = need.min(rest.len());
+            self.carry.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.carry.len() == item_size {
+                let item = std::mem::take(&mut self.carry);
+                f(&item);
+            } else {
+                return; // chunk exhausted inside the partial item
+            }
+        }
+        let whole = rest.len() / item_size * item_size;
+        for item in rest[..whole].chunks_exact(item_size) {
+            f(item);
+        }
+        self.carry.extend_from_slice(&rest[whole..]);
+    }
+
+    /// Feed, decoding each item as a little-endian f64.
+    pub fn feed_f64<F: FnMut(f64)>(&mut self, chunk: &[u8], mut f: F) {
+        self.feed(8, chunk, |item| {
+            f(f64::from_le_bytes(item.try_into().expect("8-byte item")))
+        });
+    }
+
+    /// Feed, decoding each item as a little-endian f32.
+    pub fn feed_f32<F: FnMut(f32)>(&mut self, chunk: &[u8], mut f: F) {
+        self.feed(4, chunk, |item| {
+            f(f32::from_le_bytes(item.try_into().expect("4-byte item")))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode_f64(vals: &[f64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn whole_chunks_decode_every_item() {
+        let mut b = ItemBuf::new();
+        let data = encode_f64(&[1.0, 2.0, 3.0]);
+        let mut got = Vec::new();
+        b.feed_f64(&data, |v| got.push(v));
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+        assert!(b.carry().is_empty());
+    }
+
+    #[test]
+    fn split_mid_item_carries() {
+        let data = encode_f64(&[1.0, 2.0]);
+        let mut b = ItemBuf::new();
+        let mut got = Vec::new();
+        b.feed_f64(&data[..11], |v| got.push(v));
+        assert_eq!(got, vec![1.0]);
+        assert_eq!(b.carry().len(), 3);
+        b.feed_f64(&data[11..], |v| got.push(v));
+        assert_eq!(got, vec![1.0, 2.0]);
+        assert!(b.carry().is_empty());
+    }
+
+    #[test]
+    fn byte_at_a_time_still_decodes() {
+        let data = encode_f64(&[42.5, -1.25]);
+        let mut b = ItemBuf::new();
+        let mut got = Vec::new();
+        for byte in &data {
+            b.feed_f64(std::slice::from_ref(byte), |v| got.push(v));
+        }
+        assert_eq!(got, vec![42.5, -1.25]);
+    }
+
+    #[test]
+    fn f32_framing() {
+        let data: Vec<u8> = [1.5f32, 2.5].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut b = ItemBuf::new();
+        let mut got = Vec::new();
+        b.feed_f32(&data, |v| got.push(v));
+        assert_eq!(got, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn carry_roundtrips_through_checkpoint() {
+        let data = encode_f64(&[7.0]);
+        let mut b = ItemBuf::new();
+        let mut got = Vec::new();
+        b.feed_f64(&data[..5], |v| got.push(v));
+        // "Checkpoint": extract carry, rebuild, continue.
+        let carry = b.carry().to_vec();
+        let mut b2 = ItemBuf::from_carry(carry);
+        b2.feed_f64(&data[5..], |v| got.push(v));
+        assert_eq!(got, vec![7.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Item framing is invariant under arbitrary chunk splits.
+        #[test]
+        fn chunking_invariance(
+            vals in proptest::collection::vec(-1e9f64..1e9, 0..64),
+            splits in proptest::collection::vec(0usize..512, 0..16),
+        ) {
+            let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+            // Reference: one chunk.
+            let mut whole = Vec::new();
+            let mut b = ItemBuf::new();
+            b.feed_f64(&data, |v| whole.push(v));
+
+            // Split at the (sorted, clamped) positions.
+            let mut pos: Vec<usize> = splits.iter().map(|&s| s % (data.len() + 1)).collect();
+            pos.sort_unstable();
+            let mut parts = Vec::new();
+            let mut prev = 0;
+            for p in pos {
+                parts.push(&data[prev..p]);
+                prev = p;
+            }
+            parts.push(&data[prev..]);
+
+            let mut split_vals = Vec::new();
+            let mut b2 = ItemBuf::new();
+            for part in parts {
+                b2.feed_f64(part, |v| split_vals.push(v));
+            }
+            prop_assert_eq!(whole, split_vals);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The kernel abstraction and the checkpoint format.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed variable value inside a kernel checkpoint.
+///
+/// The paper's kernels write their status to shared memory as
+/// `⟨variable name, variable type, value⟩` records; this enum is the `value`
+/// with the `type` made explicit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VarValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Bytes(Vec<u8>),
+    F64Vec(Vec<f64>),
+    U64Vec(Vec<u64>),
+}
+
+impl VarValue {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            VarValue::U64(_) => "u64",
+            VarValue::I64(_) => "i64",
+            VarValue::F64(_) => "f64",
+            VarValue::Str(_) => "str",
+            VarValue::Bytes(_) => "bytes",
+            VarValue::F64Vec(_) => "f64[]",
+            VarValue::U64Vec(_) => "u64[]",
+        }
+    }
+
+    /// Bytes this value occupies when shipped with an interrupted request.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            VarValue::U64(_) | VarValue::I64(_) | VarValue::F64(_) => 8,
+            VarValue::Str(s) => s.len() as u64,
+            VarValue::Bytes(b) => b.len() as u64,
+            VarValue::F64Vec(v) => 8 * v.len() as u64,
+            VarValue::U64Vec(v) => 8 * v.len() as u64,
+        }
+    }
+}
+
+/// One `⟨name, type, value⟩` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarRecord {
+    pub name: String,
+    pub type_name: String,
+    pub value: VarValue,
+}
+
+impl VarRecord {
+    pub fn new(name: &str, value: VarValue) -> Self {
+        VarRecord {
+            name: name.to_string(),
+            type_name: value.type_name().to_string(),
+            value,
+        }
+    }
+}
+
+/// A serialized kernel: the op name plus every live variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelState {
+    pub op: String,
+    pub vars: Vec<VarRecord>,
+}
+
+impl KernelState {
+    pub fn new(op: &str) -> Self {
+        KernelState {
+            op: op.to_string(),
+            vars: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, name: &str, value: VarValue) {
+        self.vars.push(VarRecord::new(name, value));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&VarValue> {
+        self.vars.iter().find(|v| v.name == name).map(|v| &v.value)
+    }
+
+    pub fn get_u64(&self, name: &str) -> Result<u64, KernelError> {
+        match self.get(name) {
+            Some(VarValue::U64(v)) => Ok(*v),
+            Some(other) => Err(KernelError::TypeMismatch {
+                var: name.to_string(),
+                expected: "u64",
+                found: other.type_name(),
+            }),
+            None => Err(KernelError::MissingVar(name.to_string())),
+        }
+    }
+
+    pub fn get_f64(&self, name: &str) -> Result<f64, KernelError> {
+        match self.get(name) {
+            Some(VarValue::F64(v)) => Ok(*v),
+            Some(other) => Err(KernelError::TypeMismatch {
+                var: name.to_string(),
+                expected: "f64",
+                found: other.type_name(),
+            }),
+            None => Err(KernelError::MissingVar(name.to_string())),
+        }
+    }
+
+    pub fn get_str(&self, name: &str) -> Result<&str, KernelError> {
+        match self.get(name) {
+            Some(VarValue::Str(v)) => Ok(v),
+            Some(other) => Err(KernelError::TypeMismatch {
+                var: name.to_string(),
+                expected: "str",
+                found: other.type_name(),
+            }),
+            None => Err(KernelError::MissingVar(name.to_string())),
+        }
+    }
+
+    pub fn get_bytes(&self, name: &str) -> Result<&[u8], KernelError> {
+        match self.get(name) {
+            Some(VarValue::Bytes(v)) => Ok(v),
+            Some(other) => Err(KernelError::TypeMismatch {
+                var: name.to_string(),
+                expected: "bytes",
+                found: other.type_name(),
+            }),
+            None => Err(KernelError::MissingVar(name.to_string())),
+        }
+    }
+
+    pub fn get_f64_vec(&self, name: &str) -> Result<&[f64], KernelError> {
+        match self.get(name) {
+            Some(VarValue::F64Vec(v)) => Ok(v),
+            Some(other) => Err(KernelError::TypeMismatch {
+                var: name.to_string(),
+                expected: "f64[]",
+                found: other.type_name(),
+            }),
+            None => Err(KernelError::MissingVar(name.to_string())),
+        }
+    }
+
+    pub fn get_u64_vec(&self, name: &str) -> Result<&[u64], KernelError> {
+        match self.get(name) {
+            Some(VarValue::U64Vec(v)) => Ok(v),
+            Some(other) => Err(KernelError::TypeMismatch {
+                var: name.to_string(),
+                expected: "u64[]",
+                found: other.type_name(),
+            }),
+            None => Err(KernelError::MissingVar(name.to_string())),
+        }
+    }
+
+    /// Bytes this checkpoint occupies on the wire (shipped alongside the
+    /// residual data when a kernel migrates to the client).
+    pub fn wire_size(&self) -> u64 {
+        self.vars
+            .iter()
+            .map(|v| v.name.len() as u64 + 8 + v.value.wire_size())
+            .sum()
+    }
+}
+
+/// Per-item arithmetic cost, as the paper's Table III describes kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Complexity {
+    pub muls_per_item: u32,
+    pub adds_per_item: u32,
+    pub divs_per_item: u32,
+    /// Bytes per logical data item (8 for f64 streams, 4 for f32 pixels…).
+    pub item_bytes: u32,
+}
+
+impl Complexity {
+    pub fn total_ops_per_item(&self) -> u32 {
+        self.muls_per_item + self.adds_per_item + self.divs_per_item
+    }
+
+    /// Arithmetic operations per byte of input.
+    pub fn ops_per_byte(&self) -> f64 {
+        self.total_ops_per_item() as f64 / self.item_bytes as f64
+    }
+}
+
+/// Errors from kernel construction, restore or parameter handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelError {
+    MissingVar(String),
+    TypeMismatch {
+        var: String,
+        expected: &'static str,
+        found: &'static str,
+    },
+    BadParams(String),
+    UnknownOp(String),
+    WrongOp {
+        expected: String,
+        found: String,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::MissingVar(v) => write!(f, "checkpoint missing variable {v}"),
+            KernelError::TypeMismatch {
+                var,
+                expected,
+                found,
+            } => write!(f, "variable {var}: expected {expected}, found {found}"),
+            KernelError::BadParams(msg) => write!(f, "bad kernel parameters: {msg}"),
+            KernelError::UnknownOp(op) => write!(f, "unknown operation: {op}"),
+            KernelError::WrongOp { expected, found } => {
+                write!(f, "checkpoint is for op {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// A streaming, checkpointable analysis kernel.
+///
+/// Contract:
+/// * `process_chunk` may be called with *any* byte chunking of the input;
+///   the final result must not depend on chunk boundaries.
+/// * `checkpoint()` after processing a prefix, followed by a registry
+///   `restore` and processing the suffix, must equal processing the whole
+///   input in one kernel instance.
+pub trait Kernel: Send {
+    /// The operation name applications pass to `MPI_File_read_ex`.
+    fn op_name(&self) -> &str;
+
+    /// Consume the next chunk of input bytes.
+    fn process_chunk(&mut self, chunk: &[u8]);
+
+    /// Produce the result bytes. Idempotent.
+    fn finalize(&self) -> Vec<u8>;
+
+    /// Serialize all live variables (the paper's shared-memory records).
+    fn checkpoint(&self) -> KernelState;
+
+    /// Size in bytes of the result for `input_bytes` of input — the paper's
+    /// `h(x)` for this operation.
+    fn result_size(&self, input_bytes: u64) -> u64;
+
+    /// Arithmetic cost per item, for documentation and rate modelling.
+    fn complexity(&self) -> Complexity;
+
+    /// Total bytes consumed so far (used to account interrupted progress).
+    fn bytes_processed(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_record_captures_type_name() {
+        let r = VarRecord::new("sum", VarValue::F64(1.5));
+        assert_eq!(r.type_name, "f64");
+        assert_eq!(r.name, "sum");
+    }
+
+    #[test]
+    fn state_typed_getters() {
+        let mut s = KernelState::new("sum");
+        s.push("count", VarValue::U64(7));
+        s.push("sum", VarValue::F64(2.5));
+        s.push("tag", VarValue::Str("x".into()));
+        s.push("carry", VarValue::Bytes(vec![1, 2]));
+        s.push("centroids", VarValue::F64Vec(vec![0.0, 1.0]));
+        s.push("bins", VarValue::U64Vec(vec![3, 4]));
+        assert_eq!(s.get_u64("count").unwrap(), 7);
+        assert_eq!(s.get_f64("sum").unwrap(), 2.5);
+        assert_eq!(s.get_str("tag").unwrap(), "x");
+        assert_eq!(s.get_bytes("carry").unwrap(), &[1, 2]);
+        assert_eq!(s.get_f64_vec("centroids").unwrap(), &[0.0, 1.0]);
+        assert_eq!(s.get_u64_vec("bins").unwrap(), &[3, 4]);
+    }
+
+    #[test]
+    fn state_getter_errors() {
+        let mut s = KernelState::new("sum");
+        s.push("count", VarValue::U64(7));
+        assert_eq!(
+            s.get_f64("count"),
+            Err(KernelError::TypeMismatch {
+                var: "count".into(),
+                expected: "f64",
+                found: "u64"
+            })
+        );
+        assert_eq!(
+            s.get_u64("missing"),
+            Err(KernelError::MissingVar("missing".into()))
+        );
+    }
+
+    #[test]
+    fn wire_size_counts_payload() {
+        let mut s = KernelState::new("sum");
+        s.push("sum", VarValue::F64(0.0)); // 3 + 8 + 8
+        s.push("carry", VarValue::Bytes(vec![0; 5])); // 5 + 8 + 5
+        assert_eq!(s.wire_size(), (3 + 8 + 8) + (5 + 8 + 5));
+    }
+
+    #[test]
+    fn complexity_ops_per_byte() {
+        // The paper's Gaussian: 9 mul + 9 add + 1 div on f32 items.
+        let c = Complexity {
+            muls_per_item: 9,
+            adds_per_item: 9,
+            divs_per_item: 1,
+            item_bytes: 4,
+        };
+        assert_eq!(c.total_ops_per_item(), 19);
+        assert!((c.ops_per_byte() - 4.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(KernelError::UnknownOp("zip".into())
+            .to_string()
+            .contains("zip"));
+        assert!(KernelError::WrongOp {
+            expected: "sum".into(),
+            found: "grep".into()
+        }
+        .to_string()
+        .contains("grep"));
+    }
+
+    #[test]
+    fn state_serde_roundtrip() {
+        let mut s = KernelState::new("stats");
+        s.push("n", VarValue::U64(3));
+        s.push("mean", VarValue::F64(1.0));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: KernelState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

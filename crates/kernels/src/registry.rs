@@ -1,0 +1,297 @@
+//! Kernel registry: op name → factory.
+//!
+//! The paper deploys the Processing Kernels component "both at storage nodes
+//! and compute nodes" so either side can run (or resume) an operation by
+//! name. The registry is that deployment: the Active Storage Server and the
+//! Active Storage Client each hold one, and a checkpoint produced on one
+//! side restores on the other purely from its op name and variable records.
+
+use crate::gaussian::{GaussianFilter2D, GaussianOutput};
+use crate::grep::GrepKernel;
+use crate::histogram::HistogramKernel;
+use crate::kernel::{Kernel, KernelError, KernelState};
+use crate::kmeans::KMeansKernel;
+use crate::smooth::SmoothKernel;
+use crate::stats::StatsKernel;
+use crate::sum::SumKernel;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parameters an application supplies alongside the op name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelParams {
+    /// Row width in pixels (gaussian2d).
+    pub width: Option<u64>,
+    /// Search pattern (grep).
+    pub pattern: Option<Vec<u8>>,
+    /// Initial centroids (kmeans1d).
+    pub centroids: Option<Vec<f64>>,
+    /// Request the full output instead of a digest where supported.
+    pub full_output: bool,
+}
+
+impl KernelParams {
+    pub fn with_width(width: u64) -> Self {
+        KernelParams {
+            width: Some(width),
+            ..Default::default()
+        }
+    }
+
+    pub fn with_pattern(pattern: &[u8]) -> Self {
+        KernelParams {
+            pattern: Some(pattern.to_vec()),
+            ..Default::default()
+        }
+    }
+
+    pub fn with_centroids(centroids: Vec<f64>) -> Self {
+        KernelParams {
+            centroids: Some(centroids),
+            ..Default::default()
+        }
+    }
+}
+
+type CreateFn = fn(&KernelParams) -> Result<Box<dyn Kernel>, KernelError>;
+type RestoreFn = fn(&KernelState) -> Result<Box<dyn Kernel>, KernelError>;
+
+/// Maps op names to constructors and checkpoint-restorers.
+pub struct KernelRegistry {
+    entries: BTreeMap<String, (CreateFn, RestoreFn)>,
+}
+
+impl Default for KernelRegistry {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl KernelRegistry {
+    /// An empty registry (register ops yourself).
+    pub fn empty() -> Self {
+        KernelRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// All built-in kernels registered.
+    pub fn with_defaults() -> Self {
+        let mut r = Self::empty();
+        r.register(crate::sum::OP_NAME, create_sum, restore_sum);
+        r.register(crate::gaussian::OP_NAME, create_gaussian, restore_gaussian);
+        r.register(crate::stats::OP_NAME, create_stats, restore_stats);
+        r.register(crate::grep::OP_NAME, create_grep, restore_grep);
+        r.register(crate::histogram::OP_NAME, create_histogram, restore_histogram);
+        r.register(crate::kmeans::OP_NAME, create_kmeans, restore_kmeans);
+        r.register(crate::smooth::OP_NAME, create_smooth, restore_smooth);
+        r
+    }
+
+    /// Register (or replace) an op.
+    pub fn register(&mut self, op: &str, create: CreateFn, restore: RestoreFn) {
+        self.entries.insert(op.to_string(), (create, restore));
+    }
+
+    pub fn contains(&self, op: &str) -> bool {
+        self.entries.contains_key(op)
+    }
+
+    /// Registered op names, sorted.
+    pub fn ops(&self) -> Vec<&str> {
+        self.entries.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Instantiate a fresh kernel for `op`.
+    pub fn create(&self, op: &str, params: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+        let (create, _) = self
+            .entries
+            .get(op)
+            .ok_or_else(|| KernelError::UnknownOp(op.to_string()))?;
+        create(params)
+    }
+
+    /// Resume a kernel from a checkpoint (dispatching on `state.op`).
+    pub fn restore(&self, state: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+        let (_, restore) = self
+            .entries
+            .get(&state.op)
+            .ok_or_else(|| KernelError::UnknownOp(state.op.clone()))?;
+        restore(state)
+    }
+}
+
+fn create_sum(_p: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(SumKernel::new()))
+}
+
+fn restore_sum(s: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(SumKernel::from_state(s)?))
+}
+
+fn create_gaussian(p: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+    let width = p
+        .width
+        .ok_or_else(|| KernelError::BadParams("gaussian2d requires width".into()))?;
+    let mode = if p.full_output {
+        GaussianOutput::Full
+    } else {
+        GaussianOutput::Digest
+    };
+    Ok(Box::new(GaussianFilter2D::new(width as usize, mode)?))
+}
+
+fn restore_gaussian(s: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(GaussianFilter2D::from_state(s)?))
+}
+
+fn create_stats(_p: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(StatsKernel::new()))
+}
+
+fn restore_stats(s: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(StatsKernel::from_state(s)?))
+}
+
+fn create_grep(p: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+    let pattern = p
+        .pattern
+        .as_deref()
+        .ok_or_else(|| KernelError::BadParams("grep requires a pattern".into()))?;
+    Ok(Box::new(GrepKernel::new(pattern)?))
+}
+
+fn restore_grep(s: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(GrepKernel::from_state(s)?))
+}
+
+fn create_histogram(_p: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(HistogramKernel::new()))
+}
+
+fn restore_histogram(s: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(HistogramKernel::from_state(s)?))
+}
+
+fn create_smooth(p: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+    // Reuse `width` as the window size (one scalar parameter either way).
+    let window = p
+        .width
+        .ok_or_else(|| KernelError::BadParams("smooth1d requires width (window size)".into()))?;
+    Ok(Box::new(SmoothKernel::new(window as usize)?))
+}
+
+fn restore_smooth(s: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(SmoothKernel::from_state(s)?))
+}
+
+fn create_kmeans(p: &KernelParams) -> Result<Box<dyn Kernel>, KernelError> {
+    let centroids = p
+        .centroids
+        .clone()
+        .ok_or_else(|| KernelError::BadParams("kmeans1d requires centroids".into()))?;
+    Ok(Box::new(KMeansKernel::new(centroids)?))
+}
+
+fn restore_kmeans(s: &KernelState) -> Result<Box<dyn Kernel>, KernelError> {
+    Ok(Box::new(KMeansKernel::from_state(s)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_builtin_ops() {
+        let r = KernelRegistry::with_defaults();
+        assert_eq!(
+            r.ops(),
+            vec!["gaussian2d", "grep", "histogram", "kmeans1d", "smooth1d", "stats", "sum"]
+        );
+        assert!(r.contains("sum"));
+        assert!(!r.contains("zip"));
+    }
+
+    #[test]
+    fn create_dispatches_by_name() {
+        let r = KernelRegistry::with_defaults();
+        let k = r.create("sum", &KernelParams::default()).unwrap();
+        assert_eq!(k.op_name(), "sum");
+        let k = r
+            .create("gaussian2d", &KernelParams::with_width(64))
+            .unwrap();
+        assert_eq!(k.op_name(), "gaussian2d");
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let r = KernelRegistry::with_defaults();
+        assert!(matches!(
+            r.create("zip", &KernelParams::default()),
+            Err(KernelError::UnknownOp(_))
+        ));
+    }
+
+    #[test]
+    fn missing_params_rejected() {
+        let r = KernelRegistry::with_defaults();
+        assert!(r.create("gaussian2d", &KernelParams::default()).is_err());
+        assert!(r.create("grep", &KernelParams::default()).is_err());
+        assert!(r.create("kmeans1d", &KernelParams::default()).is_err());
+    }
+
+    #[test]
+    fn cross_side_checkpoint_restore() {
+        // "Storage side" runs half the data, checkpoints; "client side"
+        // restores from its own registry and finishes.
+        let storage = KernelRegistry::with_defaults();
+        let client = KernelRegistry::with_defaults();
+        let data: Vec<u8> = (0..64u64).flat_map(|v| (v as f64).to_le_bytes()).collect();
+
+        let mut k = storage.create("sum", &KernelParams::default()).unwrap();
+        k.process_chunk(&data[..200]);
+        let state = k.checkpoint();
+
+        let mut k2 = client.restore(&state).unwrap();
+        k2.process_chunk(&data[200..]);
+
+        let mut whole = storage.create("sum", &KernelParams::default()).unwrap();
+        whole.process_chunk(&data);
+        assert_eq!(whole.finalize(), k2.finalize());
+    }
+
+    #[test]
+    fn restore_unknown_op_rejected() {
+        let r = KernelRegistry::with_defaults();
+        let state = KernelState::new("mystery");
+        assert!(matches!(r.restore(&state), Err(KernelError::UnknownOp(_))));
+    }
+
+    #[test]
+    fn empty_registry_knows_nothing() {
+        let r = KernelRegistry::empty();
+        assert!(r.ops().is_empty());
+        assert!(r.create("sum", &KernelParams::default()).is_err());
+    }
+
+    #[test]
+    fn every_builtin_checkpoints_and_restores_fresh() {
+        let r = KernelRegistry::with_defaults();
+        let params = [
+            ("sum", KernelParams::default()),
+            ("stats", KernelParams::default()),
+            ("histogram", KernelParams::default()),
+            ("gaussian2d", KernelParams::with_width(8)),
+            ("grep", KernelParams::with_pattern(b"ab")),
+            ("kmeans1d", KernelParams::with_centroids(vec![0.0, 1.0])),
+            ("smooth1d", KernelParams::with_width(5)),
+        ];
+        for (op, p) in params {
+            let k = r.create(op, &p).unwrap();
+            let state = k.checkpoint();
+            let k2 = r.restore(&state).unwrap();
+            assert_eq!(k2.op_name(), op);
+            assert_eq!(k.finalize(), k2.finalize(), "op {op}");
+        }
+    }
+}

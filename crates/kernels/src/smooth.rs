@@ -1,0 +1,273 @@
+//! 1-D sliding-window moving average ("smooth1d") — time-series smoothing,
+//! the signal-processing sibling of the 2-D Gaussian: a stencil whose state
+//! is a window of recent samples instead of image rows.
+//!
+//! For window size `w`, output `o_i = mean(x_{i-w+1} … x_i)` for `i ≥ w−1`.
+//! Digest mode returns sum/min/max/count of the smoothed stream (36 bytes);
+//! the window itself (plus a running window sum) is the checkpoint, so the
+//! kernel migrates mid-stream like every other.
+
+use crate::itemstream::ItemBuf;
+use crate::kernel::{Complexity, Kernel, KernelError, KernelState, VarValue};
+use std::collections::VecDeque;
+
+pub const OP_NAME: &str = "smooth1d";
+
+/// Streaming moving average over little-endian f64 samples.
+#[derive(Debug, Clone)]
+pub struct SmoothKernel {
+    window: usize,
+    recent: VecDeque<f64>,
+    window_sum: f64,
+    out_sum: f64,
+    out_min: f64,
+    out_max: f64,
+    out_count: u64,
+    buf: ItemBuf,
+    bytes: u64,
+}
+
+impl SmoothKernel {
+    pub fn new(window: usize) -> Result<Self, KernelError> {
+        if window == 0 {
+            return Err(KernelError::BadParams("smooth1d needs window >= 1".into()));
+        }
+        Ok(SmoothKernel {
+            window,
+            recent: VecDeque::with_capacity(window),
+            window_sum: 0.0,
+            out_sum: 0.0,
+            out_min: f64::INFINITY,
+            out_max: f64::NEG_INFINITY,
+            out_count: 0,
+            buf: ItemBuf::new(),
+            bytes: 0,
+        })
+    }
+
+    pub fn from_state(state: &KernelState) -> Result<Self, KernelError> {
+        if state.op != OP_NAME {
+            return Err(KernelError::WrongOp {
+                expected: OP_NAME.into(),
+                found: state.op.clone(),
+            });
+        }
+        let window = state.get_u64("window")? as usize;
+        if window == 0 {
+            return Err(KernelError::BadParams("checkpoint has window = 0".into()));
+        }
+        Ok(SmoothKernel {
+            window,
+            recent: state.get_f64_vec("recent")?.iter().copied().collect(),
+            window_sum: state.get_f64("window_sum")?,
+            out_sum: state.get_f64("out_sum")?,
+            out_min: state.get_f64("out_min")?,
+            out_max: state.get_f64("out_max")?,
+            out_count: state.get_u64("out_count")?,
+            buf: ItemBuf::from_carry(state.get_bytes("carry")?.to_vec()),
+            bytes: state.get_u64("bytes")?,
+        })
+    }
+
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    fn push_sample(&mut self, v: f64) {
+        self.recent.push_back(v);
+        self.window_sum += v;
+        if self.recent.len() > self.window {
+            let old = self.recent.pop_front().expect("window non-empty");
+            self.window_sum -= old;
+        }
+        if self.recent.len() == self.window {
+            let o = self.window_sum / self.window as f64;
+            self.out_sum += o;
+            self.out_min = self.out_min.min(o);
+            self.out_max = self.out_max.max(o);
+            self.out_count += 1;
+        }
+    }
+
+    /// Decode a result: `(sum, min, max, count)` of the smoothed stream.
+    pub fn decode_result(bytes: &[u8]) -> Option<(f64, f64, f64, u64)> {
+        if bytes.len() != 32 {
+            return None;
+        }
+        Some((
+            f64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            f64::from_le_bytes(bytes[8..16].try_into().ok()?),
+            f64::from_le_bytes(bytes[16..24].try_into().ok()?),
+            u64::from_le_bytes(bytes[24..32].try_into().ok()?),
+        ))
+    }
+
+    /// Reference implementation over a whole slice.
+    pub fn smooth(values: &[f64], window: usize) -> Vec<f64> {
+        assert!(window >= 1);
+        if values.len() < window {
+            return Vec::new();
+        }
+        (0..=values.len() - window)
+            .map(|i| values[i..i + window].iter().sum::<f64>() / window as f64)
+            .collect()
+    }
+}
+
+impl Kernel for SmoothKernel {
+    fn op_name(&self) -> &str {
+        OP_NAME
+    }
+
+    fn process_chunk(&mut self, chunk: &[u8]) {
+        self.bytes += chunk.len() as u64;
+        let mut samples = Vec::with_capacity(chunk.len() / 8 + 1);
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.feed_f64(chunk, |v| samples.push(v));
+        self.buf = buf;
+        for v in samples {
+            self.push_sample(v);
+        }
+    }
+
+    fn finalize(&self) -> Vec<u8> {
+        let (min, max) = if self.out_count == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.out_min, self.out_max)
+        };
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.out_sum.to_le_bytes());
+        out.extend_from_slice(&min.to_le_bytes());
+        out.extend_from_slice(&max.to_le_bytes());
+        out.extend_from_slice(&self.out_count.to_le_bytes());
+        out
+    }
+
+    fn checkpoint(&self) -> KernelState {
+        let mut s = KernelState::new(OP_NAME);
+        s.push("window", VarValue::U64(self.window as u64));
+        s.push(
+            "recent",
+            VarValue::F64Vec(self.recent.iter().copied().collect()),
+        );
+        s.push("window_sum", VarValue::F64(self.window_sum));
+        s.push("out_sum", VarValue::F64(self.out_sum));
+        s.push("out_min", VarValue::F64(self.out_min));
+        s.push("out_max", VarValue::F64(self.out_max));
+        s.push("out_count", VarValue::U64(self.out_count));
+        s.push("carry", VarValue::Bytes(self.buf.carry().to_vec()));
+        s.push("bytes", VarValue::U64(self.bytes));
+        s
+    }
+
+    fn result_size(&self, _input_bytes: u64) -> u64 {
+        32
+    }
+
+    fn complexity(&self) -> Complexity {
+        Complexity {
+            muls_per_item: 0,
+            adds_per_item: 2, // add to window sum, subtract departing sample
+            divs_per_item: 1,
+            item_bytes: 8,
+        }
+    }
+
+    fn bytes_processed(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(vals: &[f64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn matches_reference_smoothing() {
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut k = SmoothKernel::new(3).unwrap();
+        k.process_chunk(&encode(&vals));
+        let (sum, min, max, count) = SmoothKernel::decode_result(&k.finalize()).unwrap();
+        let reference = SmoothKernel::smooth(&vals, 3); // [2, 3, 4]
+        assert_eq!(count as usize, reference.len());
+        assert!((sum - reference.iter().sum::<f64>()).abs() < 1e-12);
+        assert_eq!(min, 2.0);
+        assert_eq!(max, 4.0);
+    }
+
+    #[test]
+    fn window_one_is_identity_digest() {
+        let vals = [3.0, -1.0, 4.0];
+        let mut k = SmoothKernel::new(1).unwrap();
+        k.process_chunk(&encode(&vals));
+        let (sum, min, max, count) = SmoothKernel::decode_result(&k.finalize()).unwrap();
+        assert_eq!((sum, min, max, count), (6.0, -1.0, 4.0, 3));
+    }
+
+    #[test]
+    fn short_stream_emits_nothing() {
+        let mut k = SmoothKernel::new(10).unwrap();
+        k.process_chunk(&encode(&[1.0, 2.0]));
+        let (_, _, _, count) = SmoothKernel::decode_result(&k.finalize()).unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_mid_window() {
+        let vals: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let data = encode(&vals);
+        let mut whole = SmoothKernel::new(7).unwrap();
+        whole.process_chunk(&data);
+
+        let mut a = SmoothKernel::new(7).unwrap();
+        a.process_chunk(&data[..333]); // mid-sample, mid-window
+        let mut b = SmoothKernel::from_state(&a.checkpoint()).unwrap();
+        b.process_chunk(&data[333..]);
+        assert_eq!(whole.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(SmoothKernel::new(0).is_err());
+    }
+
+    #[test]
+    fn result_size_constant() {
+        assert_eq!(SmoothKernel::new(5).unwrap().result_size(1 << 30), 32);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Streaming digest equals the reference smoothing under any
+        /// checkpoint position and window size.
+        #[test]
+        fn matches_reference(
+            vals in proptest::collection::vec(-1e3f64..1e3, 0..200),
+            window in 1usize..12,
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let data: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let cut = ((data.len() as f64) * cut_frac) as usize;
+            let mut k = SmoothKernel::new(window).unwrap();
+            k.process_chunk(&data[..cut]);
+            let mut k = SmoothKernel::from_state(&k.checkpoint()).unwrap();
+            k.process_chunk(&data[cut..]);
+            let (sum, _, _, count) = SmoothKernel::decode_result(&k.finalize()).unwrap();
+
+            let reference = SmoothKernel::smooth(&vals, window);
+            prop_assert_eq!(count as usize, reference.len());
+            let ref_sum: f64 = reference.iter().sum();
+            prop_assert!((sum - ref_sum).abs() < 1e-6 * ref_sum.abs().max(1.0));
+        }
+    }
+}

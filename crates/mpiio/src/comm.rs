@@ -1,0 +1,220 @@
+//! Ranks, communicators and collective plans.
+//!
+//! A [`Communicator`] maps MPI ranks onto simulated compute nodes and plans
+//! collective operations as explicit message lists (binomial trees), which
+//! the simulation driver can replay as network flows.
+
+use cluster::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A communicator: ordered ranks pinned to nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Communicator {
+    nodes: Vec<NodeId>,
+}
+
+/// One point-to-point message in a collective plan, in dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedMessage {
+    pub src_rank: usize,
+    pub dst_rank: usize,
+    /// Tree round; messages of round `r` depend on rounds `< r`.
+    pub round: u32,
+}
+
+impl Communicator {
+    /// Ranks `0..nodes.len()` pinned to the given nodes (one process per
+    /// entry; a node may appear several times — multi-core placement).
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "communicator needs at least one rank");
+        Communicator { nodes }
+    }
+
+    /// `MPI_Comm_size`.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node rank `r` runs on.
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.nodes[rank]
+    }
+
+    /// All ranks placed on `node`.
+    pub fn ranks_on(&self, node: NodeId) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n == node)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Binomial-tree broadcast plan from `root`: ceil(log2(p)) rounds.
+    pub fn bcast_plan(&self, root: usize) -> Vec<PlannedMessage> {
+        assert!(root < self.size());
+        let p = self.size();
+        let mut msgs = Vec::new();
+        // Work in root-relative rank space: vrank = (rank - root) mod p.
+        let mut have = 1usize; // vranks [0, have) hold the data
+        let mut round = 0u32;
+        while have < p {
+            let senders = have.min(p - have);
+            for s in 0..senders {
+                let src = (s + root) % p;
+                let dst = (s + have + root) % p;
+                msgs.push(PlannedMessage {
+                    src_rank: src,
+                    dst_rank: dst,
+                    round,
+                });
+            }
+            have += senders;
+            round += 1;
+        }
+        msgs
+    }
+
+    /// Binomial-tree reduce plan to `root`: the bcast plan reversed.
+    pub fn reduce_plan(&self, root: usize) -> Vec<PlannedMessage> {
+        let mut plan = self.bcast_plan(root);
+        let max_round = plan.iter().map(|m| m.round).max().unwrap_or(0);
+        for m in &mut plan {
+            std::mem::swap(&mut m.src_rank, &mut m.dst_rank);
+            m.round = max_round - m.round;
+        }
+        plan.sort_by_key(|m| m.round);
+        plan
+    }
+
+    /// Number of rounds a barrier costs (dissemination barrier).
+    pub fn barrier_rounds(&self) -> u32 {
+        (self.size() as f64).log2().ceil() as u32
+    }
+
+    /// Allreduce as reduce-to-root followed by broadcast (rounds
+    /// concatenated). Simple and bandwidth-correct for the message sizes
+    /// the simulation moves; ring/rabenseifner variants are future work.
+    pub fn allreduce_plan(&self, root: usize) -> Vec<PlannedMessage> {
+        let reduce = self.reduce_plan(root);
+        let offset = reduce.iter().map(|m| m.round + 1).max().unwrap_or(0);
+        let mut plan = reduce;
+        for mut m in self.bcast_plan(root) {
+            m.round += offset;
+            plan.push(m);
+        }
+        plan
+    }
+
+    /// Gather: every non-root rank sends its block straight to `root`
+    /// (one round; the root's receive link serializes them naturally).
+    pub fn gather_plan(&self, root: usize) -> Vec<PlannedMessage> {
+        assert!(root < self.size());
+        (0..self.size())
+            .filter(|&r| r != root)
+            .map(|r| PlannedMessage {
+                src_rank: r,
+                dst_rank: root,
+                round: 0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm(p: usize) -> Communicator {
+        Communicator::new((0..p).map(NodeId).collect())
+    }
+
+    #[test]
+    fn size_and_placement() {
+        let c = Communicator::new(vec![NodeId(3), NodeId(3), NodeId(5)]);
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.node_of(2), NodeId(5));
+        assert_eq!(c.ranks_on(NodeId(3)), vec![0, 1]);
+        assert!(c.ranks_on(NodeId(9)).is_empty());
+    }
+
+    #[test]
+    fn bcast_plan_reaches_every_rank_once() {
+        for p in 1..17 {
+            for root in [0, p / 2, p - 1] {
+                let c = comm(p);
+                let plan = c.bcast_plan(root);
+                assert_eq!(plan.len(), p - 1, "p={p} root={root}");
+                let mut have = vec![false; p];
+                have[root] = true;
+                for m in &plan {
+                    assert!(have[m.src_rank], "sender must already hold data");
+                    assert!(!have[m.dst_rank], "no duplicate delivery");
+                    have[m.dst_rank] = true;
+                }
+                assert!(have.iter().all(|&h| h));
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_rounds_are_logarithmic() {
+        let c = comm(16);
+        let plan = c.bcast_plan(0);
+        let rounds = plan.iter().map(|m| m.round).max().unwrap() + 1;
+        assert_eq!(rounds, 4);
+    }
+
+    #[test]
+    fn reduce_plan_mirrors_bcast() {
+        let c = comm(8);
+        let plan = c.reduce_plan(0);
+        assert_eq!(plan.len(), 7);
+        // Every non-root rank sends exactly once.
+        let mut sent = [0; 8];
+        for m in &plan {
+            sent[m.src_rank] += 1;
+        }
+        assert_eq!(sent[0], 0);
+        assert!(sent[1..].iter().all(|&s| s == 1));
+        // Rounds ascend.
+        for w in plan.windows(2) {
+            assert!(w[0].round <= w[1].round);
+        }
+    }
+
+    #[test]
+    fn barrier_rounds() {
+        assert_eq!(comm(1).barrier_rounds(), 0);
+        assert_eq!(comm(2).barrier_rounds(), 1);
+        assert_eq!(comm(9).barrier_rounds(), 4);
+    }
+
+    #[test]
+    fn allreduce_concatenates_reduce_and_bcast() {
+        let c = comm(4);
+        let plan = c.allreduce_plan(0);
+        assert_eq!(plan.len(), 6); // 3 reduce + 3 bcast messages
+        let reduce_rounds = c.reduce_plan(0).iter().map(|m| m.round).max().unwrap();
+        // Bcast rounds come strictly after the reduce rounds.
+        let bcast_start = plan[3].round;
+        assert!(bcast_start > reduce_rounds);
+    }
+
+    #[test]
+    fn gather_is_a_star_into_root() {
+        let c = comm(5);
+        let plan = c.gather_plan(2);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.iter().all(|m| m.dst_rank == 2 && m.round == 0));
+        let mut srcs: Vec<_> = plan.iter().map(|m| m.src_rank).collect();
+        srcs.sort();
+        assert_eq!(srcs, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_comm_rejected() {
+        Communicator::new(vec![]);
+    }
+}

@@ -1,0 +1,55 @@
+//! MPI datatypes (the subset active-storage workloads use).
+
+use serde::{Deserialize, Serialize};
+
+/// An MPI elementary datatype; `count × extent` gives the transfer size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Datatype {
+    Byte,
+    Int,
+    Float,
+    Double,
+    /// A contiguous derived type of `n` bytes (e.g. a struct record).
+    Contiguous(u32),
+}
+
+impl Datatype {
+    /// Size of one element in bytes (`MPI_Type_size`).
+    pub fn extent(&self) -> u64 {
+        match self {
+            Datatype::Byte => 1,
+            Datatype::Int => 4,
+            Datatype::Float => 4,
+            Datatype::Double => 8,
+            Datatype::Contiguous(n) => *n as u64,
+        }
+    }
+
+    /// Total bytes for `count` elements.
+    pub fn transfer_size(&self, count: u64) -> u64 {
+        count * self.extent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents_match_mpi() {
+        assert_eq!(Datatype::Byte.extent(), 1);
+        assert_eq!(Datatype::Int.extent(), 4);
+        assert_eq!(Datatype::Float.extent(), 4);
+        assert_eq!(Datatype::Double.extent(), 8);
+        assert_eq!(Datatype::Contiguous(24).extent(), 24);
+    }
+
+    #[test]
+    fn transfer_size_multiplies() {
+        // 16 M doubles = 128 MiB, the paper's smallest request.
+        assert_eq!(
+            Datatype::Double.transfer_size(16 * 1024 * 1024),
+            128 * 1024 * 1024
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! The `struct result` of the DOSAS-enhanced MPI-IO call (paper Table I).
+//!
+//! `MPI_File_read_ex` returns through a `struct result` whose `completed`
+//! flag is the heart of the DOSAS protocol:
+//!
+//! * `completed == 1` — the storage side ran the kernel; `buf` holds the
+//!   final result and the client returns it to the application directly.
+//! * `completed == 0` — the storage side served the request as a normal
+//!   I/O (or interrupted a running kernel); `buf` holds the *status of the
+//!   operation* (the kernel's checkpointed variables, possibly empty for a
+//!   never-started kernel), and the Active Storage Client must finish the
+//!   processing locally before returning to the application.
+
+use kernels::KernelState;
+use pfs::FileHandle;
+use serde::{Deserialize, Serialize};
+
+/// What came back in `buf`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResultPayload {
+    /// Final kernel result bytes (`completed == 1`).
+    Completed(Vec<u8>),
+    /// Operation status for client-side completion (`completed == 0`):
+    /// `None` for a request that never started server-side, `Some(state)`
+    /// for an interrupted kernel's checkpoint.
+    Uncompleted(Option<KernelState>),
+}
+
+/// Rust twin of the paper's `struct result`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultBuf {
+    pub payload: ResultPayload,
+    /// File handle, needed when the client must keep reading (uncompleted).
+    pub fh: FileHandle,
+    /// Current data position: how far into the request the storage side got
+    /// before handing over (0 for never-started).
+    pub offset: u64,
+}
+
+impl ResultBuf {
+    pub fn completed(result: Vec<u8>, fh: FileHandle, offset: u64) -> Self {
+        ResultBuf {
+            payload: ResultPayload::Completed(result),
+            fh,
+            offset,
+        }
+    }
+
+    pub fn uncompleted(state: Option<KernelState>, fh: FileHandle, offset: u64) -> Self {
+        ResultBuf {
+            payload: ResultPayload::Uncompleted(state),
+            fh,
+            offset,
+        }
+    }
+
+    /// The paper's `completed` flag.
+    pub fn is_completed(&self) -> bool {
+        matches!(self.payload, ResultPayload::Completed(_))
+    }
+
+    /// Result bytes, if completed.
+    pub fn result(&self) -> Option<&[u8]> {
+        match &self.payload {
+            ResultPayload::Completed(b) => Some(b),
+            ResultPayload::Uncompleted(_) => None,
+        }
+    }
+
+    /// Checkpointed kernel state, if this is a migrated operation.
+    pub fn kernel_state(&self) -> Option<&KernelState> {
+        match &self.payload {
+            ResultPayload::Uncompleted(s) => s.as_ref(),
+            ResultPayload::Completed(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_result_carries_bytes() {
+        let r = ResultBuf::completed(vec![1, 2, 3], FileHandle(7), 1024);
+        assert!(r.is_completed());
+        assert_eq!(r.result(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(r.kernel_state(), None);
+        assert_eq!(r.offset, 1024);
+    }
+
+    #[test]
+    fn fresh_demotion_has_no_state() {
+        let r = ResultBuf::uncompleted(None, FileHandle(7), 0);
+        assert!(!r.is_completed());
+        assert_eq!(r.result(), None);
+        assert_eq!(r.kernel_state(), None);
+    }
+
+    #[test]
+    fn migrated_kernel_carries_checkpoint() {
+        let state = KernelState::new("sum");
+        let r = ResultBuf::uncompleted(Some(state.clone()), FileHandle(2), 500);
+        assert!(!r.is_completed());
+        assert_eq!(r.kernel_state(), Some(&state));
+        assert_eq!(r.offset, 500);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = ResultBuf::completed(vec![9], FileHandle(1), 8);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<ResultBuf>(&json).unwrap(), r);
+    }
+}

@@ -1,0 +1,245 @@
+//! Server-side buffer cache: LRU over fixed-size blocks.
+//!
+//! PVFS2 data servers sit on Linux and get the page cache for free; the
+//! paper's model ignores disk time entirely, which is equivalent to an
+//! always-hot cache. This module makes the effect explicit so it can be
+//! studied: a read's cached prefix skips the disk, and writes invalidate.
+//! The DOSAS driver enables it via `ClusterConfig::server_cache_bytes`
+//! (default off, matching the paper's model).
+
+use crate::meta::FileHandle;
+use std::collections::BTreeMap;
+
+/// Outcome of probing the cache for one extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Bytes servable from memory.
+    pub hit_bytes: u64,
+    /// Bytes that must come from the disk.
+    pub miss_bytes: u64,
+}
+
+/// Fixed-block LRU cache keyed by `(file, block index)`.
+#[derive(Debug)]
+pub struct BlockCache {
+    block_size: u64,
+    capacity_blocks: usize,
+    /// block → LRU stamp.
+    blocks: BTreeMap<(FileHandle, u64), u64>,
+    /// stamp → block (eviction order).
+    order: BTreeMap<u64, (FileHandle, u64)>,
+    next_stamp: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl BlockCache {
+    /// `capacity_bytes` rounded down to whole blocks (min 1).
+    pub fn new(block_size: u64, capacity_bytes: u64) -> Self {
+        assert!(block_size > 0);
+        BlockCache {
+            block_size,
+            capacity_blocks: ((capacity_bytes / block_size) as usize).max(1),
+            blocks: BTreeMap::new(),
+            order: BTreeMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    pub fn len_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Probe and update the cache for a read of `[offset, offset+len)`:
+    /// hits are touched (LRU), misses are inserted (read-allocate).
+    pub fn access(&mut self, fh: FileHandle, offset: u64, len: u64) -> CacheAccess {
+        if len == 0 {
+            return CacheAccess {
+                hit_bytes: 0,
+                miss_bytes: 0,
+            };
+        }
+        let first = offset / self.block_size;
+        let last = (offset + len - 1) / self.block_size;
+        let mut hit_blocks = 0u64;
+        let mut miss_blocks = 0u64;
+        for block in first..=last {
+            if self.touch(fh, block) {
+                hit_blocks += 1;
+                self.hits += 1;
+            } else {
+                miss_blocks += 1;
+                self.misses += 1;
+                self.insert(fh, block);
+            }
+        }
+        // Attribute bytes proportionally by block (edge blocks counted
+        // whole: the disk reads whole blocks anyway).
+        let total_blocks = hit_blocks + miss_blocks;
+        let hit_bytes = (len as f64 * hit_blocks as f64 / total_blocks as f64) as u64;
+        CacheAccess {
+            hit_bytes,
+            miss_bytes: len - hit_bytes,
+        }
+    }
+
+    /// Drop every cached block of `[offset, offset+len)` (e.g. a write).
+    pub fn invalidate(&mut self, fh: FileHandle, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / self.block_size;
+        let last = (offset + len - 1) / self.block_size;
+        for block in first..=last {
+            if let Some(stamp) = self.blocks.remove(&(fh, block)) {
+                self.order.remove(&stamp);
+            }
+        }
+    }
+
+    /// Fraction of block lookups that hit, `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn touch(&mut self, fh: FileHandle, block: u64) -> bool {
+        let Some(stamp) = self.blocks.get(&(fh, block)).copied() else {
+            return false;
+        };
+        self.order.remove(&stamp);
+        let new_stamp = self.bump();
+        self.blocks.insert((fh, block), new_stamp);
+        self.order.insert(new_stamp, (fh, block));
+        true
+    }
+
+    fn insert(&mut self, fh: FileHandle, block: u64) {
+        while self.blocks.len() >= self.capacity_blocks {
+            let (&victim_stamp, &victim) = self.order.iter().next().expect("cache non-empty");
+            self.order.remove(&victim_stamp);
+            self.blocks.remove(&victim);
+        }
+        let stamp = self.bump();
+        self.blocks.insert((fh, block), stamp);
+        self.order.insert(stamp, (fh, block));
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_stamp;
+        self.next_stamp += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(v: u64) -> FileHandle {
+        FileHandle(v)
+    }
+
+    #[test]
+    fn first_read_misses_second_hits() {
+        let mut c = BlockCache::new(1024, 64 * 1024);
+        let a = c.access(h(1), 0, 4096);
+        assert_eq!(a.miss_bytes, 4096);
+        assert_eq!(a.hit_bytes, 0);
+        let b = c.access(h(1), 0, 4096);
+        assert_eq!(b.hit_bytes, 4096);
+        assert_eq!(b.miss_bytes, 0);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_mixes_hits_and_misses() {
+        let mut c = BlockCache::new(1024, 64 * 1024);
+        c.access(h(1), 0, 2048); // blocks 0,1
+        let a = c.access(h(1), 0, 4096); // blocks 0..3: 2 hits, 2 misses
+        assert_eq!(a.hit_bytes, 2048);
+        assert_eq!(a.miss_bytes, 2048);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Capacity: 2 blocks.
+        let mut c = BlockCache::new(1024, 2048);
+        c.access(h(1), 0, 1024); // block 0
+        c.access(h(1), 1024, 1024); // block 1
+        c.access(h(1), 0, 1024); // touch block 0 (now MRU)
+        c.access(h(1), 2048, 1024); // block 2 evicts block 1
+        assert_eq!(c.len_blocks(), 2);
+        assert_eq!(c.access(h(1), 0, 1024).hit_bytes, 1024, "block 0 survived");
+        assert_eq!(c.access(h(1), 1024, 1024).hit_bytes, 0, "block 1 evicted");
+    }
+
+    #[test]
+    fn files_do_not_collide() {
+        let mut c = BlockCache::new(1024, 64 * 1024);
+        c.access(h(1), 0, 1024);
+        let other = c.access(h(2), 0, 1024);
+        assert_eq!(other.hit_bytes, 0);
+    }
+
+    #[test]
+    fn invalidation_forces_misses() {
+        let mut c = BlockCache::new(1024, 64 * 1024);
+        c.access(h(1), 0, 4096);
+        c.invalidate(h(1), 1024, 1024); // drop block 1
+        let a = c.access(h(1), 0, 4096);
+        assert_eq!(a.miss_bytes, 1024);
+        assert_eq!(a.hit_bytes, 3072);
+    }
+
+    #[test]
+    fn zero_length_access_is_free() {
+        let mut c = BlockCache::new(1024, 2048);
+        let a = c.access(h(1), 500, 0);
+        assert_eq!((a.hit_bytes, a.miss_bytes), (0, 0));
+        assert_eq!(c.hits + c.misses, 0);
+    }
+
+    #[test]
+    fn unaligned_ranges_count_whole_blocks() {
+        let mut c = BlockCache::new(1024, 64 * 1024);
+        // Bytes 500..1500 touch blocks 0 and 1.
+        c.access(h(1), 500, 1000);
+        assert_eq!(c.len_blocks(), 2);
+        let again = c.access(h(1), 0, 2048);
+        assert_eq!(again.hit_bytes, 2048);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The cache never exceeds capacity and hit+miss bytes always sum
+        /// to the request length.
+        #[test]
+        fn capacity_and_byte_conservation(
+            ops in proptest::collection::vec((0u64..4, 0u64..16_384, 1u64..4_096), 1..200),
+            capacity in 1u64..32,
+        ) {
+            let mut c = BlockCache::new(1024, capacity * 1024);
+            for (fh, offset, len) in ops {
+                let a = c.access(FileHandle(fh), offset, len);
+                prop_assert_eq!(a.hit_bytes + a.miss_bytes, len);
+                prop_assert!(c.len_blocks() <= capacity as usize);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Client-side read planning and scatter-gather tracking.
+//!
+//! Mirrors the `pvfs2-client` role: given file metadata, split a byte range
+//! into per-server extents ([`ReadPlan`]) and track partial completions until
+//! the whole range has been gathered ([`ReadTracker`]).
+
+use crate::error::PfsError;
+use crate::layout::Extent;
+use crate::meta::FileMeta;
+use std::collections::BTreeSet;
+
+/// A read decomposed into per-server extents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPlan {
+    pub extents: Vec<Extent>,
+    pub offset: u64,
+    pub len: u64,
+}
+
+impl ReadPlan {
+    /// Plan a read of `[offset, offset+len)` from `meta`'s file.
+    pub fn new(meta: &FileMeta, offset: u64, len: u64) -> Result<ReadPlan, PfsError> {
+        if offset.checked_add(len).is_none_or(|end| end > meta.size) {
+            return Err(PfsError::OutOfBounds {
+                offset,
+                len,
+                size: meta.size,
+            });
+        }
+        Ok(ReadPlan {
+            extents: meta.layout.locate(offset, len),
+            offset,
+            len,
+        })
+    }
+
+    /// Number of data servers this read touches.
+    pub fn server_count(&self) -> usize {
+        let mut servers: Vec<_> = self.extents.iter().map(|e| e.server).collect();
+        servers.sort();
+        servers.dedup();
+        servers.len()
+    }
+}
+
+/// Tracks which extents of a plan have arrived.
+#[derive(Debug, Clone)]
+pub struct ReadTracker {
+    outstanding: BTreeSet<usize>,
+    total: usize,
+}
+
+impl ReadTracker {
+    pub fn new(plan: &ReadPlan) -> Self {
+        ReadTracker {
+            outstanding: (0..plan.extents.len()).collect(),
+            total: plan.extents.len(),
+        }
+    }
+
+    /// Record extent `index` as received. Returns `true` when the whole read
+    /// is complete. Panics on double-delivery (a driver bug).
+    pub fn deliver(&mut self, index: usize) -> bool {
+        assert!(
+            self.outstanding.remove(&index),
+            "extent {index} delivered twice or never requested"
+        );
+        self.outstanding.is_empty()
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::StripeLayout;
+    use crate::meta::{FileHandle, FileMeta};
+    use cluster::NodeId;
+
+    fn meta_striped(size: u64) -> FileMeta {
+        FileMeta {
+            handle: FileHandle(1),
+            path: "/f".into(),
+            size,
+            layout: StripeLayout::striped(vec![NodeId(0), NodeId(1)]).with_stripe_size(10),
+        }
+    }
+
+    #[test]
+    fn plan_spans_servers() {
+        let m = meta_striped(100);
+        let p = ReadPlan::new(&m, 0, 40).unwrap();
+        assert_eq!(p.server_count(), 2);
+        let total: u64 = p.extents.iter().map(|e| e.len).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let m = meta_striped(100);
+        assert!(matches!(
+            ReadPlan::new(&m, 90, 20),
+            Err(PfsError::OutOfBounds { .. })
+        ));
+        // Overflow-safe.
+        assert!(ReadPlan::new(&m, u64::MAX, 2).is_err());
+        // Exactly at the end is fine.
+        assert!(ReadPlan::new(&m, 90, 10).is_ok());
+    }
+
+    #[test]
+    fn tracker_completes_once_all_extents_arrive() {
+        let m = meta_striped(100);
+        let p = ReadPlan::new(&m, 5, 20).unwrap();
+        let mut t = ReadTracker::new(&p);
+        assert!(!t.is_complete());
+        let n = p.extents.len();
+        for i in 0..n {
+            let done = t.deliver(i);
+            assert_eq!(done, i == n - 1);
+        }
+        assert_eq!(t.remaining(), 0);
+        assert_eq!(t.total(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered twice")]
+    fn double_delivery_panics() {
+        let m = meta_striped(100);
+        let p = ReadPlan::new(&m, 0, 10).unwrap();
+        let mut t = ReadTracker::new(&p);
+        t.deliver(0);
+        t.deliver(0);
+    }
+
+    #[test]
+    fn zero_length_read_is_trivially_complete() {
+        let m = meta_striped(100);
+        let p = ReadPlan::new(&m, 10, 0).unwrap();
+        let t = ReadTracker::new(&p);
+        assert!(t.is_complete());
+    }
+}

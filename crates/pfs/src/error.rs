@@ -1,0 +1,60 @@
+//! Error type for file-system operations.
+
+use std::fmt;
+
+/// Errors surfaced by the parallel file system model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists on create.
+    AlreadyExists(String),
+    /// Handle is stale or was never issued.
+    BadHandle(u64),
+    /// Read/write beyond end of file.
+    OutOfBounds {
+        offset: u64,
+        len: u64,
+        size: u64,
+    },
+    /// A layout referenced zero data servers.
+    EmptyLayout,
+}
+
+impl fmt::Display for PfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfsError::NotFound(p) => write!(f, "no such file: {p}"),
+            PfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            PfsError::BadHandle(h) => write!(f, "bad file handle: {h}"),
+            PfsError::OutOfBounds { offset, len, size } => write!(
+                f,
+                "range [{offset}, {offset}+{len}) exceeds file size {size}"
+            ),
+            PfsError::EmptyLayout => write!(f, "stripe layout has no data servers"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert_eq!(
+            PfsError::NotFound("/a".into()).to_string(),
+            "no such file: /a"
+        );
+        assert!(PfsError::OutOfBounds {
+            offset: 10,
+            len: 5,
+            size: 12
+        }
+        .to_string()
+        .contains("exceeds"));
+        assert_eq!(PfsError::BadHandle(3).to_string(), "bad file handle: 3");
+    }
+}

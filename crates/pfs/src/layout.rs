@@ -1,0 +1,245 @@
+//! File striping: mapping byte ranges onto data servers.
+//!
+//! PVFS2 distributes a file's bytes round-robin in `stripe_size` units over a
+//! list of data servers. DOSAS's experiments mostly use contiguous placement
+//! (one server per file) so "I/O requests per storage node" is well defined;
+//! the striped case (cf. Piernas et al.'s striped-file active storage) is
+//! supported and exercised by ablation A2.
+
+use cluster::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous piece of a file living on one data server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Extent {
+    pub server: NodeId,
+    /// Offset within the *file* (not the server-local object).
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// Round-robin striping over an ordered server list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeLayout {
+    pub stripe_size: u64,
+    pub servers: Vec<NodeId>,
+}
+
+impl StripeLayout {
+    /// A file stored contiguously on a single server.
+    pub fn contiguous(server: NodeId) -> Self {
+        StripeLayout {
+            stripe_size: u64::MAX,
+            servers: vec![server],
+        }
+    }
+
+    /// Round-robin striping with the PVFS2 default stripe of 64 KiB.
+    pub fn striped(servers: Vec<NodeId>) -> Self {
+        StripeLayout {
+            stripe_size: 64 * 1024,
+            servers,
+        }
+    }
+
+    pub fn with_stripe_size(mut self, stripe_size: u64) -> Self {
+        assert!(stripe_size > 0, "stripe size must be positive");
+        self.stripe_size = stripe_size;
+        self
+    }
+
+    /// The server holding the stripe that contains file offset `off`.
+    pub fn server_of(&self, off: u64) -> NodeId {
+        assert!(!self.servers.is_empty());
+        if self.stripe_size == u64::MAX {
+            return self.servers[0];
+        }
+        let stripe = off / self.stripe_size;
+        self.servers[(stripe % self.servers.len() as u64) as usize]
+    }
+
+    /// Split `[offset, offset+len)` into per-server extents, in file order,
+    /// merging adjacent stripes that land on the same server.
+    pub fn locate(&self, offset: u64, len: u64) -> Vec<Extent> {
+        assert!(!self.servers.is_empty());
+        if len == 0 {
+            return Vec::new();
+        }
+        if self.stripe_size == u64::MAX || self.servers.len() == 1 {
+            return vec![Extent {
+                server: self.servers[0],
+                offset,
+                len,
+            }];
+        }
+        let mut out: Vec<Extent> = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe_end = (pos / self.stripe_size + 1) * self.stripe_size;
+            let chunk_end = stripe_end.min(end);
+            let server = self.server_of(pos);
+            match out.last_mut() {
+                Some(last) if last.server == server && last.offset + last.len == pos => {
+                    last.len += chunk_end - pos;
+                }
+                _ => out.push(Extent {
+                    server,
+                    offset: pos,
+                    len: chunk_end - pos,
+                }),
+            }
+            pos = chunk_end;
+        }
+        out
+    }
+
+    /// Total bytes of `[offset, offset+len)` stored on each server,
+    /// in server-list order (servers with zero bytes omitted).
+    pub fn server_totals(&self, offset: u64, len: u64) -> Vec<(NodeId, u64)> {
+        let mut totals: Vec<(NodeId, u64)> =
+            self.servers.iter().map(|&s| (s, 0)).collect();
+        for e in self.locate(offset, len) {
+            let slot = totals
+                .iter_mut()
+                .find(|(s, _)| *s == e.server)
+                .expect("extent server is in layout");
+            slot.1 += e.len;
+        }
+        totals.retain(|&(_, b)| b > 0);
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn contiguous_is_one_extent() {
+        let l = StripeLayout::contiguous(n(5));
+        let ex = l.locate(100, 400);
+        assert_eq!(
+            ex,
+            vec![Extent {
+                server: n(5),
+                offset: 100,
+                len: 400
+            }]
+        );
+        assert_eq!(l.server_of(0), n(5));
+        assert_eq!(l.server_of(u64::MAX - 1), n(5));
+    }
+
+    #[test]
+    fn round_robin_cycles_servers() {
+        let l = StripeLayout::striped(vec![n(0), n(1), n(2)]).with_stripe_size(10);
+        assert_eq!(l.server_of(0), n(0));
+        assert_eq!(l.server_of(9), n(0));
+        assert_eq!(l.server_of(10), n(1));
+        assert_eq!(l.server_of(25), n(2));
+        assert_eq!(l.server_of(30), n(0));
+    }
+
+    #[test]
+    fn locate_splits_at_stripe_boundaries() {
+        let l = StripeLayout::striped(vec![n(0), n(1)]).with_stripe_size(10);
+        let ex = l.locate(5, 20);
+        assert_eq!(
+            ex,
+            vec![
+                Extent { server: n(0), offset: 5, len: 5 },
+                Extent { server: n(1), offset: 10, len: 10 },
+                Extent { server: n(0), offset: 20, len: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn single_server_striping_merges_to_one_extent() {
+        let l = StripeLayout::striped(vec![n(3)]).with_stripe_size(8);
+        let ex = l.locate(0, 100);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].len, 100);
+    }
+
+    #[test]
+    fn empty_range_locates_nowhere() {
+        let l = StripeLayout::striped(vec![n(0), n(1)]);
+        assert!(l.locate(42, 0).is_empty());
+    }
+
+    #[test]
+    fn server_totals_sums_per_server() {
+        let l = StripeLayout::striped(vec![n(0), n(1)]).with_stripe_size(10);
+        let totals = l.server_totals(0, 30);
+        assert_eq!(totals, vec![(n(0), 20), (n(1), 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe size must be positive")]
+    fn zero_stripe_rejected() {
+        let _ = StripeLayout::striped(vec![n(0)]).with_stripe_size(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Extents exactly tile the requested range: in order, disjoint,
+        /// contiguous, summing to `len`, and each within one stripe's server.
+        #[test]
+        fn locate_tiles_the_range(
+            offset in 0u64..10_000,
+            len in 1u64..10_000,
+            stripe in 1u64..512,
+            nservers in 1usize..8,
+        ) {
+            let servers: Vec<NodeId> = (0..nservers).map(NodeId).collect();
+            let l = StripeLayout::striped(servers).with_stripe_size(stripe);
+            let extents = l.locate(offset, len);
+            let mut pos = offset;
+            let mut total = 0;
+            for e in &extents {
+                prop_assert_eq!(e.offset, pos, "extents must be contiguous");
+                prop_assert!(e.len > 0);
+                // Every byte of the extent maps to the extent's server.
+                prop_assert_eq!(l.server_of(e.offset), e.server);
+                prop_assert_eq!(l.server_of(e.offset + e.len - 1), e.server);
+                pos += e.len;
+                total += e.len;
+            }
+            prop_assert_eq!(total, len);
+            // Adjacent extents never share a server (they would have merged).
+            for w in extents.windows(2) {
+                prop_assert_ne!(w[0].server, w[1].server);
+            }
+        }
+
+        /// server_totals agrees with locate.
+        #[test]
+        fn totals_match_locate(
+            offset in 0u64..5_000,
+            len in 1u64..5_000,
+            stripe in 1u64..128,
+            nservers in 1usize..6,
+        ) {
+            let servers: Vec<NodeId> = (0..nservers).map(NodeId).collect();
+            let l = StripeLayout::striped(servers).with_stripe_size(stripe);
+            let mut from_locate = std::collections::BTreeMap::new();
+            for e in l.locate(offset, len) {
+                *from_locate.entry(e.server).or_insert(0u64) += e.len;
+            }
+            for (server, bytes) in l.server_totals(offset, len) {
+                prop_assert_eq!(from_locate.get(&server), Some(&bytes));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Metadata server: namespace, handles, stat.
+//!
+//! Mirrors the PVFS2 metadata server's role in the DOSAS prototype: clients
+//! resolve a path to a handle + layout once at open, then talk to data
+//! servers directly.
+
+use crate::error::PfsError;
+use crate::layout::StripeLayout;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Opaque file handle issued by the metadata server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileHandle(pub u64);
+
+/// Everything the metadata server knows about one file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    pub handle: FileHandle,
+    pub path: String,
+    pub size: u64,
+    pub layout: StripeLayout,
+}
+
+/// The namespace authority.
+#[derive(Debug, Default)]
+pub struct MetadataServer {
+    by_path: BTreeMap<String, FileHandle>,
+    by_handle: BTreeMap<FileHandle, FileMeta>,
+    next_handle: u64,
+    /// Operation counters, probe-able like any server statistic.
+    pub ops_served: u64,
+}
+
+impl MetadataServer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a file of `size` bytes with the given layout.
+    pub fn create(
+        &mut self,
+        path: &str,
+        size: u64,
+        layout: StripeLayout,
+    ) -> Result<FileHandle, PfsError> {
+        self.ops_served += 1;
+        if layout.servers.is_empty() {
+            return Err(PfsError::EmptyLayout);
+        }
+        if self.by_path.contains_key(path) {
+            return Err(PfsError::AlreadyExists(path.to_string()));
+        }
+        let handle = FileHandle(self.next_handle);
+        self.next_handle += 1;
+        self.by_path.insert(path.to_string(), handle);
+        self.by_handle.insert(
+            handle,
+            FileMeta {
+                handle,
+                path: path.to_string(),
+                size,
+                layout,
+            },
+        );
+        Ok(handle)
+    }
+
+    /// Resolve a path to a handle.
+    pub fn lookup(&mut self, path: &str) -> Result<FileHandle, PfsError> {
+        self.ops_served += 1;
+        self.by_path
+            .get(path)
+            .copied()
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))
+    }
+
+    /// Fetch a file's metadata.
+    pub fn stat(&mut self, handle: FileHandle) -> Result<&FileMeta, PfsError> {
+        self.ops_served += 1;
+        self.by_handle
+            .get(&handle)
+            .ok_or(PfsError::BadHandle(handle.0))
+    }
+
+    /// Remove a file from the namespace.
+    pub fn unlink(&mut self, path: &str) -> Result<FileHandle, PfsError> {
+        self.ops_served += 1;
+        let handle = self
+            .by_path
+            .remove(path)
+            .ok_or_else(|| PfsError::NotFound(path.to_string()))?;
+        self.by_handle.remove(&handle);
+        Ok(handle)
+    }
+
+    /// Grow or shrink a file.
+    pub fn truncate(&mut self, handle: FileHandle, size: u64) -> Result<(), PfsError> {
+        self.ops_served += 1;
+        let meta = self
+            .by_handle
+            .get_mut(&handle)
+            .ok_or(PfsError::BadHandle(handle.0))?;
+        meta.size = size;
+        Ok(())
+    }
+
+    /// Paths under a prefix, sorted (cheap `ls`).
+    pub fn list(&mut self, prefix: &str) -> Vec<String> {
+        self.ops_served += 1;
+        self.by_path
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.by_path.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::NodeId;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::contiguous(NodeId(1))
+    }
+
+    #[test]
+    fn create_lookup_stat_roundtrip() {
+        let mut m = MetadataServer::new();
+        let h = m.create("/data/a.dat", 1000, layout()).unwrap();
+        assert_eq!(m.lookup("/data/a.dat").unwrap(), h);
+        let meta = m.stat(h).unwrap();
+        assert_eq!(meta.size, 1000);
+        assert_eq!(meta.path, "/data/a.dat");
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut m = MetadataServer::new();
+        m.create("/x", 1, layout()).unwrap();
+        assert_eq!(
+            m.create("/x", 2, layout()),
+            Err(PfsError::AlreadyExists("/x".into()))
+        );
+    }
+
+    #[test]
+    fn lookup_missing_fails() {
+        let mut m = MetadataServer::new();
+        assert_eq!(m.lookup("/nope"), Err(PfsError::NotFound("/nope".into())));
+    }
+
+    #[test]
+    fn unlink_invalidates_handle() {
+        let mut m = MetadataServer::new();
+        let h = m.create("/x", 1, layout()).unwrap();
+        m.unlink("/x").unwrap();
+        assert_eq!(m.stat(h).unwrap_err(), PfsError::BadHandle(h.0));
+        assert!(m.lookup("/x").is_err());
+        assert_eq!(m.file_count(), 0);
+    }
+
+    #[test]
+    fn truncate_updates_size() {
+        let mut m = MetadataServer::new();
+        let h = m.create("/x", 10, layout()).unwrap();
+        m.truncate(h, 99).unwrap();
+        assert_eq!(m.stat(h).unwrap().size, 99);
+        assert!(m.truncate(FileHandle(777), 0).is_err());
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let mut m = MetadataServer::new();
+        let a = m.create("/a", 1, layout()).unwrap();
+        let b = m.create("/b", 1, layout()).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let mut m = MetadataServer::new();
+        m.create("/data/a", 1, layout()).unwrap();
+        m.create("/data/b", 1, layout()).unwrap();
+        m.create("/tmp/c", 1, layout()).unwrap();
+        assert_eq!(m.list("/data/"), vec!["/data/a", "/data/b"]);
+    }
+
+    #[test]
+    fn empty_layout_rejected() {
+        let mut m = MetadataServer::new();
+        let bad = StripeLayout {
+            stripe_size: 64,
+            servers: vec![],
+        };
+        assert_eq!(m.create("/x", 1, bad), Err(PfsError::EmptyLayout));
+    }
+
+    #[test]
+    fn ops_counter_increments() {
+        let mut m = MetadataServer::new();
+        m.create("/x", 1, layout()).unwrap();
+        let _ = m.lookup("/x");
+        let _ = m.list("/");
+        assert_eq!(m.ops_served, 3);
+    }
+}

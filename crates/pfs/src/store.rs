@@ -1,0 +1,116 @@
+//! In-memory object store: the data plane.
+//!
+//! Carries *real* bytes for files small enough to matter in tests and
+//! examples, so that scheme-equivalence tests can assert TS, AS and DOSAS
+//! produce bit-identical kernel results. Performance experiments use the
+//! timing plane only and never materialize data here.
+
+use crate::error::PfsError;
+use crate::meta::FileHandle;
+use std::collections::BTreeMap;
+
+/// Byte content keyed by file handle.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    objects: BTreeMap<FileHandle, Vec<u8>>,
+}
+
+impl MemoryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create or replace the content of `handle`.
+    pub fn put(&mut self, handle: FileHandle, data: Vec<u8>) {
+        self.objects.insert(handle, data);
+    }
+
+    /// Size of the stored object, if any.
+    pub fn size(&self, handle: FileHandle) -> Option<u64> {
+        self.objects.get(&handle).map(|d| d.len() as u64)
+    }
+
+    /// Read `[offset, offset+len)`.
+    pub fn read_at(&self, handle: FileHandle, offset: u64, len: u64) -> Result<&[u8], PfsError> {
+        let data = self
+            .objects
+            .get(&handle)
+            .ok_or(PfsError::BadHandle(handle.0))?;
+        let size = data.len() as u64;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= size)
+            .ok_or(PfsError::OutOfBounds { offset, len, size })?;
+        Ok(&data[offset as usize..end as usize])
+    }
+
+    /// Write `buf` at `offset`, growing the object if needed.
+    pub fn write_at(&mut self, handle: FileHandle, offset: u64, buf: &[u8]) {
+        let data = self.objects.entry(handle).or_default();
+        let end = offset as usize + buf.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(buf);
+    }
+
+    pub fn remove(&mut self, handle: FileHandle) -> Option<Vec<u8>> {
+        self.objects.remove(&handle)
+    }
+
+    pub fn contains(&self, handle: FileHandle) -> bool {
+        self.objects.contains_key(&handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(v: u64) -> FileHandle {
+        FileHandle(v)
+    }
+
+    #[test]
+    fn put_read_roundtrip() {
+        let mut s = MemoryStore::new();
+        s.put(h(1), vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.read_at(h(1), 1, 3).unwrap(), &[2, 3, 4]);
+        assert_eq!(s.size(h(1)), Some(5));
+        assert!(s.contains(h(1)));
+    }
+
+    #[test]
+    fn read_bounds_checked() {
+        let mut s = MemoryStore::new();
+        s.put(h(1), vec![0; 10]);
+        assert!(matches!(
+            s.read_at(h(1), 8, 5),
+            Err(PfsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.read_at(h(1), u64::MAX, 1),
+            Err(PfsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(s.read_at(h(9), 0, 1), Err(PfsError::BadHandle(9))));
+    }
+
+    #[test]
+    fn write_grows_object() {
+        let mut s = MemoryStore::new();
+        s.write_at(h(2), 3, &[7, 8]);
+        assert_eq!(s.size(h(2)), Some(5));
+        assert_eq!(s.read_at(h(2), 0, 5).unwrap(), &[0, 0, 0, 7, 8]);
+        s.write_at(h(2), 0, &[1]);
+        assert_eq!(s.read_at(h(2), 0, 2).unwrap(), &[1, 0]);
+    }
+
+    #[test]
+    fn remove_forgets_object() {
+        let mut s = MemoryStore::new();
+        s.put(h(3), vec![9]);
+        assert_eq!(s.remove(h(3)), Some(vec![9]));
+        assert!(!s.contains(h(3)));
+        assert_eq!(s.remove(h(3)), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! The simulation run loop.
+//!
+//! A simulation is a [`World`] (all model state) plus a [`Scheduler`]
+//! (the event queue and the clock). The world's `handle` method receives each
+//! event in timestamp order and may schedule further events.
+
+use crate::event::EventQueue;
+use crate::time::{SimSpan, SimTime};
+
+/// The model: owns all state and reacts to events.
+pub trait World {
+    type Event;
+
+    /// Handle one event at simulation time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// The clock plus the pending-event queue, handed to the world on every event.
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past: causality violations are model bugs.
+    pub fn at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` after a delay of `span`.
+    pub fn after(&mut self, span: SimSpan, event: E) {
+        self.queue.push(self.now + span, event);
+    }
+
+    /// Schedule `event` at the current instant (processed after the events
+    /// already queued for this instant).
+    pub fn immediately(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn dispatched_count(&self) -> u64 {
+        self.queue.dispatched_count()
+    }
+}
+
+/// Drives a [`World`] to completion or to a deadline.
+pub struct Simulation<W: World> {
+    pub world: W,
+    sched: Scheduler<W::Event>,
+}
+
+impl<W: World> Simulation<W> {
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Access the scheduler, e.g. to seed initial events before running.
+    pub fn scheduler(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.sched
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Dispatch a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.queue.pop() {
+            Some((t, ev)) => {
+                debug_assert!(t >= self.sched.now);
+                self.sched.now = t;
+                self.world.handle(t, ev, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until no events remain. Returns the final simulation time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.sched.now
+    }
+
+    /// Run until no events remain or the clock passes `deadline`.
+    ///
+    /// Events stamped after `deadline` stay queued; the clock is left at the
+    /// last dispatched event (or `deadline` if nothing ran past it).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.sched.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.sched.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that re-schedules a decrementing counter.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl World for Countdown {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.after(SimSpan::from_nanos(10), ());
+            }
+        }
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 3,
+            fired_at: vec![],
+        });
+        sim.scheduler().at(SimTime::from_nanos(5), ());
+        let end = sim.run();
+        assert_eq!(end, SimTime::from_nanos(35));
+        assert_eq!(
+            sim.world.fired_at,
+            vec![5, 15, 25, 35]
+                .into_iter()
+                .map(SimTime::from_nanos)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 100,
+            fired_at: vec![],
+        });
+        sim.scheduler().at(SimTime::ZERO, ());
+        sim.run_until(SimTime::from_nanos(25));
+        assert_eq!(sim.world.fired_at.len(), 3); // t = 0, 10, 20
+        assert!(sim.scheduler().pending() > 0);
+    }
+
+    #[test]
+    fn immediately_runs_after_current_instant_events() {
+        struct Rec(Vec<&'static str>);
+        impl World for Rec {
+            type Event = &'static str;
+            fn handle(&mut self, _t: SimTime, ev: &'static str, sched: &mut Scheduler<&'static str>) {
+                self.0.push(ev);
+                if ev == "first" {
+                    sched.immediately("injected");
+                }
+            }
+        }
+        let mut sim = Simulation::new(Rec(vec![]));
+        sim.scheduler().at(SimTime::ZERO, "first");
+        sim.scheduler().at(SimTime::ZERO, "second");
+        sim.run();
+        assert_eq!(sim.world.0, vec!["first", "second", "injected"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, _t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+                sched.at(SimTime::ZERO, ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.scheduler().at(SimTime::from_nanos(10), ());
+        sim.run();
+    }
+
+    #[test]
+    fn step_returns_false_when_idle() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
+        assert!(!sim.step());
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! # simkit — deterministic discrete-event simulation engine
+//!
+//! The substrate underneath the DOSAS reproduction: a small, fast,
+//! fully deterministic discrete-event simulation (DES) core.
+//!
+//! Components:
+//!
+//! * [`time`] — integer-nanosecond simulation clock ([`SimTime`], [`SimSpan`]).
+//! * [`event`] — a stable-order event queue (FIFO among equal timestamps).
+//! * [`executor`] — the [`executor::World`] trait and run loop.
+//! * [`share`] — a generalized processor-sharing resource with max-min fair
+//!   allocation and epoch-based completion-event invalidation; models
+//!   multi-core CPUs and fair-share network links.
+//! * [`fifo`] — a multi-server FIFO queueing resource; models disks and
+//!   request queues with explicit service times.
+//! * [`stats`] — time-weighted statistics, tallies and series recorders.
+//! * [`rng`] — seed-derived deterministic random streams.
+//!
+//! Design notes:
+//!
+//! * All state lives in plain structs owned by the caller's `World`; there is
+//!   no interior mutability and no global state, so simulations are trivially
+//!   reproducible and `Send`.
+//! * Resources never schedule events themselves. They expose
+//!   "next interesting time" queries plus an *epoch*; the world schedules a
+//!   tick carrying the epoch and ignores the tick if the epoch moved on.
+//!   This avoids priority-queue deletion entirely.
+
+pub mod event;
+pub mod executor;
+pub mod fifo;
+pub mod rng;
+pub mod share;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use executor::{Scheduler, Simulation, World};
+pub use fifo::FifoServer;
+pub use rng::RngFactory;
+pub use share::{ShareResource, TaskId};
+pub use time::{SimSpan, SimTime};

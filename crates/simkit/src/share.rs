@@ -1,0 +1,442 @@
+//! Generalized processor-sharing resource with max-min fair allocation.
+//!
+//! Models any resource whose concurrent users split a fixed capacity fairly,
+//! with an optional per-task rate cap:
+//!
+//! * a multi-core CPU: `capacity = cores × core_rate`, per-task cap =
+//!   `core_rate` (a sequential task cannot use more than one core);
+//! * a network link shared by flows: `capacity = link_bandwidth`, per-flow cap
+//!   = whatever the flow's other bottleneck allows.
+//!
+//! Rates are recomputed by water-filling whenever the task set or the
+//! capacity changes. The caller schedules a completion tick for
+//! [`next_completion`](ShareResource::next_completion) carrying the current
+//! [`epoch`](ShareResource::epoch); if the epoch moved on by the time the tick
+//! fires, the tick is stale and must be ignored.
+
+use crate::time::{SimSpan, SimTime};
+use std::collections::BTreeMap;
+
+/// Identifies a task within one `ShareResource`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+#[derive(Debug, Clone)]
+struct Task {
+    remaining: f64,
+    total: f64,
+    cap: f64,
+    rate: f64,
+}
+
+/// A task removed before completion, with how much work it had left.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemovedTask {
+    /// Work units still to do.
+    pub remaining: f64,
+    /// Fraction of the original work already performed, in `[0, 1]`.
+    pub progress: f64,
+}
+
+/// Max-min fair shared resource. Work and capacity units are arbitrary but
+/// must match (e.g. bytes and bytes/second).
+#[derive(Debug, Clone)]
+pub struct ShareResource {
+    capacity: f64,
+    tasks: BTreeMap<TaskId, Task>,
+    last_update: SimTime,
+    epoch: u64,
+    next_id: u64,
+    /// Total work ever completed (for utilization accounting).
+    completed_work: f64,
+}
+
+impl ShareResource {
+    /// A resource serving `capacity` work units per second.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive, got {capacity}"
+        );
+        ShareResource {
+            capacity,
+            tasks: BTreeMap::new(),
+            last_update: SimTime::ZERO,
+            epoch: 0,
+            next_id: 0,
+            completed_work: 0.0,
+        }
+    }
+
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Change total capacity (e.g. cores taken away for other duties).
+    pub fn set_capacity(&mut self, now: SimTime, capacity: f64) {
+        assert!(capacity.is_finite() && capacity > 0.0);
+        self.advance(now);
+        self.capacity = capacity;
+        self.bump();
+    }
+
+    /// Current membership-change epoch. Completion ticks must carry this.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Submit `work` units with a per-task rate cap of `cap` units/second.
+    pub fn add(&mut self, now: SimTime, work: f64, cap: f64) -> TaskId {
+        assert!(work.is_finite() && work >= 0.0, "work must be >= 0, got {work}");
+        assert!(cap.is_finite() && cap > 0.0, "cap must be > 0, got {cap}");
+        self.advance(now);
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        self.tasks.insert(
+            id,
+            Task {
+                remaining: work,
+                total: work,
+                cap,
+                rate: 0.0,
+            },
+        );
+        self.bump();
+        id
+    }
+
+    /// Withdraw a task (e.g. a kernel interrupted by the DOSAS runtime).
+    /// Returns its residual work, or `None` if the id is unknown/completed.
+    pub fn remove(&mut self, now: SimTime, id: TaskId) -> Option<RemovedTask> {
+        self.advance(now);
+        let task = self.tasks.remove(&id)?;
+        self.bump();
+        let progress = if task.total > 0.0 {
+            ((task.total - task.remaining) / task.total).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        Some(RemovedTask {
+            remaining: task.remaining.max(0.0),
+            progress,
+        })
+    }
+
+    /// Apply progress at the current rates up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "advance must move forward");
+        let dt = (now - self.last_update).as_secs_f64();
+        if dt > 0.0 {
+            for task in self.tasks.values_mut() {
+                let done = task.rate * dt;
+                task.remaining = (task.remaining - done).max(0.0);
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// The earliest time any current task completes, given current rates.
+    /// `None` if the resource is idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let mut best: Option<f64> = None;
+        for task in self.tasks.values() {
+            if task.rate > 0.0 {
+                let dt = task.remaining / task.rate;
+                best = Some(match best {
+                    Some(b) => b.min(dt),
+                    None => dt,
+                });
+            } else if task.remaining <= 0.0 {
+                best = Some(0.0);
+            }
+        }
+        best.map(|dt| self.last_update + SimSpan::from_secs_f64(dt))
+    }
+
+    /// Advance to `now`, then remove and return every finished task
+    /// (work would complete within half a clock tick).
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<TaskId> {
+        self.advance(now);
+        let done: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.remaining <= t.rate * 0.5e-9 || t.remaining <= 0.0)
+            .map(|(&id, _)| id)
+            .collect();
+        if !done.is_empty() {
+            for id in &done {
+                if let Some(t) = self.tasks.remove(id) {
+                    self.completed_work += t.total;
+                }
+            }
+            self.bump();
+        }
+        done
+    }
+
+    /// Fraction of `id`'s work already performed, if the task is live.
+    pub fn progress(&self, id: TaskId) -> Option<f64> {
+        self.tasks.get(&id).map(|t| {
+            if t.total > 0.0 {
+                ((t.total - t.remaining) / t.total).clamp(0.0, 1.0)
+            } else {
+                1.0
+            }
+        })
+    }
+
+    /// Residual work of `id`, if live.
+    pub fn remaining(&self, id: TaskId) -> Option<f64> {
+        self.tasks.get(&id).map(|t| t.remaining.max(0.0))
+    }
+
+    /// Current service rate of `id`, if live.
+    pub fn rate_of(&self, id: TaskId) -> Option<f64> {
+        self.tasks.get(&id).map(|t| t.rate)
+    }
+
+    /// Sum of current rates divided by capacity, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let used: f64 = self.tasks.values().map(|t| t.rate).sum();
+        (used / self.capacity).clamp(0.0, 1.0)
+    }
+
+    /// Total work completed through this resource so far.
+    pub fn completed_work(&self) -> f64 {
+        self.completed_work
+    }
+
+    fn bump(&mut self) {
+        self.epoch += 1;
+        self.recompute_rates();
+    }
+
+    /// Max-min fair water-filling with per-task caps.
+    ///
+    /// Visiting tasks in ascending cap order, each takes
+    /// `min(cap, remaining_capacity / remaining_tasks)`; a task that cannot
+    /// use its fair share donates the surplus to the rest.
+    fn recompute_rates(&mut self) {
+        let n = self.tasks.len();
+        if n == 0 {
+            return;
+        }
+        let mut order: Vec<TaskId> = self.tasks.keys().copied().collect();
+        order.sort_by(|a, b| {
+            let ca = self.tasks[a].cap;
+            let cb = self.tasks[b].cap;
+            ca.partial_cmp(&cb).unwrap().then(a.cmp(b))
+        });
+        let mut left = self.capacity;
+        let mut remaining_tasks = n;
+        for id in order {
+            let fair = left / remaining_tasks as f64;
+            let task = self.tasks.get_mut(&id).expect("task in order list");
+            let rate = task.cap.min(fair);
+            task.rate = rate;
+            left -= rate;
+            remaining_tasks -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn single_task_runs_at_cap() {
+        let mut r = ShareResource::new(1000.0);
+        let id = r.add(SimTime::ZERO, 100.0, 250.0);
+        assert_eq!(r.rate_of(id), Some(250.0));
+        let done_at = r.next_completion().unwrap();
+        assert!((done_at.as_secs_f64() - 0.4).abs() < 1e-9);
+        assert_eq!(r.take_completed(done_at), vec![id]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn capacity_splits_fairly() {
+        let mut r = ShareResource::new(100.0);
+        let a = r.add(SimTime::ZERO, 100.0, 1000.0);
+        let b = r.add(SimTime::ZERO, 100.0, 1000.0);
+        assert_eq!(r.rate_of(a), Some(50.0));
+        assert_eq!(r.rate_of(b), Some(50.0));
+        // Both finish together at t = 2 s.
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+        let mut done = r.take_completed(t);
+        done.sort();
+        assert_eq!(done, vec![a, b]);
+    }
+
+    #[test]
+    fn capped_task_donates_surplus() {
+        let mut r = ShareResource::new(100.0);
+        let slow = r.add(SimTime::ZERO, 10.0, 10.0);
+        let fast = r.add(SimTime::ZERO, 10.0, 1000.0);
+        // slow takes its cap (10); fast gets the remaining 90.
+        assert_eq!(r.rate_of(slow), Some(10.0));
+        assert_eq!(r.rate_of(fast), Some(90.0));
+    }
+
+    #[test]
+    fn departure_speeds_up_survivors() {
+        let mut r = ShareResource::new(100.0);
+        let a = r.add(SimTime::ZERO, 100.0, 1000.0);
+        let b = r.add(SimTime::ZERO, 100.0, 1000.0);
+        // At t=1s, each has done 50 units. Remove b.
+        let removed = r.remove(secs(1.0), b).unwrap();
+        assert!((removed.remaining - 50.0).abs() < 1e-9);
+        assert!((removed.progress - 0.5).abs() < 1e-9);
+        // a now runs at 100; its 50 residual units finish at t=1.5s.
+        assert_eq!(r.rate_of(a), Some(100.0));
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_moves_on_every_change() {
+        let mut r = ShareResource::new(10.0);
+        let e0 = r.epoch();
+        let id = r.add(SimTime::ZERO, 5.0, 10.0);
+        assert_ne!(r.epoch(), e0);
+        let e1 = r.epoch();
+        r.remove(SimTime::ZERO, id);
+        assert_ne!(r.epoch(), e1);
+        let e2 = r.epoch();
+        r.set_capacity(SimTime::ZERO, 20.0);
+        assert_ne!(r.epoch(), e2);
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let mut r = ShareResource::new(10.0);
+        let id = r.add(SimTime::ZERO, 0.0, 10.0);
+        let t = r.next_completion().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+        assert_eq!(r.take_completed(t), vec![id]);
+    }
+
+    #[test]
+    fn utilization_reflects_caps() {
+        let mut r = ShareResource::new(100.0);
+        r.add(SimTime::ZERO, 10.0, 25.0);
+        assert!((r.utilization() - 0.25).abs() < 1e-12);
+        r.add(SimTime::ZERO, 10.0, 25.0);
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_joiner_shares_from_arrival() {
+        // a: 100 units alone for 0.5 s at rate 100 -> 50 left.
+        // b joins at 0.5 s; both run at 50 -> a finishes at 1.5 s.
+        let mut r = ShareResource::new(100.0);
+        let a = r.add(SimTime::ZERO, 100.0, 1000.0);
+        let _b = r.add(secs(0.5), 100.0, 1000.0);
+        assert_eq!(r.rate_of(a), Some(50.0));
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(r.take_completed(t), vec![a]);
+    }
+
+    #[test]
+    fn completed_work_accumulates() {
+        let mut r = ShareResource::new(10.0);
+        r.add(SimTime::ZERO, 5.0, 10.0);
+        let t = r.next_completion().unwrap();
+        r.take_completed(t);
+        assert!((r.completed_work() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be > 0")]
+    fn zero_cap_rejected() {
+        let mut r = ShareResource::new(10.0);
+        r.add(SimTime::ZERO, 1.0, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Max-min fairness invariants after an arbitrary set of arrivals:
+    /// no task exceeds its cap; the capacity is never oversubscribed; and if
+    /// capacity is left over, every task is pinned at its own cap.
+    #[test]
+    fn rates_satisfy_max_min() {
+        proptest!(|(caps in proptest::collection::vec(0.01f64..100.0, 1..40),
+                    capacity in 0.1f64..500.0)| {
+            let mut r = ShareResource::new(capacity);
+            let ids: Vec<TaskId> = caps
+                .iter()
+                .map(|&c| r.add(SimTime::ZERO, 1.0, c))
+                .collect();
+            let rates: Vec<f64> = ids.iter().map(|&id| r.rate_of(id).unwrap()).collect();
+            let total: f64 = rates.iter().sum();
+            prop_assert!(total <= capacity * (1.0 + 1e-9));
+            for (rate, cap) in rates.iter().zip(caps.iter()) {
+                prop_assert!(*rate <= cap * (1.0 + 1e-9));
+                prop_assert!(*rate >= 0.0);
+            }
+            if total < capacity * (1.0 - 1e-9) {
+                // Leftover capacity => every task must be at its cap.
+                for (rate, cap) in rates.iter().zip(caps.iter()) {
+                    prop_assert!((rate - cap).abs() <= cap * 1e-9);
+                }
+            }
+        });
+    }
+
+    /// Work conservation: tasks all submitted at t=0 with equal caps complete
+    /// exactly when the integral of their service rate equals their work.
+    #[test]
+    fn equal_tasks_complete_at_analytic_time() {
+        proptest!(|(n in 1usize..30, work in 1.0f64..1000.0, capacity in 1.0f64..1000.0)| {
+            let mut r = ShareResource::new(capacity);
+            for _ in 0..n {
+                r.add(SimTime::ZERO, work, capacity * 2.0);
+            }
+            let expect = n as f64 * work / capacity;
+            let t = r.next_completion().unwrap();
+            prop_assert!((t.as_secs_f64() - expect).abs() < 1e-6 * expect.max(1.0));
+            let done = r.take_completed(t);
+            prop_assert_eq!(done.len(), n);
+        });
+    }
+
+    /// Removing and re-adding a task's residual work must not create or
+    /// destroy work: the end-to-end completion time matches a task that was
+    /// never interrupted (single-task case, constant rate).
+    #[test]
+    fn interruption_conserves_work() {
+        proptest!(|(work in 1.0f64..100.0, cut in 0.05f64..0.95)| {
+            let capacity = 10.0;
+            // Uninterrupted reference.
+            let expect = work / capacity;
+
+            let mut r = ShareResource::new(capacity);
+            let id = r.add(SimTime::ZERO, work, capacity);
+            let cut_at = SimTime::from_secs_f64(expect * cut);
+            let removed = r.remove(cut_at, id).unwrap();
+            let id2 = r.add(cut_at, removed.remaining, capacity);
+            let t = r.next_completion().unwrap();
+            prop_assert!((t.as_secs_f64() - expect).abs() < 1e-6);
+            prop_assert_eq!(r.take_completed(t), vec![id2]);
+        });
+    }
+}

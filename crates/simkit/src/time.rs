@@ -1,0 +1,232 @@
+//! Simulation clock: integer nanoseconds.
+//!
+//! Integer time keeps the event order total and platform-independent;
+//! floating-point timestamps accumulate rounding that can flip event order
+//! between runs. Durations derived from floating-point work amounts are
+//! rounded *up* to the next nanosecond so work never finishes early.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimSpan(u64);
+
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as a sentinel for "no deadline".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from seconds, rounding up to the next nanosecond.
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_nanos(secs))
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, other: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(other.0))
+    }
+}
+
+impl SimSpan {
+    pub const ZERO: SimSpan = SimSpan(0);
+    pub const MAX: SimSpan = SimSpan(u64::MAX);
+
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimSpan(ns)
+    }
+
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Construct from seconds, rounding up to the next nanosecond.
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimSpan(secs_to_nanos(secs))
+    }
+
+    pub fn from_micros(us: u64) -> Self {
+        SimSpan(us * 1_000)
+    }
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimSpan(ms * 1_000_000)
+    }
+
+    pub fn from_secs(s: u64) -> Self {
+        SimSpan(s * NANOS_PER_SEC)
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC as f64
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+fn secs_to_nanos(secs: f64) -> u64 {
+    assert!(
+        secs.is_finite() && secs >= 0.0,
+        "time from seconds must be finite and non-negative, got {secs}"
+    );
+    let ns = secs * NANOS_PER_SEC as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns.ceil() as u64
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    /// Panics (in debug) if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    #[inline]
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimSpan {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimSpan) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimSpan::default(), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn from_secs_rounds_up() {
+        // 1.5 ns worth of seconds must round up to 2 ns.
+        let t = SimTime::from_secs_f64(1.5e-9);
+        assert_eq!(t.as_nanos(), 2);
+        assert_eq!(SimSpan::from_secs_f64(0.0), SimSpan::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = SimTime::from_nanos(100);
+        let s = SimSpan::from_nanos(42);
+        assert_eq!((a + s) - a, s);
+        let mut b = a;
+        b += s;
+        assert_eq!(b, a + s);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(SimTime::MAX + SimSpan::from_nanos(1), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_nanos(5).saturating_sub(SimTime::from_nanos(9)),
+            SimSpan::ZERO
+        );
+    }
+
+    #[test]
+    fn second_conversions() {
+        assert_eq!(SimSpan::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimSpan::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimSpan::from_secs(2).as_nanos(), 2 * NANOS_PER_SEC);
+        let t = SimTime::from_secs_f64(1.25);
+        assert!((t.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_seconds_panic() {
+        let _ = SimSpan::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimSpan::from_nanos(1) < SimSpan::from_nanos(2));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::from_secs_f64(1.5)), "1.500000s");
+        assert_eq!(format!("{}", SimSpan::from_millis(250)), "0.250000s");
+    }
+
+    #[test]
+    fn huge_seconds_saturate() {
+        assert_eq!(SimTime::from_secs_f64(f64::MAX.sqrt()), SimTime::MAX);
+    }
+}

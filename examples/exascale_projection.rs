@@ -1,0 +1,90 @@
+//! Exascale projection: the paper's motivation, pushed further.
+//!
+//! §I argues from machines like ANL's Intrepid — 64 compute nodes per I/O
+//! node — toward exascale systems with "at least a billion threads of
+//! execution": the more compute concurrency stacks up behind each storage
+//! node, the worse naïve active storage gets, and the more a dynamic
+//! scheduler matters. This example sweeps the request concurrency per
+//! storage node well past the paper's 64 and reports all four schemes
+//! (including the partial-offload extension).
+//!
+//! ```text
+//! cargo run --release --example exascale_projection
+//! ```
+
+use dosas_repro::prelude::*;
+
+fn main() {
+    println!("exascale_projection — Gaussian analysis, 128 MB per process\n");
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>8}  {:>9}  {:>22}",
+        "procs/IO", "TS (s)", "AS (s)", "DOSAS(s)", "SPLIT(s)", "DOSAS policy"
+    );
+
+    for n in [4usize, 16, 64, 128, 256] {
+        let workload = Workload::uniform_active(
+            n,
+            1,
+            128 << 20,
+            "gaussian2d",
+            KernelParams::with_width(4096),
+        );
+        let run = |scheme: Scheme| Driver::run(DriverConfig::paper(scheme), &workload);
+        let ts = run(Scheme::Traditional);
+        let as_ = run(Scheme::ActiveStorage);
+        let ds = run(Scheme::dosas_default());
+        let sp = run(Scheme::dosas_partial());
+        let policy = format!(
+            "{} offloaded, {} demoted",
+            ds.runtime.completed_active, ds.runtime.demoted
+        );
+        println!(
+            "{:>9}  {:>8.1}  {:>8.1}  {:>8.1}  {:>9.1}  {:>22}",
+            n,
+            ts.makespan_secs,
+            as_.makespan_secs,
+            ds.makespan_secs,
+            sp.makespan_secs,
+            policy
+        );
+    }
+
+    println!(
+        "\nAs the compute:storage ratio grows (Intrepid was 64:1; exascale\n\
+         designs are worse), naïve offloading degrades linearly in the\n\
+         number of concurrent kernels, the dynamic scheduler pins itself to\n\
+         the wire-limited traditional path, and fractional offloading keeps\n\
+         the storage CPU *and* the wire busy — the gap it opens over DOSAS\n\
+         is pure contention-era headroom."
+    );
+
+    // Second axis: hold 64 processes, vary how many storage nodes they
+    // spread across (1:64 → 8:8).
+    println!("\n64 processes spread over more storage nodes (128 MB each):");
+    println!(
+        "{:>13}  {:>8}  {:>8}  {:>9}",
+        "storage nodes", "AS (s)", "DOSAS(s)", "SPLIT(s)"
+    );
+    for servers in [1usize, 2, 4, 8] {
+        let per = 64 / servers;
+        let workload = Workload::uniform_active(
+            per,
+            servers,
+            128 << 20,
+            "gaussian2d",
+            KernelParams::with_width(4096),
+        );
+        let run = |scheme: Scheme| {
+            let mut cfg = DriverConfig::paper(scheme);
+            cfg.cluster.storage_nodes = servers;
+            Driver::run(cfg, &workload).makespan_secs
+        };
+        println!(
+            "{:>13}  {:>8.1}  {:>8.1}  {:>9.1}",
+            servers,
+            run(Scheme::ActiveStorage),
+            run(Scheme::dosas_default()),
+            run(Scheme::dosas_partial()),
+        );
+    }
+}

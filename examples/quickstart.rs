@@ -1,0 +1,52 @@
+//! Quickstart: run the paper's benchmark under all three schemes and watch
+//! the dynamic scheduler pick the right side of the crossover.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dosas_repro::prelude::*;
+
+fn main() {
+    println!("DOSAS quickstart — 2-D Gaussian filter, 128 MB per request\n");
+    println!(
+        "{:>6}  {:>9}  {:>9}  {:>9}   note",
+        "n_ios", "TS (s)", "AS (s)", "DOSAS (s)"
+    );
+
+    for n in [1usize, 2, 4, 8, 16, 32, 64] {
+        // n processes, each issuing one MPI_File_read_ex("gaussian2d")
+        // against a single 2-core storage node (1 core free for kernels).
+        let workload = Workload::uniform_active(
+            n,
+            1,
+            128 << 20,
+            "gaussian2d",
+            KernelParams::with_width(4096),
+        );
+
+        let run = |scheme: Scheme| Driver::run(DriverConfig::paper(scheme), &workload);
+        let ts = run(Scheme::Traditional);
+        let as_ = run(Scheme::ActiveStorage);
+        let ds = run(Scheme::dosas_default());
+
+        let note = if ds.runtime.demoted > 0 {
+            format!(
+                "DOSAS demoted {} of {} active requests",
+                ds.runtime.demoted, n
+            )
+        } else {
+            "DOSAS kept everything on the storage node".to_string()
+        };
+        println!(
+            "{:>6}  {:>9.2}  {:>9.2}  {:>9.2}   {note}",
+            n, ts.makespan_secs, as_.makespan_secs, ds.makespan_secs
+        );
+    }
+
+    println!(
+        "\nShape to notice (paper Figs. 4/7): active storage wins while the\n\
+         storage node has CPU headroom (n <= ~3) and collapses beyond it;\n\
+         DOSAS follows the lower envelope by demoting active I/O on the fly."
+    );
+}

@@ -1,0 +1,233 @@
+//! `dosas-sim` — command-line front end to the DOSAS simulator.
+//!
+//! Runs one experiment point and prints human-readable metrics or JSON.
+//!
+//! ```text
+//! dosas-sim --scheme dosas --op gaussian2d --n 16 --size-mb 128
+//! dosas-sim --scheme ts,as,dosas,partial --n 8 --json
+//! dosas-sim --help
+//! ```
+
+use dosas_repro::prelude::*;
+use std::process::exit;
+
+#[derive(Debug, Clone)]
+struct Args {
+    schemes: Vec<Scheme>,
+    op: String,
+    n: usize,
+    size_mb: u64,
+    storage_nodes: usize,
+    seed: u64,
+    deterministic: bool,
+    json: bool,
+    trace: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            schemes: vec![Scheme::dosas_default()],
+            op: "gaussian2d".into(),
+            n: 8,
+            size_mb: 128,
+            storage_nodes: 1,
+            seed: 42,
+            deterministic: false,
+            json: false,
+            trace: None,
+        }
+    }
+}
+
+const HELP: &str = "\
+dosas-sim — DOSAS active-storage simulator (CLUSTER 2012 reproduction)
+
+USAGE:
+    dosas-sim [OPTIONS]
+
+OPTIONS:
+    --scheme <list>      comma list of ts|as|dosas|partial  [default: dosas]
+    --op <name>          sum|gaussian2d|stats|grep|histogram|kmeans1d|smooth1d
+                         [default: gaussian2d]
+    --n <count>          concurrent requests per storage node [default: 8]
+    --size-mb <mb>       request size in MB                  [default: 128]
+    --storage-nodes <k>  number of storage nodes             [default: 1]
+    --seed <u64>         RNG seed                            [default: 42]
+    --deterministic      disable bandwidth/CPU jitter and latencies
+    --json               emit one JSON object per scheme
+    --trace <path>       write a chrome://tracing timeline (last scheme)
+    -h, --help           this text
+";
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    match s {
+        "ts" | "TS" => Ok(Scheme::Traditional),
+        "as" | "AS" => Ok(Scheme::ActiveStorage),
+        "dosas" | "DOSAS" => Ok(Scheme::dosas_default()),
+        "partial" | "PARTIAL" | "split" => Ok(Scheme::dosas_partial()),
+        other => Err(format!("unknown scheme {other:?} (ts|as|dosas|partial)")),
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => {
+                args.schemes = value("--scheme")?
+                    .split(',')
+                    .map(parse_scheme)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--op" => args.op = value("--op")?,
+            "--n" => {
+                args.n = value("--n")?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?;
+            }
+            "--size-mb" => {
+                args.size_mb = value("--size-mb")?
+                    .parse()
+                    .map_err(|e| format!("--size-mb: {e}"))?;
+            }
+            "--storage-nodes" => {
+                args.storage_nodes = value("--storage-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--storage-nodes: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--deterministic" => args.deterministic = true,
+            "--json" => args.json = true,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "-h" | "--help" => {
+                print!("{HELP}");
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}; see --help")),
+        }
+    }
+    if args.n == 0 || args.size_mb == 0 || args.storage_nodes == 0 {
+        return Err("--n, --size-mb and --storage-nodes must be positive".into());
+    }
+    Ok(args)
+}
+
+fn params_for(op: &str) -> KernelParams {
+    match op {
+        "gaussian2d" => KernelParams::with_width(4096),
+        "smooth1d" => KernelParams::with_width(32),
+        "grep" => KernelParams::with_pattern(b"needle"),
+        "kmeans1d" => KernelParams::with_centroids(vec![0.25, 0.5, 0.75]),
+        _ => KernelParams::default(),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    };
+    let known_ops = ["sum", "gaussian2d", "stats", "grep", "histogram", "kmeans1d", "smooth1d"];
+    if !known_ops.contains(&args.op.as_str()) {
+        eprintln!("error: unknown op {:?}; known: {}", args.op, known_ops.join(", "));
+        exit(2);
+    }
+
+    let workload = Workload::uniform_active(
+        args.n,
+        args.storage_nodes,
+        args.size_mb << 20,
+        &args.op,
+        params_for(&args.op),
+    );
+
+    if !args.json {
+        println!(
+            "dosas-sim: {} × {} MB {:?} per storage node ({} node{}), seed {}\n",
+            args.n,
+            args.size_mb,
+            args.op,
+            args.storage_nodes,
+            if args.storage_nodes == 1 { "" } else { "s" },
+            args.seed,
+        );
+        println!(
+            "{:>8}  {:>11}  {:>9}  {:>7}  {:>7}  {:>6}  {:>11}",
+            "scheme", "makespan(s)", "MB/s", "active", "demoted", "split", "interrupted"
+        );
+    }
+    for scheme in &args.schemes {
+        let mut cfg = DriverConfig::paper(scheme.clone());
+        if args.deterministic {
+            cfg.cluster = ClusterConfig::deterministic();
+        }
+        cfg.cluster.storage_nodes = args.storage_nodes;
+        cfg.seed = args.seed;
+        cfg.trace = args.trace.is_some();
+        let label = scheme_label(scheme);
+        let m = Driver::run(cfg, &workload);
+        if args.json {
+            println!(
+                "{}",
+                serde_json::json!({
+                    "scheme": label,
+                    "op": args.op,
+                    "n": args.n,
+                    "size_mb": args.size_mb,
+                    "storage_nodes": args.storage_nodes,
+                    "seed": args.seed,
+                    "makespan_secs": m.makespan_secs,
+                    "bandwidth_mb_per_s": m.bandwidth_mb_per_s(),
+                    "mean_latency_secs": m.mean_latency_secs(),
+                    "latency_p95_secs": m.latency_quantile(0.95),
+                    "completed_active": m.runtime.completed_active,
+                    "demoted": m.runtime.demoted,
+                    "interrupted": m.runtime.interrupted,
+                    "split": m.runtime.split,
+                    "events": m.events,
+                })
+            );
+        } else {
+            println!(
+                "{:>8}  {:>11.2}  {:>9.1}  {:>7}  {:>7}  {:>6}  {:>11}",
+                label,
+                m.makespan_secs,
+                m.bandwidth_mb_per_s(),
+                m.runtime.completed_active,
+                m.runtime.demoted,
+                m.runtime.split,
+                m.runtime.interrupted,
+            );
+        }
+        if let (Some(path), Some(trace)) = (&args.trace, &m.trace) {
+            let json = dosas::driver::trace::to_chrome_json(trace);
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warning: could not write trace to {path}: {e}");
+            } else if !args.json {
+                println!("          (timeline written to {path} — open in chrome://tracing)");
+            }
+        }
+    }
+}
+
+fn scheme_label(s: &Scheme) -> &'static str {
+    match s {
+        Scheme::Traditional => "TS",
+        Scheme::ActiveStorage => "AS",
+        Scheme::Dosas(c) if c.partial_offload => "PARTIAL",
+        Scheme::Dosas(_) => "DOSAS",
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration: the substrate stack (simkit → cluster → pfs →
+//! mpiio) composed directly, without the DOSAS driver.
+
+use cluster::{ClusterConfig, ClusterState, NodeId};
+use mpiio::Communicator;
+use pfs::{MetadataServer, ReadPlan, ReadTracker, StripeLayout};
+use simkit::{RngFactory, Scheduler, SimSpan, SimTime, Simulation, World};
+
+/// A hand-rolled mini-world: one client reads a striped file by driving the
+/// fabric and disks directly. Validates that the substrate crates compose
+/// without the dosas driver.
+struct MiniWorld {
+    cluster: ClusterState,
+    pending_flows: usize,
+    done_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    DiskTick { ordinal: usize, epoch: u64 },
+    NetTick { epoch: u64 },
+}
+
+impl World for MiniWorld {
+    type Event = Ev;
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::DiskTick { ordinal, epoch } => {
+                if self.cluster.disks[ordinal].epoch() != epoch {
+                    return;
+                }
+                for _ in self.cluster.disks[ordinal].take_completed(now) {
+                    // Disk done: ship 1 MiB to the client (node 0).
+                    let src = self.cluster.storage_node(ordinal);
+                    self.cluster
+                        .fabric
+                        .start_flow(now, src, NodeId(0), 1024.0 * 1024.0);
+                    self.pending_flows += 1;
+                    if let Some(t) = self.cluster.fabric.next_completion() {
+                        sched.at(t, Ev::NetTick { epoch: self.cluster.fabric.epoch() });
+                    }
+                }
+                if let Some(t) = self.cluster.disks[ordinal].next_event() {
+                    sched.at(t, Ev::DiskTick { ordinal, epoch: self.cluster.disks[ordinal].epoch() });
+                }
+            }
+            Ev::NetTick { epoch } => {
+                if self.cluster.fabric.epoch() != epoch {
+                    return;
+                }
+                let done = self.cluster.fabric.take_completed(now).len();
+                self.pending_flows -= done;
+                if done > 0 && self.pending_flows == 0 {
+                    self.done_at = Some(now);
+                }
+                if let Some(t) = self.cluster.fabric.next_completion() {
+                    sched.at(t, Ev::NetTick { epoch: self.cluster.fabric.epoch() });
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn substrate_composes_without_the_driver() {
+    let cfg = ClusterConfig {
+        storage_nodes: 2,
+        flow_bandwidth_jitter: None,
+        cpu_time_jitter: None,
+        net_latency: SimSpan::ZERO,
+        disk_overhead: SimSpan::ZERO,
+        ..Default::default()
+    };
+    let mut cluster = ClusterState::build(cfg, &RngFactory::new(5));
+    // Two disks each read 1 MiB, then both stream to client 0.
+    for ordinal in 0..2 {
+        cluster.disks[ordinal].submit_read(SimTime::ZERO, 1024.0 * 1024.0);
+    }
+    let mut sim = Simulation::new(MiniWorld {
+        cluster,
+        pending_flows: 0,
+        done_at: None,
+    });
+    for ordinal in 0..2 {
+        let t = sim.world.cluster.disks[ordinal].next_event().unwrap();
+        let epoch = sim.world.cluster.disks[ordinal].epoch();
+        sim.scheduler().at(t, Ev::DiskTick { ordinal, epoch });
+    }
+    sim.run();
+    let done = sim.world.done_at.expect("both transfers completed");
+    // Disk: 1/1000 s; then two 1 MiB flows share client 0's 118 MiB/s rx
+    // link: 2/118 s.
+    let expect = 1.0 / 1000.0 + 2.0 / 118.0;
+    assert!(
+        (done.as_secs_f64() - expect).abs() < 1e-3,
+        "got {done}, want {expect}"
+    );
+}
+
+#[test]
+fn metadata_striping_and_read_planning_compose() {
+    let mut meta = MetadataServer::new();
+    let servers: Vec<NodeId> = vec![NodeId(8), NodeId(9), NodeId(10)];
+    let layout = StripeLayout::striped(servers).with_stripe_size(64 * 1024);
+    let fh = meta.create("/exp/field.dat", 10 << 20, layout).unwrap();
+    let file = meta.stat(fh).unwrap().clone();
+
+    let plan = ReadPlan::new(&file, 100 * 1024, 1 << 20).unwrap();
+    assert_eq!(plan.server_count(), 3);
+    let mut tracker = ReadTracker::new(&plan);
+    let n = plan.extents.len();
+    for i in 0..n {
+        let complete = tracker.deliver(i);
+        assert_eq!(complete, i == n - 1);
+    }
+}
+
+#[test]
+fn communicator_places_ranks_on_cluster_nodes() {
+    let cfg = ClusterConfig::default();
+    let cluster = ClusterState::build(cfg, &RngFactory::new(1));
+    let nodes: Vec<NodeId> = (0..16).map(|i| NodeId(i % cluster.cfg.compute_nodes)).collect();
+    let comm = Communicator::new(nodes);
+    assert_eq!(comm.size(), 16);
+    // Binomial bcast covers all ranks in ceil(log2 16) = 4 rounds.
+    let plan = comm.bcast_plan(0);
+    assert_eq!(plan.iter().map(|m| m.round).max().unwrap() + 1, 4);
+    // Every planned message runs between real compute nodes.
+    for m in plan {
+        assert!(comm.node_of(m.src_rank).0 < cluster.cfg.compute_nodes);
+        assert!(comm.node_of(m.dst_rank).0 < cluster.cfg.compute_nodes);
+    }
+}
+
+#[test]
+fn kernels_roundtrip_through_every_layer_of_state() {
+    // kernel -> KernelState -> mpiio ResultBuf -> serde -> restore.
+    use kernels::{Kernel, KernelRegistry, SumKernel};
+    use mpiio::file::ResultBuf;
+    use pfs::FileHandle;
+
+    let data: Vec<u8> = (0..1000u64).flat_map(|v| (v as f64).to_le_bytes()).collect();
+    let mut k = SumKernel::new();
+    k.process_chunk(&data[..4096]);
+    let rb = ResultBuf::uncompleted(Some(k.checkpoint()), FileHandle(3), 4096);
+
+    let json = serde_json::to_string(&rb).unwrap();
+    let rb: ResultBuf = serde_json::from_str(&json).unwrap();
+
+    let registry = KernelRegistry::with_defaults();
+    let mut restored = registry.restore(rb.kernel_state().unwrap()).unwrap();
+    restored.process_chunk(&data[4096..]);
+
+    let mut whole = SumKernel::new();
+    whole.process_chunk(&data);
+    assert_eq!(restored.finalize(), whole.finalize());
+}
