@@ -19,6 +19,7 @@ use simkit::{ShareResource, SimTime, TaskId};
 pub struct Cpu {
     res: ShareResource,
     cores: usize,
+    capacity_factor: f64,
 }
 
 impl Cpu {
@@ -27,11 +28,31 @@ impl Cpu {
         Cpu {
             res: ShareResource::new(cores as f64),
             cores,
+            capacity_factor: 1.0,
         }
     }
 
     pub fn cores(&self) -> usize {
         self.cores
+    }
+
+    /// Degrade (or restore) effective capacity to `factor * cores`, e.g. for
+    /// an injected slowdown fault. Running tasks are re-shared at the new
+    /// capacity from `now` on; the nominal core count is unchanged.
+    pub fn set_capacity_factor(&mut self, now: SimTime, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "capacity factor {factor} outside (0, 1]"
+        );
+        if (factor - self.capacity_factor).abs() > f64::EPSILON {
+            self.capacity_factor = factor;
+            self.res.set_capacity(now, self.cores as f64 * factor);
+        }
+    }
+
+    /// Current capacity factor (`1.0` when healthy).
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
     }
 
     /// Submit a task costing `core_seconds`; it runs at up to one core.
@@ -145,6 +166,23 @@ mod tests {
         assert!((removed.progress - 0.25).abs() < 1e-9);
         assert!((removed.remaining - 3.0).abs() < 1e-9);
         assert_eq!(cpu.load(), 0);
+    }
+
+    #[test]
+    fn capacity_factor_slows_and_recovers() {
+        let mut cpu = Cpu::new(1);
+        let id = cpu.submit(SimTime::ZERO, 2.0);
+        // Half speed from t=1: 1.0 core-second done, 1.0 left at 0.5 → t=3.
+        cpu.set_capacity_factor(secs(1.0), 0.5);
+        assert!((cpu.rate_of(id).unwrap() - 0.5).abs() < 1e-12);
+        let t = cpu.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 3.0).abs() < 1e-6);
+        // Recover at t=2: 0.5 left at full speed → t=2.5.
+        cpu.set_capacity_factor(secs(2.0), 1.0);
+        assert!((cpu.capacity_factor() - 1.0).abs() < 1e-12);
+        let t = cpu.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-6);
+        assert_eq!(cpu.cores(), 1);
     }
 
     #[test]

@@ -49,6 +49,15 @@ impl Disk {
         self.submit_read(now, bytes)
     }
 
+    /// Inject a stall: a zero-byte blocking request holding the (single)
+    /// server for `duration`. Queued I/O waits behind it; if a request is
+    /// already in service the stall begins once it drains, like a firmware
+    /// hiccup between operations. The caller must filter the returned
+    /// [`ReqId`] out of its completion handling.
+    pub fn inject_stall(&mut self, now: SimTime, duration: SimSpan) -> ReqId {
+        self.fifo.submit(now, duration)
+    }
+
     pub fn next_event(&self) -> Option<SimTime> {
         self.fifo.next_event()
     }
@@ -112,6 +121,22 @@ mod tests {
         d.submit_read(SimTime::ZERO, 0.0);
         let t = d.next_event().unwrap();
         assert_eq!(t, SimTime::ZERO + SimSpan::from_millis(2));
+    }
+
+    #[test]
+    fn stall_blocks_queued_reads() {
+        let mut d = Disk::new(1000.0, SimSpan::ZERO);
+        let stall = d.inject_stall(SimTime::ZERO, SimSpan::from_secs(2));
+        let r = d.submit_read(SimTime::ZERO, 500.0);
+        // Stall holds the server for 2 s, then the read takes 0.5 s.
+        let t1 = d.next_event().unwrap();
+        assert!((t1.as_secs_f64() - 2.0).abs() < 1e-9);
+        assert_eq!(d.take_completed(t1)[0].id, stall);
+        let t2 = d.next_event().unwrap();
+        assert!((t2.as_secs_f64() - 2.5).abs() < 1e-9);
+        assert_eq!(d.take_completed(t2)[0].id, r);
+        // Stall adds no bytes to the read counter.
+        assert!((d.bytes_read() - 500.0).abs() < 1e-12);
     }
 
     #[test]

@@ -55,6 +55,10 @@ pub struct CancelledFlow {
 pub struct Fabric {
     tx_capacity: Vec<f64>,
     rx_capacity: Vec<f64>,
+    // Per-node degradation in (0, 1] (injected faults); scales both
+    // directions of the node's link. Base capacities stay untouched so
+    // recovery restores the exact sampled bandwidth.
+    link_factor: Vec<f64>,
     switch_capacity: Option<f64>,
     latency: SimSpan,
     jitter: Option<(f64, f64)>,
@@ -93,6 +97,7 @@ impl Fabric {
         Fabric {
             tx_capacity,
             rx_capacity,
+            link_factor: vec![1.0; nodes],
             switch_capacity,
             latency,
             jitter,
@@ -122,6 +127,35 @@ impl Fabric {
     /// Total bytes delivered by completed flows.
     pub fn bytes_delivered(&self) -> f64 {
         self.bytes_delivered
+    }
+
+    /// Degrade (or restore) node `n`'s link bandwidth, both directions, to
+    /// `factor` × its sampled capacity (injected NIC fault / congestion).
+    /// In-flight flows are re-shared at the new capacities from `now` on.
+    pub fn set_link_factor(&mut self, now: SimTime, n: NodeId, factor: f64) {
+        assert!(n.0 < self.link_factor.len(), "unknown node {n}");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "link factor {factor} outside (0, 1]"
+        );
+        if (factor - self.link_factor[n.0]).abs() > f64::EPSILON {
+            self.advance(now);
+            self.link_factor[n.0] = factor;
+            self.bump();
+        }
+    }
+
+    /// Current degradation factor of node `n`'s link (`1.0` when healthy).
+    pub fn link_factor(&self, n: NodeId) -> f64 {
+        self.link_factor[n.0]
+    }
+
+    fn eff_tx(&self, n: usize) -> f64 {
+        self.tx_capacity[n] * self.link_factor[n]
+    }
+
+    fn eff_rx(&self, n: usize) -> f64 {
+        self.rx_capacity[n] * self.link_factor[n]
     }
 
     /// Start a transfer of `bytes` from `src` to `dst`.
@@ -250,7 +284,7 @@ impl Fabric {
             .filter(|f| f.src == n)
             .map(|f| f.rate)
             .sum();
-        (used / self.tx_capacity[n.0]).clamp(0.0, 1.0)
+        (used / self.eff_tx(n.0)).clamp(0.0, 1.0)
     }
 
     /// Utilization of node `n`'s receive link, `[0, 1]`.
@@ -261,7 +295,7 @@ impl Fabric {
             .filter(|f| f.dst == n)
             .map(|f| f.rate)
             .sum();
-        (used / self.rx_capacity[n.0]).clamp(0.0, 1.0)
+        (used / self.eff_rx(n.0)).clamp(0.0, 1.0)
     }
 
     fn bump(&mut self) {
@@ -283,8 +317,8 @@ impl Fabric {
         // Iterations bounded by number of constraints (2·nodes + flows + 1).
         while !unfrozen.is_empty() {
             // Per-link: residual capacity and unfrozen-flow count.
-            let mut tx_res = self.tx_capacity.clone();
-            let mut rx_res = self.rx_capacity.clone();
+            let mut tx_res: Vec<f64> = (0..n_nodes).map(|n| self.eff_tx(n)).collect();
+            let mut rx_res: Vec<f64> = (0..n_nodes).map(|n| self.eff_rx(n)).collect();
             let mut sw_res = self.switch_capacity.unwrap_or(f64::INFINITY);
             let mut tx_cnt = vec![0usize; n_nodes];
             let mut rx_cnt = vec![0usize; n_nodes];
@@ -471,6 +505,25 @@ mod tests {
             assert!(r <= 118.0 + 1e-9, "rate {r}");
             f.cancel_flow(SimTime::ZERO, id);
         }
+    }
+
+    #[test]
+    fn link_factor_dips_and_restores_bandwidth() {
+        let mut f = fabric(2, 100.0);
+        let id = f.start_flow(SimTime::ZERO, n(0), n(1), 200.0);
+        assert_eq!(f.rate_of(id), Some(100.0));
+        // Dip src link to 25% at t=1: 100 bytes left at 25 B/s.
+        f.set_link_factor(SimTime::from_secs_f64(1.0), n(0), 0.25);
+        assert!((f.link_factor(n(0)) - 0.25).abs() < 1e-12);
+        assert!((f.rate_of(id).unwrap() - 25.0).abs() < 1e-9);
+        let t = f.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 5.0).abs() < 1e-9);
+        // Utilization is measured against the degraded capacity.
+        assert!((f.tx_utilization(n(0)) - 1.0).abs() < 1e-9);
+        // Restore at t=2: 75 bytes left at full rate → done at 2.75.
+        f.set_link_factor(SimTime::from_secs_f64(2.0), n(0), 1.0);
+        let t = f.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.75).abs() < 1e-9);
     }
 
     #[test]

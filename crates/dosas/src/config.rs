@@ -151,6 +151,47 @@ pub struct DosasConfig {
     /// what realizes the partial-offload overlap; processor sharing is the
     /// paper's (and the default binary mode's) behaviour.
     pub kernel_fifo: bool,
+    /// Probe robustness: timeout/retry/staleness handling for the CE's
+    /// probe loop (fault-injection extension; no effect when probes never
+    /// fail).
+    #[serde(default)]
+    pub probe: ProbeConfig,
+}
+
+/// Robustness knobs for the Contention Estimator's probe loop.
+///
+/// The paper assumes probes always succeed; under injected faults (probe
+/// loss, delays) the CE needs a failure policy. A probe unanswered after
+/// `timeout` is retried with exponential backoff (`retry_backoff`,
+/// `max_retries`); once retries are exhausted the CE enters **fallback**:
+/// it stops issuing demotions/interruptions, so every request is served as
+/// requested — the static all-Active (traditional active storage) policy.
+/// A policy that arrives more than `staleness_bound` after it was generated
+/// is discarded rather than acted on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    /// A probe with no reply after this long is presumed lost.
+    pub timeout: SimSpan,
+    /// Retries of a lost probe before the CE gives up and falls back.
+    /// `0` means a single loss triggers fallback immediately.
+    pub max_retries: u32,
+    /// Base retry backoff; attempt `k` waits `timeout + backoff · 2^k`
+    /// after its probe was sent.
+    pub retry_backoff: SimSpan,
+    /// Maximum age (`now - generated_at`) at which a policy may still be
+    /// applied; exactly at the bound is still usable.
+    pub staleness_bound: SimSpan,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            timeout: SimSpan::from_millis(20),
+            max_retries: 2,
+            retry_backoff: SimSpan::from_millis(20),
+            staleness_bound: SimSpan::from_millis(300),
+        }
+    }
 }
 
 impl Default for DosasConfig {
@@ -163,6 +204,7 @@ impl Default for DosasConfig {
             partial_offload: false,
             estimate_bandwidth: false,
             kernel_fifo: false,
+            probe: ProbeConfig::default(),
         }
     }
 }
@@ -218,6 +260,14 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn probe_defaults_are_sane() {
+        let p = ProbeConfig::default();
+        assert!(p.timeout > SimSpan::ZERO);
+        assert!(p.staleness_bound >= DosasConfig::default().probe_period);
+        assert_eq!(p.max_retries, 2);
     }
 
     #[test]

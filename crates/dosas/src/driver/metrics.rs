@@ -1,5 +1,6 @@
 //! Run metrics: everything the paper's figures and tables are built from.
 
+use crate::estimator::CeStats;
 use crate::runtime::RuntimeCounters;
 use mpiio::status::ExecutionSite;
 use serde::Serialize;
@@ -48,6 +49,9 @@ pub struct RunMetrics {
     pub achieved_bandwidth: f64,
     pub records: Vec<AppIoRecord>,
     pub runtime: RuntimeCounters,
+    /// Contention Estimator probe health, aggregated over all storage
+    /// nodes (probe losses, retries, fallback entries under faults).
+    pub ce: CeStats,
     /// Time-weighted mean I/O queue depth over all storage nodes.
     pub mean_queue_depth: f64,
     pub peak_queue_depth: f64,
@@ -147,6 +151,7 @@ mod tests {
                 mk(3.0, ExecutionSite::Storage),
             ],
             runtime: RuntimeCounters::default(),
+            ce: CeStats::default(),
             mean_queue_depth: 0.0,
             peak_queue_depth: 0.0,
             policy_log: vec![],

@@ -23,7 +23,7 @@ pub use trace::TraceEvent;
 
 use crate::asc::{ActiveStorageClient, ClientAction, Registration};
 use crate::config::{DosasConfig, OpRates, Scheme};
-use crate::estimator::ContentionEstimator;
+use crate::estimator::{CeStats, CeSupervisor, ContentionEstimator, Policy, ProbeVerdict};
 use crate::runtime::{ActiveIoRuntime, RuntimeAction, RuntimeCounters, ServiceMode};
 use crate::workload::{LayoutSpec, Workload};
 use cluster::{ClusterConfig, ClusterState, FlowId, NodeId};
@@ -39,8 +39,8 @@ use pfs::{
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simkit::fifo::ReqId as DiskReqId;
-use simkit::{RngFactory, Scheduler, SimTime, Simulation, TaskId, World};
-use std::collections::BTreeMap;
+use simkit::{FaultPlan, RngFactory, Scheduler, SimSpan, SimTime, Simulation, TaskId, World};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire-size estimate for a kernel checkpoint when the data plane is off
 /// (with real kernels the actual [`KernelState::wire_size`] is used).
@@ -58,6 +58,9 @@ pub struct DriverConfig {
     /// Record a per-stage execution timeline (RunMetrics::trace,
     /// exportable to chrome://tracing via `driver::trace::to_chrome_json`).
     pub trace: bool,
+    /// Deterministic fault schedule applied during the run (empty = no
+    /// faults). Node indices are cluster node ids; see [`simkit::fault`].
+    pub fault_plan: FaultPlan,
 }
 
 impl DriverConfig {
@@ -70,6 +73,7 @@ impl DriverConfig {
             seed: 42,
             data_plane: false,
             trace: false,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -91,6 +95,12 @@ pub enum Ev {
     Deliver(RequestId),
     /// Contention Estimator periodic probe.
     Probe(NodeId),
+    /// A fault window opens or closes: re-evaluate the fault plan.
+    Fault,
+    /// Retry of a lost/stale probe (outside the periodic cadence).
+    ProbeRetry(NodeId),
+    /// A delayed probe's policy finally reaches the runtime.
+    PolicyArrive(u64),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -217,6 +227,15 @@ pub struct Driver {
     /// Flows belonging to the running collective.
     flow_coll: std::collections::BTreeSet<FlowId>,
     trace: Vec<trace::TraceEvent>,
+    /// Per-storage-node CE probe supervision (timeout/retry/fallback).
+    supervisors: BTreeMap<NodeId, CeSupervisor>,
+    /// Policies generated by delayed probes, awaiting their arrival event.
+    pending_policies: BTreeMap<u64, (NodeId, Policy)>,
+    next_policy_token: u64,
+    /// Migrated-data flows doomed by an active checkpoint-ship fault.
+    doomed_flows: BTreeSet<FlowId>,
+    /// Injected disk-stall requests, filtered out of completion handling.
+    stall_reqs: BTreeSet<(usize, DiskReqId)>,
 }
 
 /// Which collective is being executed.
@@ -309,6 +328,13 @@ impl Driver {
             Scheme::Dosas(d) => Some(d.clone()),
             _ => None,
         };
+        let supervisors: BTreeMap<NodeId, CeSupervisor> = match &dosas {
+            Some(d) => cluster
+                .storage_ids()
+                .map(|n| (n, CeSupervisor::new(d.probe.clone())))
+                .collect(),
+            None => BTreeMap::new(),
+        };
         let fifo_kernels = dosas.as_ref().is_some_and(|d| d.kernel_fifo);
         let estimator = dosas.as_ref().map(|d| {
             ContentionEstimator::new(
@@ -369,6 +395,11 @@ impl Driver {
             collective_waiting: 0,
             flow_coll: std::collections::BTreeSet::new(),
             trace: Vec::new(),
+            supervisors,
+            pending_policies: BTreeMap::new(),
+            next_policy_token: 0,
+            doomed_flows: BTreeSet::new(),
+            stall_reqs: BTreeSet::new(),
         }
     }
 
@@ -412,6 +443,12 @@ impl Driver {
         let storage: Vec<NodeId> = driver.cluster.storage_ids().collect();
 
         let mut sim = Simulation::new(driver);
+        // Fault transitions first, so same-time fault effects precede the
+        // rank steps and probes they degrade (FIFO among equal timestamps).
+        let fault_times = sim.world.cfg.fault_plan.transition_times();
+        for t in fault_times {
+            sim.scheduler().at(t, Ev::Fault);
+        }
         for rank in 0..sim.world.ranks.len() {
             sim.scheduler().at(SimTime::ZERO, Ev::RankStep(rank));
         }
@@ -447,6 +484,17 @@ impl Driver {
             runtime.completed_active += c.completed_active;
             runtime.completed_normal += c.completed_normal;
             runtime.completed_migrated += c.completed_migrated;
+            runtime.checkpoint_failures += c.checkpoint_failures;
+        }
+        let mut ce = CeStats::default();
+        for sup in w.supervisors.values() {
+            let s = sup.stats;
+            ce.probes_sent += s.probes_sent;
+            ce.probes_lost += s.probes_lost;
+            ce.retries += s.retries;
+            ce.stale_discards += s.stale_discards;
+            ce.fallback_entries += s.fallback_entries;
+            ce.recoveries += s.recoveries;
         }
         let n_servers = w.servers.len().max(1) as f64;
         let mean_queue_depth = w
@@ -472,6 +520,7 @@ impl Driver {
             },
             records: w.records,
             runtime,
+            ce,
             mean_queue_depth,
             peak_queue_depth,
             policy_log: w.policy_log,
@@ -508,6 +557,48 @@ impl Driver {
             let epoch = self.cluster.fabric.epoch();
             sched.at(t.max(sched.now()), Ev::NetTick { epoch });
         }
+    }
+
+    // ----- fault injection -----
+
+    /// Re-evaluate the fault plan at a window boundary and push the current
+    /// degradation state into the cluster resources. Factors are applied
+    /// absolutely (not incrementally), so overlapping windows compose and
+    /// closing the last window restores exactly the base capacity.
+    fn apply_faults(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let plan = self.cfg.fault_plan.clone();
+        if plan.is_empty() {
+            return;
+        }
+        for node in 0..self.cluster.cpus.len() {
+            let cpu_f = plan.cpu_factor(now, node);
+            if (cpu_f - self.cluster.cpus[node].capacity_factor()).abs() > f64::EPSILON {
+                self.cluster.cpus[node].set_capacity_factor(now, cpu_f);
+                self.schedule_cpu(node, sched);
+            }
+            let net_f = plan.net_factor(now, node);
+            if (net_f - self.cluster.fabric.link_factor(NodeId(node))).abs() > f64::EPSILON {
+                self.cluster.fabric.set_link_factor(now, NodeId(node), net_f);
+            }
+        }
+        // Disk stalls opening at exactly this boundary become blocking
+        // zero-byte requests; their completions are filtered in
+        // `on_disk_tick` via `stall_reqs`.
+        let window_end = now + SimSpan::from_nanos(1);
+        let storage: Vec<NodeId> = self.cluster.storage_ids().collect();
+        for server in storage {
+            let stalls: Vec<SimSpan> = plan
+                .disk_stalls_starting(now, window_end, server.0)
+                .map(|e| e.end - e.start)
+                .collect();
+            let ordinal = self.cluster.storage_ordinal(server);
+            for duration in stalls {
+                let rid = self.cluster.disks[ordinal].inject_stall(now, duration);
+                self.stall_reqs.insert((ordinal, rid));
+                self.schedule_disk(ordinal, sched);
+            }
+        }
+        self.schedule_net(sched);
     }
 
     // ----- rank program interpretation -----
@@ -920,7 +1011,10 @@ impl Driver {
             .is_some_and(|d| d.decide_on_arrival)
             && self.reqs[&id].op.is_some();
         if decide {
-            self.dosas_decide(server, now, sched);
+            // Arrival-triggered decisions go through the same fault checks
+            // as periodic probes but never spawn retries (the probe loop
+            // owns the retry schedule).
+            self.handle_probe(server, now, false, sched);
         }
     }
 
@@ -936,6 +1030,9 @@ impl Driver {
         }
         let completions = self.cluster.disks[ordinal].take_completed(now);
         for c in completions {
+            if self.stall_reqs.remove(&(ordinal, c.id)) {
+                continue; // injected stall draining, not a real request
+            }
             let id = self
                 .disk_req
                 .remove(&(ordinal, c.id))
@@ -1187,7 +1284,49 @@ impl Driver {
         let flow = self.cluster.fabric.start_flow(now, src, dst, ship);
         self.flow_req.insert(flow, id);
         self.reqs.get_mut(&id).expect("req").t_flow_start = now;
+        // A checkpoint-ship fault active on the source dooms migrated
+        // shipments launched under it: the transfer runs its course and
+        // then fails instead of delivering (see `on_checkpoint_ship_failed`).
+        if migrated && self.cfg.fault_plan.checkpoint_ship_fails(now, src.0) {
+            self.doomed_flows.insert(flow);
+        }
         self.schedule_net(sched);
+    }
+
+    /// A doomed migrated shipment finished transferring but its payload
+    /// (data + checkpoint) is lost. The request gives up on the checkpoint:
+    /// it re-queues at the disk as a plain normal read — partial kernel
+    /// progress is discarded — and ships raw bytes on the second attempt.
+    /// The re-ship is a `Normal` (not `Migrated`) flow, so it cannot be
+    /// doomed again and the request terminates.
+    fn on_checkpoint_ship_failed(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let server = self.reqs[&id].server;
+        if let Err(e) = self
+            .runtimes
+            .get_mut(&server)
+            .expect("server runtime")
+            .on_checkpoint_failed(id)
+        {
+            // The request is no longer a failable migrated shipment (it
+            // raced out of that state); deliver the transfer normally
+            // instead of wedging it.
+            debug_assert!(false, "doomed flow in unexpected state: {e}");
+            sched.after(self.cfg.cluster.net_latency, Ev::Deliver(id));
+            return;
+        }
+        let bytes = {
+            let r = self.reqs.get_mut(&id).expect("req");
+            r.processed_bytes = 0.0;
+            r.ship_state = None;
+            r.split = None;
+            r.kernel = None;
+            r.bytes
+        };
+        let ordinal = self.cluster.storage_ordinal(server);
+        let disk_bytes = self.cache_filter_read(server, id, bytes);
+        let disk_id = self.cluster.disks[ordinal].submit_read(now, disk_bytes);
+        self.disk_req.insert((ordinal, disk_id), id);
+        self.schedule_disk(ordinal, sched);
     }
 
     fn on_net_tick(&mut self, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
@@ -1213,6 +1352,10 @@ impl Driver {
                 .flow_req
                 .remove(&c.id)
                 .expect("flow completion maps to a request");
+            if self.doomed_flows.remove(&c.id) {
+                self.on_checkpoint_ship_failed(id, now, sched);
+                continue;
+            }
             if self.reqs[&id].is_write {
                 // Payload arrived at the server: queue the disk write.
                 let server = self.reqs[&id].server;
@@ -1527,10 +1670,90 @@ impl Driver {
 
     /// Probe the server, generate a policy, and execute it (paper §III-C/D).
     fn dosas_decide(&mut self, server: NodeId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let Some(estimator) = &self.estimator else {
+        if let Some(policy) = self.build_policy(server, now) {
+            self.apply_ce_policy(server, &policy, now, sched);
+        }
+    }
+
+    /// One CE probe of `server`, subject to the fault plan: the probe may be
+    /// lost (supervisor decides retry vs fallback) or delayed (the policy is
+    /// generated from the state *at send time* but applied only when it
+    /// arrives, if still fresh). `allow_retry` is false for arrival-triggered
+    /// decisions — the periodic probe loop owns the retry schedule.
+    fn handle_probe(
+        &mut self,
+        server: NodeId,
+        now: SimTime,
+        allow_retry: bool,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        if self.estimator.is_none() {
+            return;
+        }
+        if let Some(sup) = self.supervisors.get_mut(&server) {
+            sup.on_probe_sent();
+        }
+        if self.cfg.fault_plan.probe_lost(now, server.0) {
+            if let Some(sup) = self.supervisors.get_mut(&server) {
+                // The loss is noticed `timeout` later; the verdict's delay
+                // already accounts for that.
+                if let ProbeVerdict::Retry { after } = sup.on_probe_lost(now) {
+                    if allow_retry {
+                        sched.at(now + after, Ev::ProbeRetry(server));
+                    }
+                }
+                // Fallback: apply no policy — requests keep their requested
+                // (all-Active) service, the static degraded mode.
+            }
+            return;
+        }
+        match self.cfg.fault_plan.probe_delay(now, server.0) {
+            Some(delay) if !delay.is_zero() => {
+                // Snapshot now; the policy travels for `delay` and may be
+                // stale on arrival (checked in `Ev::PolicyArrive`).
+                if let Some(policy) = self.build_policy(server, now) {
+                    let token = self.next_policy_token;
+                    self.next_policy_token += 1;
+                    self.pending_policies.insert(token, (server, policy));
+                    sched.at(now + delay, Ev::PolicyArrive(token));
+                }
+            }
+            _ => {
+                if let Some(sup) = self.supervisors.get_mut(&server) {
+                    sup.on_probe_success(now);
+                }
+                self.dosas_decide(server, now, sched);
+            }
+        }
+    }
+
+    /// A delayed policy reaches the runtime: apply it if still within the
+    /// staleness bound, discard it (and maybe re-probe) otherwise.
+    fn on_policy_arrive(&mut self, token: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let Some((server, policy)) = self.pending_policies.remove(&token) else {
             return;
         };
-        let dosas = self.dosas.clone().expect("estimator implies dosas config");
+        let usable = self
+            .supervisors
+            .get(&server)
+            .is_none_or(|s| s.policy_usable(policy.generated_at, now));
+        if usable {
+            if let Some(sup) = self.supervisors.get_mut(&server) {
+                sup.on_probe_success(now);
+            }
+            self.apply_ce_policy(server, &policy, now, sched);
+        } else if let Some(sup) = self.supervisors.get_mut(&server) {
+            if let ProbeVerdict::Retry { after } = sup.on_stale_policy(now) {
+                sched.at(now + after, Ev::ProbeRetry(server));
+            }
+        }
+    }
+
+    /// Generate a policy from the server's current queue state (the probe
+    /// payload), without side effects. `None` when DOSAS is not active.
+    fn build_policy(&mut self, server: NodeId, now: SimTime) -> Option<Policy> {
+        let estimator = self.estimator.as_ref()?;
+        let dosas = self.dosas.as_ref().expect("estimator implies dosas config");
 
         // Only requests that can still be re-planned: queued at disk or
         // running a kernel. Requests already shipping are beyond decision.
@@ -1573,6 +1796,19 @@ impl Driver {
         } else {
             estimator.generate_policy(now, &probe)
         };
+        Some(policy)
+    }
+
+    /// Execute a generated policy: record planned fractions, log it, and
+    /// drive the runtime's demote/interrupt actions.
+    fn apply_ce_policy(
+        &mut self,
+        server: NodeId,
+        policy: &Policy,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let dosas = self.dosas.clone().expect("policies only exist under dosas");
         // Record planned fractions on requests that have not started their
         // kernel yet (plans are re-tunable until the kernel launches).
         if dosas.partial_offload {
@@ -1606,7 +1842,7 @@ impl Driver {
             .runtimes
             .get_mut(&server)
             .expect("runtime")
-            .apply_policy(&policy, dosas.allow_interrupt);
+            .apply_policy(policy, dosas.allow_interrupt);
         for action in actions {
             match action {
                 RuntimeAction::Demote(id) => {
@@ -1641,16 +1877,20 @@ impl Driver {
             self.start_data_flow(id, true, now, sched);
             return;
         };
-        let removed = self.cluster.cpus[server.0]
+        // Under fault-delayed policies the task may race to completion in
+        // the same instant; treat a vanished task as fully processed rather
+        // than panicking (the kernel's result simply ships as a migration
+        // with zero residue).
+        let progress = self.cluster.cpus[server.0]
             .interrupt(now, task)
-            .expect("task was live");
+            .map_or(1.0, |removed| removed.progress);
         self.cpu_work.remove(&(server.0, task));
         self.kernel_slot_freed(server, now, sched);
         self.schedule_cpu(server.0, sched);
 
         {
             let r = self.reqs.get_mut(&id).expect("req");
-            r.processed_bytes = (removed.progress * r.bytes).min(r.bytes);
+            r.processed_bytes = (progress * r.bytes).min(r.bytes);
             if self.cfg.data_plane {
                 let mut kernel = r.kernel.take().expect("data-plane kernel");
                 let cut = (r.processed_bytes.floor() as usize)
@@ -1684,13 +1924,20 @@ impl World for Driver {
             Ev::NetTick { epoch } => self.on_net_tick(epoch, now, sched),
             Ev::Deliver(id) => self.on_deliver(id, now, sched),
             Ev::Probe(server) => {
-                self.dosas_decide(server, now, sched);
+                self.handle_probe(server, now, true, sched);
                 if !self.all_ranks_done() {
                     if let Some(d) = &self.dosas {
                         sched.after(d.probe_period, Ev::Probe(server));
                     }
                 }
             }
+            Ev::Fault => self.apply_faults(now, sched),
+            Ev::ProbeRetry(server) => {
+                if !self.all_ranks_done() {
+                    self.handle_probe(server, now, true, sched);
+                }
+            }
+            Ev::PolicyArrive(token) => self.on_policy_arrive(token, now, sched),
         }
     }
 }

@@ -21,6 +21,7 @@ fn det_config(scheme: Scheme) -> DriverConfig {
         seed: 7,
         data_plane: false,
         trace: false,
+        fault_plan: FaultPlan::default(),
     }
 }
 

@@ -13,12 +13,12 @@
 //! — it cannot observe per-flow jitter — which is one of the two reasons the
 //! paper gives for its boundary misjudgments (Table IV).
 
-use crate::config::OpRates;
+use crate::config::{OpRates, ProbeConfig};
 use crate::cost::{CostModel, RequestSpec};
 use crate::schedule::{self, SolverKind};
 use pfs::{QueueSnapshot, RequestId};
 use serde::{Deserialize, Serialize};
-use simkit::SimTime;
+use simkit::{SimSpan, SimTime};
 use std::collections::BTreeMap;
 
 /// Per-request scheduling decision.
@@ -134,11 +134,13 @@ impl ContentionEstimator {
 
     /// Generate the scheduling policy for the probed queue (paper Eq. 8).
     pub fn generate_policy(&self, now: SimTime, probe: &SystemProbe) -> Policy {
+        // Active rows missing an op are malformed snapshot entries (possible
+        // when a probe raced a demotion); skip them rather than panic.
         let rows: Vec<_> = probe
             .queue
             .requests
             .iter()
-            .filter(|r| r.is_active())
+            .filter(|r| r.is_active() && r.op.is_some())
             .collect();
         if rows.is_empty() {
             return Policy {
@@ -150,7 +152,7 @@ impl ContentionEstimator {
         }
         let specs: Vec<RequestSpec> = rows
             .iter()
-            .map(|r| RequestSpec::new(r.bytes, r.op.as_deref().expect("active row has op")))
+            .map(|r| RequestSpec::new(r.bytes, r.op.as_deref().unwrap_or_default()))
             .collect();
         let model = self.cost_model(probe);
         let items = model.items(&specs);
@@ -207,7 +209,7 @@ impl ContentionEstimator {
             .queue
             .requests
             .iter()
-            .filter(|r| r.is_active())
+            .filter(|r| r.is_active() && r.op.is_some())
             .collect();
         if rows.is_empty() {
             return Policy {
@@ -221,7 +223,7 @@ impl ContentionEstimator {
         let items: Vec<SplitItem> = rows
             .iter()
             .map(|r| {
-                let op = r.op.as_deref().expect("active row has op");
+                let op = r.op.as_deref().unwrap_or_default();
                 SplitItem {
                     bytes: r.bytes,
                     storage_rate: model.storage_rate(op),
@@ -268,6 +270,133 @@ impl ContentionEstimator {
             Decision::Active
         } else {
             Decision::Normal
+        }
+    }
+}
+
+/// What the CE should do after a probe failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeVerdict {
+    /// Send another probe `after` this long (measured from the time the
+    /// failure was observed — send time for losses, arrival time for stale
+    /// policies).
+    Retry { after: SimSpan },
+    /// Retries exhausted: stop acting on policies. The runtime serves every
+    /// request as requested (static all-Active, the traditional
+    /// active-storage behaviour) until a probe succeeds again.
+    Fallback,
+}
+
+/// Counters of the CE's probe-robustness machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CeStats {
+    pub probes_sent: u64,
+    pub probes_lost: u64,
+    /// Retry verdicts issued (the driver may not schedule all of them;
+    /// arrival-triggered probes don't spawn their own retries).
+    pub retries: u64,
+    /// Policies discarded because they arrived past the staleness bound.
+    pub stale_discards: u64,
+    pub fallback_entries: u64,
+    pub recoveries: u64,
+}
+
+/// Supervises one storage node's probe loop: bounded retry with exponential
+/// backoff on probe loss, staleness checks on delayed policies, and the
+/// fallback/recovery state machine. Pure (no scheduling, no I/O): callers
+/// feed it probe outcomes and act on the verdicts, which keeps every
+/// transition unit-testable.
+#[derive(Debug, Clone)]
+pub struct CeSupervisor {
+    cfg: ProbeConfig,
+    /// Consecutive failures in the current outage (resets on success).
+    failures: u32,
+    fallback: bool,
+    last_success: Option<SimTime>,
+    pub stats: CeStats,
+}
+
+impl CeSupervisor {
+    pub fn new(cfg: ProbeConfig) -> Self {
+        CeSupervisor {
+            cfg,
+            failures: 0,
+            fallback: false,
+            last_success: None,
+            stats: CeStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &ProbeConfig {
+        &self.cfg
+    }
+
+    /// Is the CE currently fallen back to the static all-Active policy?
+    pub fn in_fallback(&self) -> bool {
+        self.fallback
+    }
+
+    /// Time of the last successfully applied probe, if any.
+    pub fn last_success(&self) -> Option<SimTime> {
+        self.last_success
+    }
+
+    /// A probe was sent (accounting only).
+    pub fn on_probe_sent(&mut self) {
+        self.stats.probes_sent += 1;
+    }
+
+    /// The probe sent at `sent` got no reply within the timeout. Returns
+    /// `Retry { after }` with `after` measured from `sent` (the CE only
+    /// *notices* the loss at `sent + timeout`, so the k-th retry goes out
+    /// at `sent + timeout + backoff · 2^k`), or `Fallback` once the retry
+    /// budget is spent.
+    pub fn on_probe_lost(&mut self, _sent: SimTime) -> ProbeVerdict {
+        self.stats.probes_lost += 1;
+        self.register_failure(self.cfg.timeout)
+    }
+
+    /// A delayed policy arrived at `now` but was older than the staleness
+    /// bound and was discarded. Counts as a failure; any retry delay is
+    /// measured from `now` (the timeout has implicitly already passed).
+    pub fn on_stale_policy(&mut self, _now: SimTime) -> ProbeVerdict {
+        self.stats.stale_discards += 1;
+        self.register_failure(SimSpan::ZERO)
+    }
+
+    /// A probe round-trip completed and its policy was fresh enough to act
+    /// on: reset the failure budget and leave fallback if active.
+    pub fn on_probe_success(&mut self, now: SimTime) {
+        self.failures = 0;
+        self.last_success = Some(now);
+        if self.fallback {
+            self.fallback = false;
+            self.stats.recoveries += 1;
+        }
+    }
+
+    /// May a policy generated at `generated_at` still be applied at `now`?
+    /// Exactly at the bound is still usable (`age <= staleness_bound`).
+    pub fn policy_usable(&self, generated_at: SimTime, now: SimTime) -> bool {
+        now.saturating_sub(generated_at) <= self.cfg.staleness_bound
+    }
+
+    fn register_failure(&mut self, base: SimSpan) -> ProbeVerdict {
+        if self.failures >= self.cfg.max_retries {
+            if !self.fallback {
+                self.fallback = true;
+                self.stats.fallback_entries += 1;
+            }
+            ProbeVerdict::Fallback
+        } else {
+            let shift = self.failures.min(16);
+            let backoff =
+                SimSpan::from_nanos(self.cfg.retry_backoff.as_nanos().saturating_mul(1 << shift));
+            self.failures += 1;
+            self.stats.retries += 1;
+            ProbeVerdict::Retry {
+                after: base + backoff,
+            }
         }
     }
 }
@@ -457,5 +586,104 @@ mod tests {
             generated_at: SimTime::ZERO,
         };
         assert_eq!(p.fraction(RequestId(9)), 1.0);
+    }
+
+    // ----- CeSupervisor (probe robustness) -----
+
+    fn probe_cfg() -> ProbeConfig {
+        ProbeConfig {
+            timeout: SimSpan::from_millis(20),
+            max_retries: 2,
+            retry_backoff: SimSpan::from_millis(10),
+            staleness_bound: SimSpan::from_millis(300),
+        }
+    }
+
+    #[test]
+    fn retries_back_off_exponentially_then_fall_back() {
+        let mut sup = CeSupervisor::new(probe_cfg());
+        let t = SimTime::ZERO;
+        // Attempt 0 lost → retry after timeout + backoff·2^0.
+        assert_eq!(
+            sup.on_probe_lost(t),
+            ProbeVerdict::Retry {
+                after: SimSpan::from_millis(30)
+            }
+        );
+        // Attempt 1 lost → timeout + backoff·2^1.
+        assert_eq!(
+            sup.on_probe_lost(t),
+            ProbeVerdict::Retry {
+                after: SimSpan::from_millis(40)
+            }
+        );
+        // Retry budget (2) spent: the third loss falls back.
+        assert_eq!(sup.on_probe_lost(t), ProbeVerdict::Fallback);
+        assert!(sup.in_fallback());
+        assert_eq!(sup.stats.probes_lost, 3);
+        assert_eq!(sup.stats.retries, 2);
+        assert_eq!(sup.stats.fallback_entries, 1);
+        // Staying lost does not re-enter fallback (no double counting).
+        assert_eq!(sup.on_probe_lost(t), ProbeVerdict::Fallback);
+        assert_eq!(sup.stats.fallback_entries, 1);
+    }
+
+    #[test]
+    fn zero_retry_config_falls_back_on_first_loss() {
+        let mut sup = CeSupervisor::new(ProbeConfig {
+            max_retries: 0,
+            ..probe_cfg()
+        });
+        assert_eq!(sup.on_probe_lost(SimTime::ZERO), ProbeVerdict::Fallback);
+        assert!(sup.in_fallback());
+        assert_eq!(sup.stats.retries, 0);
+    }
+
+    #[test]
+    fn policy_exactly_at_staleness_deadline_is_usable() {
+        let sup = CeSupervisor::new(probe_cfg());
+        let generated = SimTime::from_secs_f64(1.0);
+        let bound = probe_cfg().staleness_bound;
+        assert!(sup.policy_usable(generated, generated));
+        assert!(sup.policy_usable(generated, generated + bound), "age == bound is usable");
+        assert!(
+            !sup.policy_usable(generated, generated + bound + SimSpan::from_nanos(1)),
+            "one nanosecond past the bound is stale"
+        );
+    }
+
+    #[test]
+    fn fallback_then_recovery() {
+        let mut sup = CeSupervisor::new(ProbeConfig {
+            max_retries: 0,
+            ..probe_cfg()
+        });
+        sup.on_probe_sent();
+        assert_eq!(sup.on_probe_lost(SimTime::ZERO), ProbeVerdict::Fallback);
+        assert!(sup.in_fallback());
+        // The node answers again: the CE resumes dynamic scheduling.
+        let t = SimTime::from_secs_f64(2.0);
+        sup.on_probe_success(t);
+        assert!(!sup.in_fallback());
+        assert_eq!(sup.last_success(), Some(t));
+        assert_eq!(sup.stats.recoveries, 1);
+        // And the failure budget is fresh: the next loss is a fallback
+        // again (zero retries), counted as a second entry.
+        assert_eq!(sup.on_probe_lost(t), ProbeVerdict::Fallback);
+        assert_eq!(sup.stats.fallback_entries, 2);
+    }
+
+    #[test]
+    fn stale_policy_counts_and_retries_without_timeout() {
+        let mut sup = CeSupervisor::new(probe_cfg());
+        // Staleness is noticed at arrival: retry delay omits the timeout.
+        assert_eq!(
+            sup.on_stale_policy(SimTime::ZERO),
+            ProbeVerdict::Retry {
+                after: SimSpan::from_millis(10)
+            }
+        );
+        assert_eq!(sup.stats.stale_discards, 1);
+        assert_eq!(sup.stats.probes_lost, 0);
     }
 }

@@ -46,9 +46,11 @@ pub mod runtime;
 pub mod schedule;
 pub mod workload;
 
-pub use config::{DosasConfig, OpRates, Scheme};
+pub use config::{DosasConfig, OpRates, ProbeConfig, Scheme};
 pub use cost::{CostModel, Item, RequestSpec, ResultModel};
 pub use driver::{Driver, DriverConfig, RunMetrics};
-pub use estimator::{ContentionEstimator, Decision, Policy, SystemProbe};
+pub use estimator::{
+    CeStats, CeSupervisor, ContentionEstimator, Decision, Policy, ProbeVerdict, SystemProbe,
+};
 pub use schedule::{Assignment, SolverKind};
 pub use workload::Workload;

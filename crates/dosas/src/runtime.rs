@@ -56,6 +56,41 @@ pub enum RuntimeAction {
     Interrupt(RequestId),
 }
 
+/// Typed errors for runtime transitions that faults can make reachable.
+///
+/// Ordinary (fault-free) transition bugs are still programming errors and
+/// assert; these variants cover paths a fault plan can legitimately drive —
+/// most notably checkpoint-ship failures, where a transfer the runtime
+/// believed in flight dies out from under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The request is not (or no longer) tracked by this runtime.
+    NotTracked(RequestId),
+    /// The request exists but is not in a stage/mode the operation accepts.
+    InvalidTransition {
+        id: RequestId,
+        stage: ServerStage,
+        mode: ServiceMode,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::NotTracked(id) => write!(f, "request {id:?} not tracked"),
+            RuntimeError::InvalidTransition {
+                id,
+                stage,
+                mode,
+            } => {
+                write!(f, "request {id:?} in invalid state {stage:?}/{mode:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
 #[derive(Debug, Clone)]
 struct Tracked {
     stage: ServerStage,
@@ -74,6 +109,10 @@ pub struct RuntimeCounters {
     pub completed_active: u64,
     pub completed_normal: u64,
     pub completed_migrated: u64,
+    /// Checkpoint shipments that failed in flight and were re-queued as
+    /// normal reads (fault-injection extension).
+    #[serde(default)]
+    pub checkpoint_failures: u64,
 }
 
 /// One storage node's Active I/O Runtime.
@@ -197,6 +236,30 @@ impl ActiveIoRuntime {
         t.mode
     }
 
+    /// A migrated request's checkpoint shipment failed in flight (fault
+    /// injection): the data + state never reached the client. The request
+    /// falls back to plain data shipping — it re-enters the disk queue as a
+    /// `Normal` request so the raw bytes can be re-read and re-shipped
+    /// without kernel state. Any partial kernel progress is discarded by the
+    /// caller (processed bytes reset).
+    pub fn on_checkpoint_failed(&mut self, id: RequestId) -> Result<(), RuntimeError> {
+        let t = self
+            .requests
+            .get_mut(&id)
+            .ok_or(RuntimeError::NotTracked(id))?;
+        if t.stage != ServerStage::SendingData || t.mode != ServiceMode::Migrated {
+            return Err(RuntimeError::InvalidTransition {
+                id,
+                stage: t.stage,
+                mode: t.mode,
+            });
+        }
+        t.stage = ServerStage::QueuedDisk;
+        t.mode = ServiceMode::Normal;
+        self.counters.checkpoint_failures += 1;
+        Ok(())
+    }
+
     /// Apply a CE policy: which queued requests to demote and which running
     /// kernels to interrupt. `allow_interrupt = false` restricts R to acting
     /// on not-yet-started requests (ablation).
@@ -242,6 +305,7 @@ impl ActiveIoRuntime {
 mod tests {
     use super::*;
     use crate::estimator::{Decision, Policy};
+    use proptest::prelude::*;
     use simkit::SimTime;
     use std::collections::BTreeMap;
 
@@ -373,5 +437,141 @@ mod tests {
     fn transition_without_tracking_panics() {
         let mut r = ActiveIoRuntime::new();
         r.on_arrival(RequestId(5));
+    }
+
+    #[test]
+    fn checkpoint_failure_requeues_as_normal() {
+        let mut r = ActiveIoRuntime::new();
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        r.on_disk_done(RequestId(0));
+        r.apply_policy(&policy(&[(0, Decision::Normal)]), true);
+        assert_eq!(r.mode(RequestId(0)), Some(ServiceMode::Migrated));
+        // The checkpoint shipment dies in flight.
+        r.on_checkpoint_failed(RequestId(0)).unwrap();
+        assert_eq!(r.stage(RequestId(0)), Some(ServerStage::QueuedDisk));
+        assert_eq!(r.mode(RequestId(0)), Some(ServiceMode::Normal));
+        assert_eq!(r.counters.checkpoint_failures, 1);
+        // The re-read then ships plain data to completion.
+        assert_eq!(r.on_disk_done(RequestId(0)), ServiceMode::Normal);
+        assert_eq!(r.on_delivered(RequestId(0)), ServiceMode::Normal);
+        assert_eq!(r.counters.completed_normal, 1);
+    }
+
+    #[test]
+    fn checkpoint_failure_rejects_wrong_states() {
+        let mut r = ActiveIoRuntime::new();
+        assert_eq!(
+            r.on_checkpoint_failed(RequestId(3)),
+            Err(RuntimeError::NotTracked(RequestId(3)))
+        );
+        r.track(RequestId(0), true);
+        r.on_arrival(RequestId(0));
+        // QueuedDisk/Active is not a failable shipment.
+        assert_eq!(
+            r.on_checkpoint_failed(RequestId(0)),
+            Err(RuntimeError::InvalidTransition {
+                id: RequestId(0),
+                stage: ServerStage::QueuedDisk,
+                mode: ServiceMode::Active,
+            })
+        );
+        // Neither is a plain demoted data shipment (no checkpoint aboard).
+        r.apply_policy(&policy(&[(0, Decision::Normal)]), true);
+        r.on_disk_done(RequestId(0));
+        assert!(r.on_checkpoint_failed(RequestId(0)).is_err());
+        assert_eq!(r.counters.checkpoint_failures, 0);
+    }
+
+    // ----- State-machine property (fault-interleaving robustness) -----
+
+    /// The set of (stage, mode) pairs the runtime may legally occupy.
+    fn state_is_legal(stage: ServerStage, mode: ServiceMode) -> bool {
+        matches!(
+            (stage, mode),
+            (ServerStage::InFlight, ServiceMode::Active | ServiceMode::Normal)
+                | (ServerStage::QueuedDisk, ServiceMode::Active | ServiceMode::Normal)
+                | (ServerStage::Running, ServiceMode::Active)
+                | (ServerStage::SendingResult, ServiceMode::Active)
+                | (ServerStage::SendingData, ServiceMode::Normal | ServiceMode::Migrated)
+        )
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+        /// Drive one tracked request through an arbitrary interleaving of
+        /// driver events, policy updates, and injected checkpoint failures.
+        /// The runtime must never reach an illegal (stage, mode) pair, never
+        /// accept `on_checkpoint_failed` outside Migrated shipment, and its
+        /// counters must stay consistent with observed completions.
+        #[test]
+        fn arbitrary_interleavings_never_reach_invalid_state(
+            active in 0u8..2,
+            cmds in proptest::collection::vec(0u8..7, 1..60),
+        ) {
+            let mut r = ActiveIoRuntime::new();
+            let id = RequestId(0);
+            r.track(id, active == 1);
+            let mut delivered = false;
+            for cmd in cmds {
+                if delivered {
+                    break;
+                }
+                let stage = r.stage(id).unwrap();
+                let mode = r.mode(id).unwrap();
+                match cmd {
+                    0 if stage == ServerStage::InFlight => r.on_arrival(id),
+                    1 if stage == ServerStage::QueuedDisk => {
+                        let served = r.on_disk_done(id);
+                        prop_assert_eq!(served, mode);
+                    }
+                    2 if stage == ServerStage::Running => r.on_kernel_done(id),
+                    3 if stage == ServerStage::Running && mode == ServiceMode::Active => {
+                        r.on_kernel_split(id)
+                    }
+                    4 => {
+                        // Policy flips to Normal; allow_interrupt alternates
+                        // with the command parity of the stage.
+                        let allow = stage != ServerStage::SendingResult;
+                        r.apply_policy(&policy(&[(0, Decision::Normal)]), allow);
+                    }
+                    5 => {
+                        let failable = stage == ServerStage::SendingData
+                            && mode == ServiceMode::Migrated;
+                        let res = r.on_checkpoint_failed(id);
+                        prop_assert_eq!(res.is_ok(), failable);
+                    }
+                    6 if matches!(
+                        stage,
+                        ServerStage::SendingResult | ServerStage::SendingData
+                    ) =>
+                    {
+                        r.on_delivered(id);
+                        delivered = true;
+                    }
+                    _ => {} // command not applicable in this state: skip
+                }
+                if !delivered {
+                    let (s, m) = (r.stage(id).unwrap(), r.mode(id).unwrap());
+                    prop_assert!(
+                        state_is_legal(s, m),
+                        "illegal state {:?}/{:?} after cmd {}",
+                        s,
+                        m,
+                        cmd
+                    );
+                }
+            }
+            let c = r.counters;
+            // A single tracked request can be demoted/interrupted at most
+            // once each, and interruption + planned split are exclusive.
+            prop_assert!(c.demoted <= 1 && c.interrupted <= 1 && c.split <= 1);
+            prop_assert!(c.interrupted + c.split <= 1);
+            let completions = c.completed_active + c.completed_normal + c.completed_migrated;
+            prop_assert!(completions <= 1);
+            if delivered {
+                prop_assert_eq!(r.tracked_count(), 0);
+            }
+        }
     }
 }

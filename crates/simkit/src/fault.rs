@@ -1,0 +1,321 @@
+//! Deterministic fault injection for simulated clusters.
+//!
+//! A [`FaultPlan`] is plain data: a list of time-windowed [`FaultEvent`]s
+//! targeting nodes (by plain index — simkit knows nothing about node roles).
+//! The world that owns the plan queries it at event boundaries and applies
+//! the effects to its resources; the plan never schedules anything itself,
+//! keeping the substrate's "resources never schedule events" invariant.
+//!
+//! Plans are either hand-built (named test scenarios) or derived from a
+//! seeded RNG ([`FaultPlan::random_storm`]), so every run is reproducible:
+//! same seed → same plan → same event trace.
+
+use crate::{SimSpan, SimTime};
+use rand::Rng;
+
+/// What goes wrong. Factors are multiplicative in `(0, 1]`; `1.0` is a no-op.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Node CPU capacity is multiplied by `factor` (background load spike,
+    /// thermal throttling, a co-scheduled job...).
+    CpuSlowdown { factor: f64 },
+    /// The node's disk serves nothing for the window (firmware hiccup,
+    /// internal GC; the queue keeps accepting work).
+    DiskStall,
+    /// The node's NIC bandwidth (both directions) is multiplied by `factor`.
+    NetBandwidthDip { factor: f64 },
+    /// Contention-estimator probes of this node are lost outright.
+    ProbeLoss,
+    /// Probe replies from this node arrive `delay` late.
+    ProbeDelay { delay: SimSpan },
+    /// Checkpoint shipments (interrupted-kernel state) from this node fail
+    /// after consuming their transfer time.
+    CheckpointShipFailure,
+}
+
+/// One fault: `kind` afflicts `node` during `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    pub node: usize,
+    pub kind: FaultKind,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl FaultEvent {
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// A deterministic schedule of faults. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one fault window. Builder-style so named scenarios read linearly.
+    pub fn inject(
+        mut self,
+        node: usize,
+        kind: FaultKind,
+        start: SimTime,
+        duration: SimSpan,
+    ) -> Self {
+        if let FaultKind::CpuSlowdown { factor } | FaultKind::NetBandwidthDip { factor } = &kind {
+            assert!(
+                *factor > 0.0 && *factor <= 1.0,
+                "fault factor {factor} outside (0, 1]"
+            );
+        }
+        assert!(duration > SimSpan::ZERO, "fault window must be non-empty");
+        self.events.push(FaultEvent {
+            node,
+            kind,
+            start,
+            end: start + duration,
+        });
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Faults afflicting `node` at `now`.
+    pub fn active(&self, now: SimTime, node: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.node == node && e.active_at(now))
+    }
+
+    /// Combined CPU capacity factor for `node` at `now` (product of active
+    /// slowdowns; `1.0` when healthy).
+    pub fn cpu_factor(&self, now: SimTime, node: usize) -> f64 {
+        self.active(now, node)
+            .filter_map(|e| match e.kind {
+                FaultKind::CpuSlowdown { factor } => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Combined NIC bandwidth factor for `node` at `now`.
+    pub fn net_factor(&self, now: SimTime, node: usize) -> f64 {
+        self.active(now, node)
+            .filter_map(|e| match e.kind {
+                FaultKind::NetBandwidthDip { factor } => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Is a probe of `node` sent at `now` lost?
+    pub fn probe_lost(&self, now: SimTime, node: usize) -> bool {
+        self.active(now, node)
+            .any(|e| e.kind == FaultKind::ProbeLoss)
+    }
+
+    /// Extra latency on a probe of `node` sent at `now` (max of active
+    /// delays), or `None` when replies are prompt.
+    pub fn probe_delay(&self, now: SimTime, node: usize) -> Option<SimSpan> {
+        self.active(now, node)
+            .filter_map(|e| match e.kind {
+                FaultKind::ProbeDelay { delay } => Some(delay),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Does a checkpoint shipment leaving `node` at `now` fail?
+    pub fn checkpoint_ship_fails(&self, now: SimTime, node: usize) -> bool {
+        self.active(now, node)
+            .any(|e| e.kind == FaultKind::CheckpointShipFailure)
+    }
+
+    /// Disk-stall windows on `node` that begin exactly in `[from, to)` —
+    /// used by drivers to inject the blocking request once per window.
+    pub fn disk_stalls_starting(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        node: usize,
+    ) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| {
+            e.node == node && e.kind == FaultKind::DiskStall && from <= e.start && e.start < to
+        })
+    }
+
+    /// Every window boundary, sorted and deduplicated: the times at which a
+    /// driver must re-evaluate fault effects.
+    pub fn transition_times(&self) -> Vec<SimTime> {
+        let mut times: Vec<SimTime> = self
+            .events
+            .iter()
+            .flat_map(|e| [e.start, e.end])
+            .collect();
+        times.sort();
+        times.dedup();
+        times
+    }
+
+    /// A seeded random storm: over `[start, start + horizon)`, each listed
+    /// node suffers `events_per_node` faults of random kind, onset, and
+    /// duration (up to a quarter of the horizon each). Deterministic in the
+    /// RNG stream.
+    pub fn random_storm<R: Rng>(
+        rng: &mut R,
+        nodes: &[usize],
+        start: SimTime,
+        horizon: SimSpan,
+        events_per_node: usize,
+    ) -> Self {
+        assert!(horizon > SimSpan::ZERO);
+        let mut plan = FaultPlan::new();
+        let horizon_ns = horizon.as_nanos();
+        for &node in nodes {
+            for _ in 0..events_per_node {
+                let onset = SimSpan::from_nanos(rng.random_range(0..horizon_ns));
+                let max_dur = (horizon_ns / 4).max(1);
+                let duration = SimSpan::from_nanos(rng.random_range(1..=max_dur));
+                let kind = match rng.random_range(0u32..6) {
+                    0 => FaultKind::CpuSlowdown {
+                        factor: rng.random_range(0.1..=0.9),
+                    },
+                    1 => FaultKind::DiskStall,
+                    2 => FaultKind::NetBandwidthDip {
+                        factor: rng.random_range(0.1..=0.9),
+                    },
+                    3 => FaultKind::ProbeLoss,
+                    4 => FaultKind::ProbeDelay {
+                        delay: SimSpan::from_nanos(rng.random_range(1..=horizon_ns / 8 + 1)),
+                    },
+                    _ => FaultKind::CheckpointShipFailure,
+                };
+                plan = plan.inject(node, kind, start + onset, duration);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngFactory;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn span(s: f64) -> SimSpan {
+        SimSpan::from_secs_f64(s)
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = FaultPlan::new().inject(3, FaultKind::ProbeLoss, secs(1.0), span(2.0));
+        assert!(!plan.probe_lost(secs(0.999), 3));
+        assert!(plan.probe_lost(secs(1.0), 3));
+        assert!(plan.probe_lost(secs(2.999), 3));
+        assert!(!plan.probe_lost(secs(3.0), 3));
+        assert!(!plan.probe_lost(secs(1.5), 4), "other nodes unaffected");
+    }
+
+    #[test]
+    fn factors_compose_multiplicatively() {
+        let plan = FaultPlan::new()
+            .inject(
+                0,
+                FaultKind::CpuSlowdown { factor: 0.5 },
+                secs(0.0),
+                span(10.0),
+            )
+            .inject(
+                0,
+                FaultKind::CpuSlowdown { factor: 0.5 },
+                secs(5.0),
+                span(10.0),
+            );
+        assert!((plan.cpu_factor(secs(1.0), 0) - 0.5).abs() < 1e-12);
+        assert!((plan.cpu_factor(secs(6.0), 0) - 0.25).abs() < 1e-12);
+        assert!((plan.cpu_factor(secs(12.0), 0) - 0.5).abs() < 1e-12);
+        assert!((plan.cpu_factor(secs(20.0), 0) - 1.0).abs() < 1e-12);
+        assert!((plan.net_factor(secs(1.0), 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_delay_takes_the_max() {
+        let plan = FaultPlan::new()
+            .inject(
+                2,
+                FaultKind::ProbeDelay { delay: span(0.05) },
+                secs(0.0),
+                span(4.0),
+            )
+            .inject(
+                2,
+                FaultKind::ProbeDelay { delay: span(0.2) },
+                secs(1.0),
+                span(1.0),
+            );
+        assert_eq!(plan.probe_delay(secs(0.5), 2), Some(span(0.05)));
+        assert_eq!(plan.probe_delay(secs(1.5), 2), Some(span(0.2)));
+        assert_eq!(plan.probe_delay(secs(3.0), 2), Some(span(0.05)));
+        assert_eq!(plan.probe_delay(secs(5.0), 2), None);
+    }
+
+    #[test]
+    fn transition_times_sorted_dedup() {
+        let plan = FaultPlan::new()
+            .inject(0, FaultKind::DiskStall, secs(2.0), span(1.0))
+            .inject(1, FaultKind::ProbeLoss, secs(1.0), span(2.0));
+        assert_eq!(
+            plan.transition_times(),
+            vec![secs(1.0), secs(2.0), secs(3.0)]
+        );
+    }
+
+    #[test]
+    fn disk_stall_window_query() {
+        let plan = FaultPlan::new().inject(5, FaultKind::DiskStall, secs(2.0), span(1.0));
+        assert_eq!(plan.disk_stalls_starting(secs(0.0), secs(2.0), 5).count(), 0);
+        assert_eq!(plan.disk_stalls_starting(secs(2.0), secs(2.5), 5).count(), 1);
+        assert_eq!(plan.disk_stalls_starting(secs(2.5), secs(9.0), 5).count(), 0);
+    }
+
+    #[test]
+    fn random_storm_is_deterministic_per_seed() {
+        let mk = || {
+            let mut rng = RngFactory::new(17).stream("storm");
+            FaultPlan::random_storm(&mut rng, &[8, 9], secs(0.0), span(10.0), 3)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 6);
+        let mut rng = RngFactory::new(18).stream("storm");
+        let c = FaultPlan::random_storm(&mut rng, &[8, 9], secs(0.0), span(10.0), 3);
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_bad_factor() {
+        let _ = FaultPlan::new().inject(
+            0,
+            FaultKind::CpuSlowdown { factor: 1.5 },
+            secs(0.0),
+            span(1.0),
+        );
+    }
+}

@@ -15,6 +15,8 @@
 //!   request queues with explicit service times.
 //! * [`stats`] — time-weighted statistics, tallies and series recorders.
 //! * [`rng`] — seed-derived deterministic random streams.
+//! * [`fault`] — deterministic, seed-driven fault plans (time-windowed
+//!   resource degradation, probe loss/delay) applied by the owning world.
 //!
 //! Design notes:
 //!
@@ -28,6 +30,7 @@
 
 pub mod event;
 pub mod executor;
+pub mod fault;
 pub mod fifo;
 pub mod rng;
 pub mod share;
@@ -36,6 +39,7 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use executor::{Scheduler, Simulation, World};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fifo::FifoServer;
 pub use rng::RngFactory;
 pub use share::{ShareResource, TaskId};

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Repo verify path: tier-1 build/tests plus the failure-scenario harness
+# and a warning-free clippy pass. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+cargo test -q --test failure_scenarios
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

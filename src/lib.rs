@@ -42,12 +42,12 @@ pub use simkit;
 pub mod prelude {
     pub use cluster::{ClusterConfig, NodeId};
     pub use dosas::{
-        CostModel, DosasConfig, Driver, DriverConfig, OpRates, RequestSpec, RunMetrics, Scheme,
-        SolverKind, Workload,
+        CostModel, DosasConfig, Driver, DriverConfig, OpRates, ProbeConfig, RequestSpec,
+        RunMetrics, Scheme, SolverKind, Workload,
     };
     pub use kernels::{Kernel, KernelParams, KernelRegistry};
     pub use mpiio::program::{Op, RankProgram};
-    pub use simkit::{SimSpan, SimTime};
+    pub use simkit::{FaultKind, FaultPlan, SimSpan, SimTime};
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@ fn det(scheme: Scheme) -> DriverConfig {
         seed: 3,
         data_plane: false,
         trace: false,
+        fault_plan: FaultPlan::default(),
     }
 }
 

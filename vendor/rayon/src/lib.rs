@@ -1,0 +1,60 @@
+//! Minimal offline stand-in for `rayon`: the parallel-slice entry points the
+//! workspace uses (`par_chunks` + `map`/`reduce_with`/`sum`), executed
+//! sequentially. Kernel merge logic stays correct; only wall-clock
+//! parallelism is lost, which the simulator never depends on.
+
+pub mod prelude {
+    pub use crate::{ParIter, ParallelSlice};
+}
+
+/// Sequential adapter exposing the rayon `ParallelIterator` methods in use.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn reduce_with<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.reduce(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_map_reduce_matches_sequential() {
+        let data: Vec<u64> = (0..1000).collect();
+        let total = data
+            .par_chunks(64)
+            .map(|c| c.iter().sum::<u64>())
+            .reduce_with(|a, b| a + b)
+            .unwrap();
+        assert_eq!(total, data.iter().sum::<u64>());
+        let s: u64 = data.par_chunks(7).map(|c| c.len() as u64).sum();
+        assert_eq!(s, 1000);
+    }
+}

@@ -1,0 +1,491 @@
+//! Minimal offline stand-in for `serde` + JSON.
+//!
+//! The real serde's visitor architecture is overkill for this workspace: every
+//! use site round-trips plain data structs through JSON text. This stand-in
+//! serializes through an owned [`Value`] tree instead — `Serialize` lowers a
+//! type to a `Value`, `Deserialize` lifts it back, and the JSON text layer
+//! (in [`json`]) is a direct recursive-descent parser/printer over `Value`.
+//!
+//! The `serde_derive` proc macro (re-exported here, as upstream does) emits
+//! impls against this trait pair, honoring the `#[serde(skip)]`,
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "…")]` attributes
+//! used in the workspace. Enums use the externally-tagged layout, matching
+//! upstream's default.
+
+mod json;
+mod value;
+
+pub use json::{from_str, json_to_string, json_to_string_pretty};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Serialization/deserialization failure: a message plus nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Lift `Self` back out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::msg(format!(
+                    "expected unsigned integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::msg(format!(
+                    "expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!(
+                    "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("expected char, got {}", v.kind())))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == N => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected {N}-tuple array, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// JSON object keys are strings: a map key serializes through its `Value`
+/// and is stringified (strings as-is, integers via decimal — this covers
+/// integer newtypes like request ids, matching serde_json's behavior).
+fn key_to_string(v: &Value) -> Result<String, Error> {
+    match v {
+        Value::String(s) => Ok(s.clone()),
+        Value::UInt(n) => Ok(n.to_string()),
+        Value::Int(n) => Ok(n.to_string()),
+        other => Err(Error::msg(format!(
+            "map key must be a string or integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Inverse of [`key_to_string`]: try the key as a string first, then as an
+/// integer, whichever the key type accepts.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::String(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::msg(format!("unusable map key {s:?}")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(&k.to_value()).expect("unsupported map key type");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize + std::hash::Hash + Eq, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = key_to_string(&k.to_value()).expect("unsupported map key type");
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Build a [`Value`] literally. Supports flat/nested objects with literal
+/// keys and expression values, arrays of expressions, and bare expressions
+/// (which go through [`Serialize`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::Serialize::to_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::Serialize::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Serialize::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (referenced by serde_derive's generated code)
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    pub fn expect_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error::msg(format!(
+                "expected object for {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn expect_array<'a>(v: &'a Value, ty: &str, len: usize) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(Error::msg(format!(
+                "expected {len}-element array for {ty}, got {}",
+                items.len()
+            ))),
+            other => Err(Error::msg(format!(
+                "expected array for {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Look up a field; a missing field reads as `Null` so `Option` fields
+    /// tolerate omission (mirrors upstream's treatment under `json`).
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        let v = entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&Value::Null);
+        T::from_value(v).map_err(|e| Error::msg(format!("{ty}.{name}: {}", e.0)))
+    }
+
+    /// Like [`field`] but a missing/null field yields `Default::default()`
+    /// (for `#[serde(default)]` and `skip_serializing_if` fields).
+    pub fn field_or_default<T: Deserialize + Default>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+            None | Some(Value::Null) => Ok(T::default()),
+            Some(v) => T::from_value(v).map_err(|e| Error::msg(format!("{ty}.{name}: {}", e.0))),
+        }
+    }
+
+    /// Unwrap an externally-tagged enum value: `{ "Variant": inner }`.
+    pub fn enum_tag<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, &'a Value), Error> {
+        match v {
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            Value::String(s) => Ok((s.as_str(), &Value::Null)),
+            other => Err(Error::msg(format!(
+                "expected enum object for {ty}, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        for v in [0u64, 1, u64::MAX] {
+            assert_eq!(u64::from_value(&v.to_value()).unwrap(), v);
+        }
+        for v in [-5i64, 0, i64::MAX] {
+            assert_eq!(i64::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "héllo".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn int_keyed_maps_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(7u64, "seven".to_string());
+        m.insert(11, "eleven".to_string());
+        let v = m.to_value();
+        assert_eq!(BTreeMap::<u64, String>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let t = ("op".to_string(), 3u64);
+        let back: (String, u64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+}

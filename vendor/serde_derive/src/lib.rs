@@ -1,0 +1,504 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the build has
+//! no registry access) and emits `Serialize`/`Deserialize` impls against the
+//! vendored Value-based `serde` core. Supports the shapes this workspace
+//! declares: named/tuple/unit structs, enums with unit/tuple/named variants,
+//! lifetime-only generics, and the `#[serde(skip)]`, `#[serde(default)]`,
+//! `#[serde(skip_serializing_if = "…")]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+struct Input {
+    name: String,
+    /// `"<'a>"`-style generics (lifetimes only), or empty.
+    generics: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advance past `#[...]` attributes; returns merged serde field attrs found.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if inner.first().map(|t| is_ident(t, "serde")).unwrap_or(false) {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        parse_serde_args(args.stream(), &mut attrs);
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+    attrs
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    "skip_serializing_if" => {
+                        // skip_serializing_if = "Path::to::pred"
+                        if tokens.get(i + 1).map(|t| is_punct(t, '=')).unwrap_or(false) {
+                            if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
+                                let s = lit.to_string();
+                                attrs.skip_serializing_if =
+                                    Some(s.trim_matches('"').to_string());
+                                i += 2;
+                            }
+                        }
+                    }
+                    other => panic!("unsupported #[serde({other})] attribute"),
+                }
+            }
+            t if is_punct(t, ',') => {}
+            other => panic!("unsupported serde attribute syntax near {other}"),
+        }
+        i += 1;
+    }
+}
+
+/// Skip `pub`, `pub(crate)` etc.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Consume type tokens until a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        let t = &tokens[*i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            return;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            tokens.get(i).map(|t| is_punct(t, ':')).unwrap_or(false),
+            "expected ':' after field {name}"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("derive target must be a struct or enum, got {}", tokens[i]);
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    let mut generics = String::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        let mut depth = 0i32;
+        loop {
+            let t = &tokens[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            }
+            generics.push_str(&t.to_string());
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let kind = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(t) if is_punct(t, ';') => Kind::Struct(Shape::Unit),
+            other => panic!("expected struct body, got {other:?}"),
+        }
+    };
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let g = &input.generics;
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            body.push_str(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                let push = format!(
+                    "entries.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    body.push_str(&format!(
+                        "if !({pred})(&self.{}) {{ {push} }}\n",
+                        f.name
+                    ));
+                } else {
+                    body.push_str(&push);
+                    body.push('\n');
+                }
+            }
+            body.push_str("::serde::Value::Object(entries)");
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            body.push_str("::serde::Serialize::to_value(&self.0)");
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            body.push_str(&format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            ));
+        }
+        Kind::Struct(Shape::Unit) => {
+            body.push_str("::serde::Value::Null");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vn}\"), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let pats: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.attrs.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    let out = format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde_derive emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let g = &input.generics;
+    assert!(
+        g.is_empty(),
+        "vendored serde_derive does not support generics on Deserialize ({name})"
+    );
+    let mut body = String::new();
+    match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            body.push_str(&format!(
+                "let entries = ::serde::__private::expect_object(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            ));
+            for f in fields {
+                body.push_str(&field_init(f, name));
+            }
+            body.push_str("})");
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+            ));
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            body.push_str(&format!(
+                "let items = ::serde::__private::expect_array(v, \"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+        }
+        Kind::Struct(Shape::Unit) => {
+            body.push_str(&format!("::std::result::Result::Ok({name})"));
+        }
+        Kind::Enum(variants) => {
+            body.push_str(&format!(
+                "let (tag, inner) = ::serde::__private::enum_tag(v, \"{name}\")?;\n\
+                 match tag {{\n"
+            ));
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => body.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = ::serde::__private::expect_array(\
+                             inner, \"{name}::{vn}\", {n})?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ty = format!("{name}::{vn}");
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&field_init(f, &ty));
+                        }
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let entries = ::serde::__private::expect_object(\
+                             inner, \"{ty}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n}}"
+            ));
+        }
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive emitted invalid Deserialize impl")
+}
+
+fn field_init(f: &Field, ty: &str) -> String {
+    if f.attrs.skip {
+        format!("{}: ::core::default::Default::default(),\n", f.name)
+    } else if f.attrs.default || f.attrs.skip_serializing_if.is_some() {
+        format!(
+            "{0}: ::serde::__private::field_or_default(entries, \"{0}\", \"{ty}\")?,\n",
+            f.name
+        )
+    } else {
+        format!(
+            "{0}: ::serde::__private::field(entries, \"{0}\", \"{ty}\")?,\n",
+            f.name
+        )
+    }
+}

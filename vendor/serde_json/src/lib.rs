@@ -1,0 +1,105 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` crate's
+//! Value tree and JSON text layer.
+
+pub use serde::json;
+pub use serde::{Error, Value};
+
+/// Serialize any [`serde::Serialize`] type to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json_to_string(&value.to_value()))
+}
+
+/// Serialize to two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json_to_string_pretty(&value.to_value()))
+}
+
+/// Parse JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    serde::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle(f64),
+        Rect { w: f64, h: f64 },
+        Pair(u32, u32),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(u64);
+
+    #[test]
+    fn derived_struct_roundtrip() {
+        let p = Point {
+            x: 1.5,
+            y: -2.0,
+            label: Some("origin-ish".into()),
+        };
+        let json = crate::to_string(&p).unwrap();
+        assert_eq!(json, r#"{"x":1.5,"y":-2.0,"label":"origin-ish"}"#);
+        assert_eq!(crate::from_str::<Point>(&json).unwrap(), p);
+        // Missing Option field tolerated.
+        let q: Point = crate::from_str(r#"{"x":0.0,"y":0.0}"#).unwrap();
+        assert_eq!(q.label, None);
+    }
+
+    #[test]
+    fn derived_enum_roundtrip() {
+        for s in [
+            Shape::Dot,
+            Shape::Circle(2.5),
+            Shape::Rect { w: 3.0, h: 4.0 },
+            Shape::Pair(1, 2),
+        ] {
+            let json = crate::to_string(&s).unwrap();
+            assert_eq!(crate::from_str::<Shape>(&json).unwrap(), s);
+        }
+        assert_eq!(crate::to_string(&Shape::Dot).unwrap(), r#""Dot""#);
+        assert_eq!(
+            crate::to_string(&Shape::Circle(2.5)).unwrap(),
+            r#"{"Circle":2.5}"#
+        );
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        let w = Wrapper(99);
+        assert_eq!(crate::to_string(&w).unwrap(), "99");
+        assert_eq!(crate::from_str::<Wrapper>("99").unwrap(), w);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = serde::json!({
+            "scheme": "dosas",
+            "n": 4u32,
+            "bw": 1.5,
+            "p95": Option::<f64>::None,
+        });
+        assert_eq!(v["scheme"], "dosas");
+        assert_eq!(v["n"], 4u32);
+        assert!(v["p95"].is_null());
+    }
+
+    #[test]
+    fn value_works_as_dynamic_document() {
+        let v: crate::Value = crate::from_str(r#"[{"ph":"X","pid":8}]"#).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["pid"], 8);
+    }
+}
