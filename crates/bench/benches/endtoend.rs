@@ -8,7 +8,13 @@ use kernels::KernelParams;
 use std::hint::black_box;
 
 fn workload(n: usize) -> Workload {
-    Workload::uniform_active(n, 1, 128 << 20, "gaussian2d", KernelParams::with_width(4096))
+    Workload::uniform_active(
+        n,
+        1,
+        128 << 20,
+        "gaussian2d",
+        KernelParams::with_width(4096),
+    )
 }
 
 fn bench_schemes(c: &mut Criterion) {
@@ -50,7 +56,6 @@ fn bench_data_plane(c: &mut Criterion) {
         })
     });
 }
-
 
 fn quick() -> Criterion {
     Criterion::default()

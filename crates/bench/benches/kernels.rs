@@ -84,7 +84,6 @@ fn bench_checkpoint(c: &mut Criterion) {
     });
 }
 
-
 fn quick() -> Criterion {
     Criterion::default()
         .measurement_time(std::time::Duration::from_secs(3))

@@ -39,11 +39,9 @@ fn bench_solvers(c: &mut Criterion) {
             if !feasible {
                 continue;
             }
-            g.bench_with_input(
-                BenchmarkId::new(kind.name(), k),
-                &items,
-                |b, items| b.iter(|| schedule::solve(kind, black_box(items))),
-            );
+            g.bench_with_input(BenchmarkId::new(kind.name(), k), &items, |b, items| {
+                b.iter(|| schedule::solve(kind, black_box(items)))
+            });
         }
     }
     g.finish();
@@ -91,7 +89,6 @@ fn bench_policy_generation(c: &mut Criterion) {
     }
     g.finish();
 }
-
 
 fn quick() -> Criterion {
     Criterion::default()

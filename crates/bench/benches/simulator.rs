@@ -83,14 +83,12 @@ fn bench_fabric_recompute(c: &mut Criterion) {
     g.finish();
 }
 
-
 fn quick() -> Criterion {
     Criterion::default()
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_secs(1))
         .sample_size(20)
 }
-
 
 criterion_group! {
     name = benches;

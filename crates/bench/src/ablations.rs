@@ -11,7 +11,12 @@ use simkit::{RngFactory, SimSpan};
 pub fn ablate_service_cores() -> Table {
     let mut t = Table::new(
         "A1: AS execution time vs reserved service cores (Gaussian, 128 MB)",
-        &["n_ios", "kernel_cores=1", "kernel_cores=2", "kernel_cores=3"],
+        &[
+            "n_ios",
+            "kernel_cores=1",
+            "kernel_cores=2",
+            "kernel_cores=3",
+        ],
     );
     for &n in &[1usize, 4, 16, 64] {
         let mut row = vec![n.to_string()];
@@ -38,13 +43,7 @@ pub fn ablate_striping() -> Table {
         let run = |scheme: Scheme| {
             let mut cfg = DriverConfig::paper(scheme);
             cfg.cluster.storage_nodes = servers;
-            let w = Workload::striped_active(
-                8,
-                1 << 20,
-                256 << 20,
-                "sum",
-                params_for("sum"),
-            );
+            let w = Workload::striped_active(8, 1 << 20, 256 << 20, "sum", params_for("sum"));
             Driver::run(cfg, &w).makespan_secs
         };
         t.push(vec![
@@ -144,12 +143,30 @@ pub fn ablate_disk() -> Table {
 pub fn ablate_multi_app() -> Table {
     let mut t = Table::new(
         "A5: multi-application mix (2 active Gaussian apps + 1 normal-I/O app)",
-        &["scheme", "makespan_secs", "mean_latency_secs", "demoted", "interrupted"],
+        &[
+            "scheme",
+            "makespan_secs",
+            "mean_latency_secs",
+            "demoted",
+            "interrupted",
+        ],
     );
     let apps = vec![
-        ("gaussian2d".to_string(), params_for("gaussian2d"), 128 << 20, true, 6),
+        (
+            "gaussian2d".to_string(),
+            params_for("gaussian2d"),
+            128 << 20,
+            true,
+            6,
+        ),
         ("sum".to_string(), params_for("sum"), 256 << 20, true, 4),
-        ("stats".to_string(), params_for("stats"), 128 << 20, false, 6),
+        (
+            "stats".to_string(),
+            params_for("stats"),
+            128 << 20,
+            false,
+            6,
+        ),
     ];
     for scheme in [
         Scheme::Traditional,
@@ -209,7 +226,14 @@ pub fn ablate_probe_period() -> Table {
 pub fn ablate_partial() -> Table {
     let mut t = Table::new(
         "A7: partial offloading vs the paper's schemes (Gaussian, 128 MB)",
-        &["n_ios", "TS_secs", "AS_secs", "DOSAS_secs", "PARTIAL_secs", "gain_vs_best"],
+        &[
+            "n_ios",
+            "TS_secs",
+            "AS_secs",
+            "DOSAS_secs",
+            "PARTIAL_secs",
+            "gain_vs_best",
+        ],
     );
     for &n in PAPER_NS.iter() {
         let run = |scheme: Scheme| crate::run_point(scheme, "gaussian2d", 128, n, 42).makespan_secs;
@@ -237,7 +261,12 @@ pub fn ablate_partial() -> Table {
 pub fn ablate_bandwidth_estimation() -> Table {
     let mut t = Table::new(
         "A8: online bandwidth estimation at the decision boundary (Gaussian)",
-        &["n_ios", "nominal_bw_secs", "estimated_bw_secs", "est_value_MBps"],
+        &[
+            "n_ios",
+            "nominal_bw_secs",
+            "estimated_bw_secs",
+            "est_value_MBps",
+        ],
     );
     for &n in &[3usize, 4, 5, 8] {
         let mean = |estimate: bool| {
@@ -312,11 +341,23 @@ pub fn ablate_heterogeneous_queue() -> Table {
     use mpiio::status::ExecutionSite;
     let mut t = Table::new(
         "A10: mixed SUM + Gaussian queue under DOSAS (per-op placement)",
-        &["op", "requests", "on_storage", "on_compute", "makespan_secs"],
+        &[
+            "op",
+            "requests",
+            "on_storage",
+            "on_compute",
+            "makespan_secs",
+        ],
     );
     let apps = vec![
         ("sum".to_string(), params_for("sum"), 256 << 20, true, 4),
-        ("gaussian2d".to_string(), params_for("gaussian2d"), 256 << 20, true, 12),
+        (
+            "gaussian2d".to_string(),
+            params_for("gaussian2d"),
+            256 << 20,
+            true,
+            12,
+        ),
     ];
     let w = Workload::multi_app(&apps, 1);
     let m = Driver::run(DriverConfig::paper(Scheme::dosas_default()), &w);
@@ -376,7 +417,10 @@ mod tests {
         for row in &t.rows {
             let a: f64 = row[1].parse().unwrap();
             let c: f64 = row[3].parse().unwrap();
-            assert!(c <= a * 1.05, "3 kernel cores should not lose to 1: {row:?}");
+            assert!(
+                c <= a * 1.05,
+                "3 kernel cores should not lose to 1: {row:?}"
+            );
         }
     }
 
@@ -411,7 +455,10 @@ mod tests {
         let t = ablate_partial();
         for row in &t.rows {
             let gain: f64 = row[5].trim_end_matches('%').parse().unwrap();
-            assert!(gain <= 1.0, "partial must not lose to the best scheme: {row:?}");
+            assert!(
+                gain <= 1.0,
+                "partial must not lose to the best scheme: {row:?}"
+            );
         }
         // And at mid contention it must win big.
         let mid = &t.rows[3]; // n = 8

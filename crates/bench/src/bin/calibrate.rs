@@ -27,7 +27,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
     println!("Kernel calibration (paper Table III), {budget:.1} s per kernel\n");
-    println!("{:<20} {:>6}  {:>10}  {:>7}", "kernel", "paper", "host MB/s", "par");
+    println!(
+        "{:<20} {:>6}  {:>10}  {:>7}",
+        "kernel", "paper", "host MB/s", "par"
+    );
     println!("{}", "-".repeat(50));
 
     let stream = synthetic_f64_stream(8 << 20);
@@ -63,7 +66,11 @@ fn main() {
 
     let mut km = KMeansKernel::new(vec![0.25, 0.5, 0.75]).unwrap();
     let r = measure_rate(&mut km, &stream, chunk, budget);
-    let par = par_rate(|| KMeansKernel::new(vec![0.25, 0.5, 0.75]).unwrap(), &stream, budget);
+    let par = par_rate(
+        || KMeansKernel::new(vec![0.25, 0.5, 0.75]).unwrap(),
+        &stream,
+        budget,
+    );
     line("kmeans1d (k=3)", None, r.rate_mb_per_s, Some(par));
 
     println!(

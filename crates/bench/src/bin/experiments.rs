@@ -20,9 +20,10 @@ fn emit(name: &str, table: &Table) {
     if name.starts_with("fig") {
         let value_cols: Vec<usize> = (1..table.columns.len())
             .filter(|&c| {
-                table.rows.first().is_some_and(|r| {
-                    r[c].trim_end_matches('%').parse::<f64>().is_ok()
-                })
+                table
+                    .rows
+                    .first()
+                    .is_some_and(|r| r[c].trim_end_matches('%').parse::<f64>().is_ok())
             })
             .take(3)
             .collect();
@@ -63,7 +64,10 @@ fn run(name: &str) -> bool {
         "table4" => {
             let (t, accuracy) = bench::table4();
             emit("table4", &t);
-            println!("Table IV accuracy: {:.1}% (paper: ~95%)\n", accuracy * 100.0);
+            println!(
+                "Table IV accuracy: {:.1}% (paper: ~95%)\n",
+                accuracy * 100.0
+            );
         }
         "fig7" => emit("fig7", &bench::fig_three_schemes(128)),
         "fig8" => emit("fig8", &bench::fig_three_schemes(256)),
@@ -90,9 +94,28 @@ fn run(name: &str) -> bool {
 }
 
 const ALL: &[&str] = &[
-    "table3", "fig2", "fig4", "fig5", "fig6", "table4", "fig7", "fig8", "fig9", "fig10",
-    "fig11", "fig12", "ablate-cores", "ablate-stripes", "ablate-solvers", "ablate-disk",
-    "ablate-mixed", "ablate-probe", "ablate-partial", "ablate-bwest", "ablate-cache", "ablate-hetero",
+    "table3",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablate-cores",
+    "ablate-stripes",
+    "ablate-solvers",
+    "ablate-disk",
+    "ablate-mixed",
+    "ablate-probe",
+    "ablate-partial",
+    "ablate-bwest",
+    "ablate-cache",
+    "ablate-hetero",
 ];
 
 fn main() {

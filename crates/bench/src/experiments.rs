@@ -62,7 +62,9 @@ pub fn fig_bandwidth(size_mb: u64) -> Table {
         let bw = |scheme: Scheme| {
             SEEDS
                 .iter()
-                .map(|&s| run_point(scheme.clone(), "gaussian2d", size_mb, n, s).bandwidth_mb_per_s())
+                .map(|&s| {
+                    run_point(scheme.clone(), "gaussian2d", size_mb, n, s).bandwidth_mb_per_s()
+                })
                 .sum::<f64>()
                 / SEEDS.len() as f64
         };
@@ -228,7 +230,9 @@ mod tests {
     fn situations_cover_the_paper_grid() {
         let s = table4_situations();
         assert_eq!(s.len(), 64);
-        assert!(s.iter().any(|x| x.op == "sum" && x.size_mb == 1024 && x.n == 64));
+        assert!(s
+            .iter()
+            .any(|x| x.op == "sum" && x.size_mb == 1024 && x.n == 64));
         assert!(s.iter().any(|x| x.op == "gaussian2d" && x.n == 3));
     }
 

@@ -110,7 +110,11 @@ pub fn line_plot(table: &Table, label_col: usize, value_cols: &[usize], y_label:
         for (i, row) in table.rows.iter().enumerate() {
             let Some(v) = parse(&row[col]) else { continue };
             let (x, y) = (x_of(i), y_of(v));
-            let _ = write!(path, "{}{x:.1},{y:.1} ", if path.is_empty() { "M" } else { "L" });
+            let _ = write!(
+                path,
+                "{}{x:.1},{y:.1} ",
+                if path.is_empty() { "M" } else { "L" }
+            );
             let _ = writeln!(
                 markers,
                 r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#
@@ -152,7 +156,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -163,7 +163,10 @@ impl Fabric {
         assert!(bytes >= 0.0);
         assert!(src.0 < self.tx_capacity.len(), "unknown src {src}");
         assert!(dst.0 < self.rx_capacity.len(), "unknown dst {dst}");
-        assert_ne!(src, dst, "loopback transfers are free; model them as zero-cost");
+        assert_ne!(
+            src, dst,
+            "loopback transfers are free; model them as zero-cost"
+        );
         self.advance(now);
         let cap = match self.jitter {
             Some((lo, hi)) => self.rng.random_range(lo..=hi),
@@ -361,12 +364,10 @@ impl Fabric {
             for id in &unfrozen {
                 let f = &self.flows[id];
                 let cap_binds = f.cap <= r + eps;
-                let tx_binds =
-                    tx_cnt[f.src.0] as f64 * r >= tx_res[f.src.0].max(0.0) - eps;
-                let rx_binds =
-                    rx_cnt[f.dst.0] as f64 * r >= rx_res[f.dst.0].max(0.0) - eps;
-                let sw_binds = self.switch_capacity.is_some()
-                    && sw_cnt as f64 * r >= sw_res.max(0.0) - eps;
+                let tx_binds = tx_cnt[f.src.0] as f64 * r >= tx_res[f.src.0].max(0.0) - eps;
+                let rx_binds = rx_cnt[f.dst.0] as f64 * r >= rx_res[f.dst.0].max(0.0) - eps;
+                let sw_binds =
+                    self.switch_capacity.is_some() && sw_cnt as f64 * r >= sw_res.max(0.0) - eps;
                 if cap_binds || tx_binds || rx_binds || sw_binds {
                     newly_frozen.push(*id);
                 }

@@ -53,13 +53,8 @@ impl OpRates {
 
     pub fn set(&mut self, op: &str, per_core: f64, result: ResultModel) {
         assert!(per_core.is_finite() && per_core > 0.0);
-        self.rates.insert(
-            op.to_string(),
-            OpRate {
-                per_core,
-                result,
-            },
-        );
+        self.rates
+            .insert(op.to_string(), OpRate { per_core, result });
     }
 
     pub fn get(&self, op: &str) -> Option<&OpRate> {

@@ -1,0 +1,84 @@
+//! `faults` subsystem: deterministic fault-window application.
+//!
+//! At each fault-plan transition boundary the driver re-derives the
+//! absolute degradation state (CPU capacity factors, per-node link
+//! factors) and pushes it into the cluster resources, and turns disk-stall
+//! windows into blocking zero-byte disk requests tracked in `stall_reqs`
+//! (filtered out of completion handling by the [`server`](super::server)
+//! subsystem). Probe loss/delay and checkpoint-ship failures are *not*
+//! applied here — they are point lookups on the plan at the moment the
+//! affected action happens, in [`control`](super::control) and
+//! [`io_path`](super::io_path). Routed events: [`Ev::Fault`](super::Ev::Fault).
+
+use super::{Driver, Ev, Subsystem};
+use cluster::NodeId;
+use simkit::component::Component;
+use simkit::fifo::ReqId as DiskReqId;
+use simkit::{Scheduler, SimSpan, SimTime};
+use std::collections::BTreeSet;
+
+/// Fault-injection state embedded in [`Driver`].
+#[derive(Default)]
+pub(super) struct Faults {
+    /// Injected disk-stall requests, filtered out of completion handling.
+    pub(super) stall_reqs: BTreeSet<(usize, DiskReqId)>,
+}
+
+/// Routed-event entry point for the subsystem.
+pub(super) struct FaultsComponent;
+
+impl Component<Driver> for FaultsComponent {
+    const ROUTE: Subsystem = Subsystem::Faults;
+    const NAME: &'static str = "faults";
+
+    fn handle(world: &mut Driver, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Fault => world.apply_faults(now, sched),
+            _ => unreachable!("non-fault event routed to faults"),
+        }
+    }
+}
+
+impl Driver {
+    /// Re-evaluate the fault plan at a window boundary and push the current
+    /// degradation state into the cluster resources. Factors are applied
+    /// absolutely (not incrementally), so overlapping windows compose and
+    /// closing the last window restores exactly the base capacity.
+    fn apply_faults(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let plan = self.cfg.fault_plan.clone();
+        if plan.is_empty() {
+            return;
+        }
+        for node in 0..self.cluster.cpus.len() {
+            let cpu_f = plan.cpu_factor(now, node);
+            if (cpu_f - self.cluster.cpus[node].capacity_factor()).abs() > f64::EPSILON {
+                self.cluster.cpus[node].set_capacity_factor(now, cpu_f);
+                self.schedule_cpu(node, sched);
+            }
+            let net_f = plan.net_factor(now, node);
+            if (net_f - self.cluster.fabric.link_factor(NodeId(node))).abs() > f64::EPSILON {
+                self.cluster
+                    .fabric
+                    .set_link_factor(now, NodeId(node), net_f);
+            }
+        }
+        // Disk stalls opening at exactly this boundary become blocking
+        // zero-byte requests; their completions are filtered in
+        // `on_disk_tick` via `stall_reqs`.
+        let window_end = now + SimSpan::from_nanos(1);
+        let storage: Vec<NodeId> = self.cluster.storage_ids().collect();
+        for server in storage {
+            let stalls: Vec<SimSpan> = plan
+                .disk_stalls_starting(now, window_end, server.0)
+                .map(|e| e.end - e.start)
+                .collect();
+            let ordinal = self.cluster.storage_ordinal(server);
+            for duration in stalls {
+                let rid = self.cluster.disks[ordinal].inject_stall(now, duration);
+                self.faults.stall_reqs.insert((ordinal, rid));
+                self.schedule_disk(ordinal, sched);
+            }
+        }
+        self.schedule_net(sched);
+    }
+}

@@ -75,7 +75,11 @@ impl RunMetrics {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(AppIoRecord::latency_secs).sum::<f64>() / self.records.len() as f64
+        self.records
+            .iter()
+            .map(AppIoRecord::latency_secs)
+            .sum::<f64>()
+            / self.records.len() as f64
     }
 
     /// How many app I/Os ended on each execution site.

@@ -14,37 +14,57 @@
 //! CPUs, FIFO disks, max-min fair fabric). With `data_plane` enabled it also
 //! moves *real bytes* through [`pfs::MemoryStore`] and runs *real kernels*,
 //! so different schemes can be checked for bit-identical results.
+//!
+//! # Architecture
+//!
+//! The driver is decomposed into event-routed subsystems over simkit's
+//! [`Component`] layer (see DESIGN.md §7). Each subsystem owns a state
+//! struct embedded in [`Driver`] and the handlers for its routed events;
+//! cross-subsystem interaction is a direct method call inside the same
+//! dispatch, so the decomposition does not change the event schedule
+//! (proven by `tests/golden_metrics.rs`):
+//!
+//! | module        | state       | routed events                          |
+//! |---------------|-------------|----------------------------------------|
+//! | [`ranks`]     | `Ranks`     | `RankStep`                             |
+//! | [`io_path`]   | `IoPath`    | `Arrive`, `NetTick`, `Deliver`         |
+//! | [`server`]    | `Servers`   | `DiskTick`, `CpuTick`                  |
+//! | [`control`]   | `Control`   | `Probe`, `ProbeRetry`, `PolicyArrive`  |
+//! | [`faults`]    | `Faults`    | `Fault`                                |
+//! | [`telemetry`] | `Telemetry` | — (passive; written to mid-dispatch)   |
 
 pub mod metrics;
 pub mod trace;
 
+mod control;
+mod faults;
+mod io_path;
+mod ranks;
+mod server;
+mod telemetry;
+
 pub use metrics::{AppIoRecord, PolicyLogEntry, RunMetrics};
 pub use trace::TraceEvent;
 
-use crate::asc::{ActiveStorageClient, ClientAction, Registration};
+use crate::asc::ActiveStorageClient;
 use crate::config::{DosasConfig, OpRates, Scheme};
-use crate::estimator::{CeStats, CeSupervisor, ContentionEstimator, Policy, ProbeVerdict};
-use crate::runtime::{ActiveIoRuntime, RuntimeAction, RuntimeCounters, ServiceMode};
+use crate::estimator::{CeSupervisor, ContentionEstimator};
+use crate::runtime::ActiveIoRuntime;
 use crate::workload::{LayoutSpec, Workload};
-use cluster::{ClusterConfig, ClusterState, FlowId, NodeId};
+use cluster::{ClusterConfig, ClusterState, NodeId};
+use control::Control;
+use faults::Faults;
+use io_path::IoPath;
 use kernels::calibrate::synthetic_f64_stream;
-use kernels::{Kernel, KernelParams, KernelRegistry, KernelState};
-use mpiio::file::ResultBuf;
-use mpiio::program::{Op, RankProgram};
-use mpiio::status::ExecutionSite;
-use pfs::{
-    DataServer, FileHandle, IoKind, MetadataServer, MemoryStore, QueueSnapshot, QueuedRequest,
-    ReadPlan, RequestId, SnapshotRow, StripeLayout,
-};
+use kernels::KernelRegistry;
+use pfs::{DataServer, MemoryStore, MetadataServer, RequestId, StripeLayout};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use simkit::fifo::ReqId as DiskReqId;
-use simkit::{FaultPlan, RngFactory, Scheduler, SimSpan, SimTime, Simulation, TaskId, World};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// Wire-size estimate for a kernel checkpoint when the data plane is off
-/// (with real kernels the actual [`KernelState::wire_size`] is used).
-const STATE_SIZE_ESTIMATE: f64 = 256.0;
+use ranks::Ranks;
+use server::{KernelSlots, Servers};
+use simkit::{Component, FaultPlan, RngFactory, Routed, Scheduler, SimTime, Simulation, World};
+use std::collections::BTreeMap;
+use telemetry::Telemetry;
 
 /// Everything a run needs besides the workload.
 #[derive(Debug, Clone)]
@@ -103,157 +123,44 @@ pub enum Ev {
     PolicyArrive(u64),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct AppIoId(u64);
-
-#[derive(Debug)]
-enum CpuWork {
-    /// Storage-side kernel for a request.
-    Kernel(RequestId),
-    /// Client-side completion compute for an app I/O.
-    ClientCompute(AppIoId),
-    /// A rank's `Op::Compute`.
-    RankCompute(usize),
+/// The driver's routing table: which subsystem owns each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subsystem {
+    Ranks,
+    IoPath,
+    Server,
+    Control,
+    Faults,
 }
 
-/// Per-part (per data server) request state.
-struct Req {
-    app: AppIoId,
-    part_index: usize,
-    client: NodeId,
-    server: NodeId,
-    bytes: f64,
-    /// This request writes data instead of reading it.
-    is_write: bool,
-    /// Active operation, `None` for plain reads.
-    op: Option<String>,
-    fh: FileHandle,
-    cpu_task: Option<TaskId>,
-    /// Planned partial-offload fraction (extension); `None` = run fully.
-    split: Option<f64>,
-    /// Bytes the storage-side kernel finished before completion/interrupt.
-    processed_bytes: f64,
-    ship_state: Option<KernelState>,
-    /// The file extents this server holds for the request, `(offset, len)`
-    /// in file order (PVFS issues one request per server covering all of
-    /// its stripes).
-    extents: Vec<(u64, u64)>,
-    // Data plane:
-    kernel: Option<Box<dyn Kernel>>,
-    data: Option<Vec<u8>>,
-    result: Option<Vec<u8>>,
-    // Tracing stamps (only maintained when cfg.trace):
-    t_arrive: SimTime,
-    t_kernel_start: SimTime,
-    t_flow_start: SimTime,
+impl Routed for Ev {
+    type Route = Subsystem;
+
+    fn route(&self) -> Subsystem {
+        match self {
+            Ev::RankStep(_) => Subsystem::Ranks,
+            Ev::Arrive(_) | Ev::NetTick { .. } | Ev::Deliver(_) => Subsystem::IoPath,
+            Ev::DiskTick { .. } | Ev::CpuTick { .. } => Subsystem::Server,
+            Ev::Probe(_) | Ev::ProbeRetry(_) | Ev::PolicyArrive(_) => Subsystem::Control,
+            Ev::Fault => Subsystem::Faults,
+        }
+    }
 }
 
-/// Piece of an app I/O awaiting client-side assembly (data plane).
-enum Piece {
-    /// Completed server-side result.
-    Ready(Vec<u8>),
-    /// Kernel (fresh or restored) plus the unprocessed data tail.
-    Finish(Box<dyn Kernel>, Vec<u8>),
-    /// Raw extents of a plain read, `(file offset, bytes)`.
-    Raw(Vec<(u64, Vec<u8>)>),
-}
-
-struct AppIo {
-    rank: usize,
-    op: Option<String>,
-    params: KernelParams,
-    client_op: Option<(String, KernelParams)>,
-    parts_pending: usize,
-    total_bytes: f64,
-    issued_at: SimTime,
-    /// Bytes the client must still process (rate per `rate_op`).
-    client_bytes: f64,
-    rate_op: Option<String>,
-    pieces: Vec<(usize, Piece)>,
-    any_active_completed: bool,
-    any_demoted: bool,
-    any_migrated: bool,
-    t_client_start: SimTime,
-}
-
-struct RankState {
-    node: NodeId,
-    program: RankProgram,
-    pc: usize,
-    finished: Option<SimTime>,
-    at_barrier: bool,
-}
-
-/// The simulation world.
+/// The simulation world: shared resources plus one state struct per
+/// subsystem (see the module-level architecture table).
 pub struct Driver {
     cfg: DriverConfig,
     dosas: Option<DosasConfig>,
     cluster: ClusterState,
-    meta: MetadataServer,
-    store: MemoryStore,
     registry: KernelRegistry,
-    servers: BTreeMap<NodeId, DataServer>,
-    runtimes: BTreeMap<NodeId, ActiveIoRuntime>,
-    ascs: BTreeMap<NodeId, ActiveStorageClient>,
-    estimator: Option<ContentionEstimator>,
-    reqs: BTreeMap<RequestId, Req>,
-    apps: BTreeMap<AppIoId, AppIo>,
-    ranks: Vec<RankState>,
-    flow_req: BTreeMap<FlowId, RequestId>,
-    disk_req: BTreeMap<(usize, DiskReqId), RequestId>,
-    cpu_work: BTreeMap<(usize, TaskId), CpuWork>,
-    barrier_count: usize,
-    next_req: u64,
-    next_app: u64,
-    finished_ranks: usize,
-    records: Vec<AppIoRecord>,
-    results: BTreeMap<u64, Vec<u8>>,
-    policy_log: Vec<PolicyLogEntry>,
     cpu_jitter_rng: ChaCha8Rng,
-    /// FIFO kernel work queues per storage node (when `kernel_fifo`).
-    kernel_queue: BTreeMap<NodeId, std::collections::VecDeque<RequestId>>,
-    kernel_running: BTreeMap<NodeId, usize>,
-    fifo_kernels: bool,
-    /// Online per-storage-node outbound bandwidth estimate (EWMA of
-    /// saturated-link throughput samples); extension, see DosasConfig.
-    bw_estimate: BTreeMap<NodeId, (f64, u32)>,
-    /// Optional per-storage-node buffer caches (ClusterConfig knob).
-    caches: BTreeMap<NodeId, pfs::BlockCache>,
-    /// Ranks waiting at a collective (Bcast/Reduce) plus its execution
-    /// state once all have arrived. One collective at a time (aligned
-    /// programs, like the barrier).
-    collective: Option<CollectiveRun>,
-    collective_waiting: usize,
-    /// Flows belonging to the running collective.
-    flow_coll: std::collections::BTreeSet<FlowId>,
-    trace: Vec<trace::TraceEvent>,
-    /// Per-storage-node CE probe supervision (timeout/retry/fallback).
-    supervisors: BTreeMap<NodeId, CeSupervisor>,
-    /// Policies generated by delayed probes, awaiting their arrival event.
-    pending_policies: BTreeMap<u64, (NodeId, Policy)>,
-    next_policy_token: u64,
-    /// Migrated-data flows doomed by an active checkpoint-ship fault.
-    doomed_flows: BTreeSet<FlowId>,
-    /// Injected disk-stall requests, filtered out of completion handling.
-    stall_reqs: BTreeSet<(usize, DiskReqId)>,
-}
-
-/// Which collective is being executed.
-#[derive(Debug, Clone, Copy)]
-enum CollectiveKind {
-    Bcast { root: usize },
-    Reduce { root: usize },
-    Allreduce,
-    Gather { root: usize },
-}
-
-/// An executing Bcast/Reduce: remaining rounds of the binomial-tree plan.
-struct CollectiveRun {
-    plan: Vec<mpiio::comm::PlannedMessage>,
-    bytes: f64,
-    round: u32,
-    max_round: u32,
-    inflight: usize,
+    ranks: Ranks,
+    io: IoPath,
+    server: Servers,
+    control: Control,
+    faults: Faults,
+    telemetry: Telemetry,
 }
 
 impl Driver {
@@ -276,9 +183,7 @@ impl Driver {
         let mut store = MemoryStore::new();
         for file in &workload.files {
             let layout = match &file.layout {
-                LayoutSpec::OneServer(ord) => {
-                    StripeLayout::contiguous(cluster.storage_node(*ord))
-                }
+                LayoutSpec::OneServer(ord) => StripeLayout::contiguous(cluster.storage_node(*ord)),
                 LayoutSpec::StripedAll { stripe_size } => {
                     StripeLayout::striped(cluster.storage_ids().collect())
                         .with_stripe_size(*stripe_size)
@@ -309,7 +214,10 @@ impl Driver {
             cluster
                 .storage_ids()
                 .map(|n| {
-                    (n, pfs::BlockCache::new(1 << 20, cfg.cluster.server_cache_bytes as u64))
+                    (
+                        n,
+                        pfs::BlockCache::new(1 << 20, cfg.cluster.server_cache_bytes as u64),
+                    )
                 })
                 .collect()
         } else {
@@ -319,7 +227,7 @@ impl Driver {
             .storage_ids()
             .map(|n| (n, ActiveIoRuntime::new()))
             .collect();
-        let ascs = cluster
+        let ascs: BTreeMap<NodeId, ActiveStorageClient> = cluster
             .compute_ids()
             .map(|n| (n, ActiveStorageClient::new(KernelRegistry::with_defaults())))
             .collect();
@@ -347,80 +255,44 @@ impl Driver {
             )
         });
 
-        let compute_nodes = cfg.cluster.compute_nodes;
-        let ranks = workload
-            .programs
-            .iter()
-            .enumerate()
-            .map(|(i, p)| RankState {
-                node: NodeId(i % compute_nodes),
-                program: p.clone(),
-                pc: 0,
-                finished: None,
-                at_barrier: false,
-            })
-            .collect();
+        let ranks = Ranks::new(&workload.programs, cfg.cluster.compute_nodes);
 
         Driver {
-            cfg,
             dosas,
             cluster,
-            meta,
-            store,
             registry: KernelRegistry::with_defaults(),
-            servers,
-            runtimes,
-            ascs,
-            estimator,
-            reqs: BTreeMap::new(),
-            apps: BTreeMap::new(),
-            ranks,
-            flow_req: BTreeMap::new(),
-            disk_req: BTreeMap::new(),
-            cpu_work: BTreeMap::new(),
-            barrier_count: 0,
-            next_req: 0,
-            next_app: 0,
-            finished_ranks: 0,
-            records: Vec::new(),
-            results: BTreeMap::new(),
-            policy_log: Vec::new(),
             cpu_jitter_rng: rng.stream("cpu-jitter"),
-            kernel_queue: BTreeMap::new(),
-            kernel_running: BTreeMap::new(),
-            fifo_kernels,
-            bw_estimate: BTreeMap::new(),
-            caches,
-            collective: None,
-            collective_waiting: 0,
-            flow_coll: std::collections::BTreeSet::new(),
-            trace: Vec::new(),
-            supervisors,
-            pending_policies: BTreeMap::new(),
-            next_policy_token: 0,
-            doomed_flows: BTreeSet::new(),
-            stall_reqs: BTreeSet::new(),
-        }
-    }
-
-    fn trace_span(
-        &mut self,
-        name: String,
-        cat: &'static str,
-        start: SimTime,
-        end: SimTime,
-        node: usize,
-        track: u64,
-    ) {
-        if self.cfg.trace {
-            self.trace.push(trace::TraceEvent::new(
-                name,
-                cat,
-                start.as_secs_f64(),
-                end.as_secs_f64(),
-                node,
-                track,
-            ));
+            ranks,
+            io: IoPath {
+                meta,
+                store,
+                ascs,
+                reqs: BTreeMap::new(),
+                apps: BTreeMap::new(),
+                flow_req: BTreeMap::new(),
+                doomed_flows: std::collections::BTreeSet::new(),
+                caches,
+                next_req: 0,
+                next_app: 0,
+                results: BTreeMap::new(),
+            },
+            server: Servers {
+                servers,
+                runtimes,
+                disk_req: BTreeMap::new(),
+                cpu_work: BTreeMap::new(),
+                slots: KernelSlots::new(fifo_kernels),
+            },
+            control: Control {
+                estimator,
+                supervisors,
+                pending_policies: BTreeMap::new(),
+                next_policy_token: 0,
+                bw_estimate: BTreeMap::new(),
+            },
+            faults: Faults::default(),
+            telemetry: Telemetry::default(),
+            cfg,
         }
     }
 
@@ -459,1456 +331,8 @@ impl Driver {
         }
         let end = sim.run();
         let events = sim.scheduler().dispatched_count();
-        let w = sim.world;
-
-        assert_eq!(
-            w.finished_ranks,
-            w.ranks.len(),
-            "simulation drained with unfinished ranks — deadlocked workload?"
-        );
-
-        let makespan = w
-            .ranks
-            .iter()
-            .filter_map(|r| r.finished)
-            .fold(SimTime::ZERO, SimTime::max);
-        let makespan_secs = makespan.as_secs_f64();
-
-        let mut runtime = RuntimeCounters::default();
-        for rt in w.runtimes.values() {
-            let c = rt.counters;
-            runtime.admitted += c.admitted;
-            runtime.demoted += c.demoted;
-            runtime.interrupted += c.interrupted;
-            runtime.split += c.split;
-            runtime.completed_active += c.completed_active;
-            runtime.completed_normal += c.completed_normal;
-            runtime.completed_migrated += c.completed_migrated;
-            runtime.checkpoint_failures += c.checkpoint_failures;
-        }
-        let mut ce = CeStats::default();
-        for sup in w.supervisors.values() {
-            let s = sup.stats;
-            ce.probes_sent += s.probes_sent;
-            ce.probes_lost += s.probes_lost;
-            ce.retries += s.retries;
-            ce.stale_discards += s.stale_discards;
-            ce.fallback_entries += s.fallback_entries;
-            ce.recoveries += s.recoveries;
-        }
-        let n_servers = w.servers.len().max(1) as f64;
-        let mean_queue_depth = w
-            .servers
-            .values()
-            .map(|s| s.mean_depth(end))
-            .sum::<f64>()
-            / n_servers;
-        let peak_queue_depth = w
-            .servers
-            .values()
-            .map(|s| s.peak_depth())
-            .fold(0.0, f64::max);
-
-        RunMetrics {
-            scheme: scheme_name,
-            makespan_secs,
-            total_requested_bytes: total_bytes,
-            achieved_bandwidth: if makespan_secs > 0.0 {
-                total_bytes / makespan_secs
-            } else {
-                0.0
-            },
-            records: w.records,
-            runtime,
-            ce,
-            mean_queue_depth,
-            peak_queue_depth,
-            policy_log: w.policy_log,
-            estimated_bandwidth: w
-                .bw_estimate
-                .iter()
-                .filter(|(_, (_, n))| *n >= 3)
-                .map(|(node, (bw, _))| (node.0, *bw))
-                .collect(),
-            results: w.results,
-            trace: if w.cfg.trace { Some(w.trace) } else { None },
-            events,
-        }
-    }
-
-    // ----- resource tick scheduling (epoch pattern) -----
-
-    fn schedule_disk(&self, ordinal: usize, sched: &mut Scheduler<Ev>) {
-        if let Some(t) = self.cluster.disks[ordinal].next_event() {
-            let epoch = self.cluster.disks[ordinal].epoch();
-            sched.at(t.max(sched.now()), Ev::DiskTick { ordinal, epoch });
-        }
-    }
-
-    fn schedule_cpu(&self, node: usize, sched: &mut Scheduler<Ev>) {
-        if let Some(t) = self.cluster.cpus[node].next_completion() {
-            let epoch = self.cluster.cpus[node].epoch();
-            sched.at(t.max(sched.now()), Ev::CpuTick { node, epoch });
-        }
-    }
-
-    fn schedule_net(&self, sched: &mut Scheduler<Ev>) {
-        if let Some(t) = self.cluster.fabric.next_completion() {
-            let epoch = self.cluster.fabric.epoch();
-            sched.at(t.max(sched.now()), Ev::NetTick { epoch });
-        }
-    }
-
-    // ----- fault injection -----
-
-    /// Re-evaluate the fault plan at a window boundary and push the current
-    /// degradation state into the cluster resources. Factors are applied
-    /// absolutely (not incrementally), so overlapping windows compose and
-    /// closing the last window restores exactly the base capacity.
-    fn apply_faults(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let plan = self.cfg.fault_plan.clone();
-        if plan.is_empty() {
-            return;
-        }
-        for node in 0..self.cluster.cpus.len() {
-            let cpu_f = plan.cpu_factor(now, node);
-            if (cpu_f - self.cluster.cpus[node].capacity_factor()).abs() > f64::EPSILON {
-                self.cluster.cpus[node].set_capacity_factor(now, cpu_f);
-                self.schedule_cpu(node, sched);
-            }
-            let net_f = plan.net_factor(now, node);
-            if (net_f - self.cluster.fabric.link_factor(NodeId(node))).abs() > f64::EPSILON {
-                self.cluster.fabric.set_link_factor(now, NodeId(node), net_f);
-            }
-        }
-        // Disk stalls opening at exactly this boundary become blocking
-        // zero-byte requests; their completions are filtered in
-        // `on_disk_tick` via `stall_reqs`.
-        let window_end = now + SimSpan::from_nanos(1);
-        let storage: Vec<NodeId> = self.cluster.storage_ids().collect();
-        for server in storage {
-            let stalls: Vec<SimSpan> = plan
-                .disk_stalls_starting(now, window_end, server.0)
-                .map(|e| e.end - e.start)
-                .collect();
-            let ordinal = self.cluster.storage_ordinal(server);
-            for duration in stalls {
-                let rid = self.cluster.disks[ordinal].inject_stall(now, duration);
-                self.stall_reqs.insert((ordinal, rid));
-                self.schedule_disk(ordinal, sched);
-            }
-        }
-        self.schedule_net(sched);
-    }
-
-    // ----- rank program interpretation -----
-
-    fn rank_step(&mut self, rank: usize, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let state = &self.ranks[rank];
-        let Some(op) = state.program.ops.get(state.pc).cloned() else {
-            if self.ranks[rank].finished.is_none() {
-                self.ranks[rank].finished = Some(now);
-                self.finished_ranks += 1;
-            }
-            return;
-        };
-        match op {
-            Op::Read {
-                path,
-                offset,
-                count,
-                datatype,
-                client_op,
-            } => {
-                let bytes = datatype.transfer_size(count);
-                self.issue_io(rank, &path, offset, bytes, None, client_op, now, sched);
-            }
-            Op::ReadEx {
-                path,
-                offset,
-                count,
-                datatype,
-                operation,
-                params,
-            } => {
-                let bytes = datatype.transfer_size(count);
-                // Scheme transform: under Traditional Storage the enhanced
-                // call degrades to a plain read + client-side kernel.
-                let (active, client_op) = match &self.cfg.scheme {
-                    Scheme::Traditional => (None, Some((operation, params))),
-                    _ => (Some((operation, params)), None),
-                };
-                self.issue_io(rank, &path, offset, bytes, active, client_op, now, sched);
-            }
-            Op::Write {
-                path,
-                offset,
-                count,
-                datatype,
-            } => {
-                let bytes = datatype.transfer_size(count);
-                self.issue_write(rank, &path, offset, bytes, now, sched);
-            }
-            Op::Compute { span } => {
-                let node = self.ranks[rank].node.0;
-                let task = self.cluster.cpus[node].submit(now, span.as_secs_f64());
-                self.cpu_work.insert((node, task), CpuWork::RankCompute(rank));
-                self.schedule_cpu(node, sched);
-            }
-            Op::Bcast { root, bytes } => {
-                self.join_collective(rank, CollectiveKind::Bcast { root }, bytes, now, sched);
-            }
-            Op::Reduce { root, bytes } => {
-                self.join_collective(rank, CollectiveKind::Reduce { root }, bytes, now, sched);
-            }
-            Op::Allreduce { bytes } => {
-                self.join_collective(rank, CollectiveKind::Allreduce, bytes, now, sched);
-            }
-            Op::Gather { root, bytes } => {
-                self.join_collective(rank, CollectiveKind::Gather { root }, bytes, now, sched);
-            }
-            Op::Barrier => {
-                self.ranks[rank].at_barrier = true;
-                self.barrier_count += 1;
-                if self.barrier_count == self.ranks.len() {
-                    self.barrier_count = 0;
-                    let rounds = (self.ranks.len() as f64).log2().ceil().max(1.0) as u32;
-                    let delay = simkit::SimSpan::from_nanos(
-                        self.cfg.cluster.net_latency.as_nanos() * rounds as u64,
-                    );
-                    for r in 0..self.ranks.len() {
-                        self.ranks[r].at_barrier = false;
-                        self.ranks[r].pc += 1;
-                        sched.after(delay, Ev::RankStep(r));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Create an app I/O and its per-server parts, and launch the requests.
-    #[allow(clippy::too_many_arguments)]
-    fn issue_io(
-        &mut self,
-        rank: usize,
-        path: &str,
-        offset: u64,
-        bytes: u64,
-        active: Option<(String, KernelParams)>,
-        client_op: Option<(String, KernelParams)>,
-        now: SimTime,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let fh = self.meta.lookup(path).expect("workload file exists");
-        let file_meta = self.meta.stat(fh).expect("fresh handle").clone();
-        let plan = ReadPlan::new(&file_meta, offset, bytes).expect("in-bounds read");
-        assert!(
-            !plan.extents.is_empty(),
-            "zero-byte reads are not meaningful workload steps"
-        );
-        // PVFS issues one request per data server, covering all of that
-        // server's stripes.
-        let mut groups: BTreeMap<NodeId, Vec<(u64, u64)>> = BTreeMap::new();
-        for extent in &plan.extents {
-            groups
-                .entry(extent.server)
-                .or_default()
-                .push((extent.offset, extent.len));
-        }
-        if self.cfg.data_plane && active.is_some() {
-            assert_eq!(
-                groups.len(),
-                1,
-                "data-plane active I/O supports single-server layouts only \
-                 (striped active I/O runs in the timing plane; see DESIGN.md)"
-            );
-        }
-
-        let app_id = AppIoId(self.next_app);
-        self.next_app += 1;
-        let client = self.ranks[rank].node;
-        let (op_name, params) = match &active {
-            Some((op, p)) => (Some(op.clone()), p.clone()),
-            None => (None, KernelParams::default()),
-        };
-
-        self.apps.insert(
-            app_id,
-            AppIo {
-                rank,
-                op: op_name.clone(),
-                params: params.clone(),
-                client_op,
-                parts_pending: groups.len(),
-                total_bytes: bytes as f64,
-                issued_at: now,
-                client_bytes: 0.0,
-                rate_op: None,
-                pieces: Vec::new(),
-                any_active_completed: false,
-                any_demoted: false,
-                any_migrated: false,
-                t_client_start: SimTime::ZERO,
-            },
-        );
-
-        for (part_index, (server, extents)) in groups.into_iter().enumerate() {
-            let id = RequestId(self.next_req);
-            self.next_req += 1;
-            let total: u64 = extents.iter().map(|&(_, len)| len).sum();
-            let is_active = op_name.is_some();
-            self.runtimes
-                .get_mut(&server)
-                .expect("extent targets a storage node")
-                .track(id, is_active);
-            if let Some(op) = &op_name {
-                self.ascs
-                    .get_mut(&client)
-                    .expect("rank node has an ASC")
-                    .register(
-                        id,
-                        Registration {
-                            op: op.clone(),
-                            params: params.clone(),
-                            io_bytes: total,
-                            fh,
-                        },
-                    );
-            }
-            self.reqs.insert(
-                id,
-                Req {
-                    app: app_id,
-                    part_index,
-                    client,
-                    server,
-                    bytes: total as f64,
-                    is_write: false,
-                    op: op_name.clone(),
-                    fh,
-                    cpu_task: None,
-                    split: None,
-                    processed_bytes: 0.0,
-                    ship_state: None,
-                    extents,
-                    kernel: None,
-                    data: None,
-                    result: None,
-                    t_arrive: SimTime::ZERO,
-                    t_kernel_start: SimTime::ZERO,
-                    t_flow_start: SimTime::ZERO,
-                },
-            );
-            sched.after(self.cfg.cluster.net_latency, Ev::Arrive(id));
-        }
-    }
-
-    /// Create a write app I/O: data flows client → server, then hits the
-    /// disk, then a small ack returns. Writes are normal I/O (the paper's
-    /// active path only reads).
-    fn issue_write(
-        &mut self,
-        rank: usize,
-        path: &str,
-        offset: u64,
-        bytes: u64,
-        now: SimTime,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let fh = self.meta.lookup(path).expect("workload file exists");
-        let file_meta = self.meta.stat(fh).expect("fresh handle").clone();
-        let plan = ReadPlan::new(&file_meta, offset, bytes).expect("in-bounds write");
-        let mut groups: BTreeMap<NodeId, Vec<(u64, u64)>> = BTreeMap::new();
-        for extent in &plan.extents {
-            groups
-                .entry(extent.server)
-                .or_default()
-                .push((extent.offset, extent.len));
-        }
-        let app_id = AppIoId(self.next_app);
-        self.next_app += 1;
-        let client = self.ranks[rank].node;
-        self.apps.insert(
-            app_id,
-            AppIo {
-                rank,
-                op: None,
-                params: KernelParams::default(),
-                client_op: None,
-                parts_pending: groups.len(),
-                total_bytes: bytes as f64,
-                issued_at: now,
-                client_bytes: 0.0,
-                rate_op: None,
-                pieces: Vec::new(),
-                any_active_completed: false,
-                any_demoted: false,
-                any_migrated: false,
-                t_client_start: SimTime::ZERO,
-            },
-        );
-        for (part_index, (server, extents)) in groups.into_iter().enumerate() {
-            let id = RequestId(self.next_req);
-            self.next_req += 1;
-            let total: u64 = extents.iter().map(|&(_, len)| len).sum();
-            self.reqs.insert(
-                id,
-                Req {
-                    app: app_id,
-                    part_index,
-                    client,
-                    server,
-                    bytes: total as f64,
-                    is_write: true,
-                    op: None,
-                    fh,
-                    cpu_task: None,
-                    split: None,
-                    processed_bytes: 0.0,
-                    ship_state: None,
-                    extents,
-                    kernel: None,
-                    data: None,
-                    result: None,
-                    t_arrive: SimTime::ZERO,
-                    t_kernel_start: SimTime::ZERO,
-                    t_flow_start: SimTime::ZERO,
-                },
-            );
-            sched.after(self.cfg.cluster.net_latency, Ev::Arrive(id));
-        }
-    }
-
-    // ----- collectives (Bcast / Reduce over binomial trees) -----
-
-    fn join_collective(
-        &mut self,
-        rank: usize,
-        kind: CollectiveKind,
-        bytes: u64,
-        now: SimTime,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        self.ranks[rank].at_barrier = true;
-        self.collective_waiting += 1;
-        if self.collective_waiting < self.ranks.len() {
-            return;
-        }
-        // Everyone arrived: build the tree plan over current placements.
-        self.collective_waiting = 0;
-        let comm = mpiio::Communicator::new(self.ranks.iter().map(|r| r.node).collect());
-        let plan = match kind {
-            CollectiveKind::Bcast { root } => comm.bcast_plan(root),
-            CollectiveKind::Reduce { root } => comm.reduce_plan(root),
-            CollectiveKind::Allreduce => comm.allreduce_plan(0),
-            CollectiveKind::Gather { root } => comm.gather_plan(root),
-        };
-        let max_round = plan.iter().map(|m| m.round).max().unwrap_or(0);
-        self.collective = Some(CollectiveRun {
-            plan,
-            bytes: bytes as f64,
-            round: 0,
-            max_round,
-            inflight: 0,
-        });
-        self.launch_collective_round(now, sched);
-    }
-
-    /// Start every message of the current round; same-node messages are
-    /// free. An empty round (all intra-node) advances immediately.
-    fn launch_collective_round(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
-        loop {
-            let Some(run) = &self.collective else { return };
-            if run.round > run.max_round {
-                break;
-            }
-            let round = run.round;
-            let bytes = run.bytes;
-            let msgs: Vec<(NodeId, NodeId)> = run
-                .plan
-                .iter()
-                .filter(|m| m.round == round)
-                .map(|m| (self.ranks[m.src_rank].node, self.ranks[m.dst_rank].node))
-                .collect();
-            let mut started = 0;
-            for (src, dst) in msgs {
-                if src == dst {
-                    continue; // shared-memory delivery: free
-                }
-                let flow = self.cluster.fabric.start_flow(now, src, dst, bytes);
-                self.flow_coll.insert(flow);
-                started += 1;
-            }
-            let run = self.collective.as_mut().expect("collective running");
-            run.inflight = started;
-            run.round += 1;
-            if started > 0 {
-                self.schedule_net(sched);
-                return;
-            }
-            // All messages were intra-node; fall through to the next round.
-            if run.round > run.max_round {
-                break;
-            }
-        }
-        self.finish_collective(now, sched);
-    }
-
-    fn finish_collective(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
-        self.collective = None;
-        let delay = self.cfg.cluster.net_latency;
-        for r in 0..self.ranks.len() {
-            self.ranks[r].at_barrier = false;
-            self.ranks[r].pc += 1;
-            sched.at(now + delay, Ev::RankStep(r));
-        }
-    }
-
-    // ----- request pipeline -----
-
-    fn on_arrive(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let (server, kind, bytes, client, is_write) = {
-            let r = &self.reqs[&id];
-            let kind = match &r.op {
-                Some(op) => IoKind::Active { op: op.clone() },
-                None => IoKind::Normal,
-            };
-            (r.server, kind, r.bytes, r.client, r.is_write)
-        };
-        self.reqs.get_mut(&id).expect("req").t_arrive = now;
-        self.servers.get_mut(&server).expect("server exists").arrive(
-            now,
-            QueuedRequest {
-                id,
-                kind,
-                bytes,
-                client,
-                arrived: now,
-            },
-        );
-        if is_write {
-            // Write path: data streams client → server first; the disk
-            // write happens when the payload has fully arrived.
-            let flow = self.cluster.fabric.start_flow(now, client, server, bytes);
-            self.flow_req.insert(flow, id);
-            self.reqs.get_mut(&id).expect("req").t_flow_start = now;
-            self.schedule_net(sched);
-            return;
-        }
-        self.runtimes
-            .get_mut(&server)
-            .expect("server runtime")
-            .on_arrival(id);
-        let ordinal = self.cluster.storage_ordinal(server);
-        let disk_bytes = self.cache_filter_read(server, id, bytes);
-        let disk_id = self.cluster.disks[ordinal].submit_read(now, disk_bytes);
-        self.disk_req.insert((ordinal, disk_id), id);
-        self.schedule_disk(ordinal, sched);
-
-        let decide = self
-            .dosas
-            .as_ref()
-            .is_some_and(|d| d.decide_on_arrival)
-            && self.reqs[&id].op.is_some();
-        if decide {
-            // Arrival-triggered decisions go through the same fault checks
-            // as periodic probes but never spawn retries (the probe loop
-            // owns the retry schedule).
-            self.handle_probe(server, now, false, sched);
-        }
-    }
-
-    fn on_disk_tick(
-        &mut self,
-        ordinal: usize,
-        epoch: u64,
-        now: SimTime,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        if self.cluster.disks[ordinal].epoch() != epoch {
-            return; // stale tick; a newer one is queued
-        }
-        let completions = self.cluster.disks[ordinal].take_completed(now);
-        for c in completions {
-            if self.stall_reqs.remove(&(ordinal, c.id)) {
-                continue; // injected stall draining, not a real request
-            }
-            let id = self
-                .disk_req
-                .remove(&(ordinal, c.id))
-                .expect("disk completion maps to a request");
-            self.on_disk_done(id, now, sched);
-        }
-        self.schedule_disk(ordinal, sched);
-    }
-
-    fn on_disk_done(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let server = self.reqs[&id].server;
-        if self.reqs[&id].is_write {
-            // Disk write finished: invalidate cached blocks, persist the
-            // payload (data plane) and return the ack.
-            if self.caches.contains_key(&server) {
-                let (fh, extents) = {
-                    let r = &self.reqs[&id];
-                    (r.fh, r.extents.clone())
-                };
-                let cache = self.caches.get_mut(&server).expect("cache");
-                for (offset, len) in extents {
-                    cache.invalidate(fh, offset, len);
-                }
-            }
-            if self.cfg.data_plane {
-                let (fh, extents, size) = {
-                    let r = &self.reqs[&id];
-                    let size = self.meta.stat(r.fh).expect("file exists").size;
-                    (r.fh, r.extents.clone(), size)
-                };
-                // Writers produce a deterministic stream so that a reader
-                // in the same run observes well-defined content.
-                let payload = synthetic_f64_stream(size as usize);
-                for (offset, len) in extents {
-                    self.store.write_at(
-                        fh,
-                        offset,
-                        &payload[offset as usize..(offset + len) as usize],
-                    );
-                }
-            }
-            sched.after(self.cfg.cluster.net_latency, Ev::Deliver(id));
-            return;
-        }
-        if self.cfg.data_plane {
-            let (fh, extents) = {
-                let r = &self.reqs[&id];
-                (r.fh, r.extents.clone())
-            };
-            let mut data = Vec::new();
-            for (offset, len) in extents {
-                data.extend_from_slice(
-                    self.store
-                        .read_at(fh, offset, len)
-                        .expect("data-plane file content present"),
-                );
-            }
-            self.reqs.get_mut(&id).expect("req").data = Some(data);
-        }
-        {
-            let (arrived, track) = {
-                let r = &self.reqs[&id];
-                (r.t_arrive, r.app.0)
-            };
-            self.trace_span("queue+disk".into(), "disk", arrived, now, server.0, track);
-        }
-        let mode = self
-            .runtimes
-            .get_mut(&server)
-            .expect("server runtime")
-            .on_disk_done(id);
-        match mode {
-            ServiceMode::Active => {
-                if self.fifo_kernels {
-                    let cores = self.cluster.cpus[server.0].cores();
-                    let running = self.kernel_running.entry(server).or_insert(0);
-                    if *running >= cores {
-                        self.kernel_queue.entry(server).or_default().push_back(id);
-                    } else {
-                        *running += 1;
-                        self.start_kernel(id, now, sched);
-                    }
-                } else {
-                    self.start_kernel(id, now, sched);
-                }
-            }
-            ServiceMode::Normal | ServiceMode::Migrated => {
-                self.start_data_flow(id, mode == ServiceMode::Migrated, now, sched);
-            }
-        }
-    }
-
-    /// Launch a request's kernel on its storage node's CPU.
-    fn start_kernel(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let (server, op, bytes, split) = {
-            let r = &self.reqs[&id];
-            (
-                r.server,
-                r.op.clone().expect("active request has op"),
-                r.bytes,
-                r.split.unwrap_or(1.0),
-            )
-        };
-        let core_seconds = self.cpu_cost(split * bytes / self.cfg.rates.per_core(&op));
-        let task = self.cluster.cpus[server.0].submit(now, core_seconds);
-        self.cpu_work.insert((server.0, task), CpuWork::Kernel(id));
-        let r = self.reqs.get_mut(&id).expect("req");
-        r.cpu_task = Some(task);
-        r.t_kernel_start = now;
-        if self.cfg.data_plane {
-            let params = self.apps[&r.app].params.clone();
-            r.kernel = Some(
-                self.registry
-                    .create(&op, &params)
-                    .expect("registered op constructs"),
-            );
-        }
-        self.schedule_cpu(server.0, sched);
-    }
-
-    /// A kernel slot freed on `server`: start the next queued kernel.
-    fn kernel_slot_freed(&mut self, server: NodeId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        if !self.fifo_kernels {
-            return;
-        }
-        let running = self.kernel_running.entry(server).or_insert(0);
-        *running = running.saturating_sub(1);
-        let next = self.kernel_queue.entry(server).or_default().pop_front();
-        if let Some(next) = next {
-            *self.kernel_running.entry(server).or_insert(0) += 1;
-            self.start_kernel(next, now, sched);
-        }
-    }
-
-    fn on_cpu_tick(&mut self, node: usize, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
-        if self.cluster.cpus[node].epoch() != epoch {
-            return;
-        }
-        let done = self.cluster.cpus[node].take_completed(now);
-        for task in done {
-            let work = self
-                .cpu_work
-                .remove(&(node, task))
-                .expect("cpu completion maps to work");
-            match work {
-                CpuWork::Kernel(id) => self.on_kernel_done(id, now, sched),
-                CpuWork::ClientCompute(app) => self.finish_app(app, now, sched),
-                CpuWork::RankCompute(rank) => {
-                    self.ranks[rank].pc += 1;
-                    sched.immediately(Ev::RankStep(rank));
-                }
-            }
-        }
-        self.schedule_cpu(node, sched);
-    }
-
-    fn on_kernel_done(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let server = self.reqs[&id].server;
-        {
-            let (op, start, track) = {
-                let r = &self.reqs[&id];
-                (
-                    r.op.clone().unwrap_or_default(),
-                    r.t_kernel_start,
-                    r.app.0,
-                )
-            };
-            self.trace_span(format!("kernel({op})"), "kernel", start, now, server.0, track);
-        }
-        self.kernel_slot_freed(server, now, sched);
-        // Planned partial offload: the kernel was submitted with only its
-        // storage-side fraction of the work; at this point it checkpoints
-        // and the residue migrates to the client.
-        let split = self.reqs[&id].split.unwrap_or(1.0);
-        if split < 1.0 - 1e-12 {
-            self.runtimes
-                .get_mut(&server)
-                .expect("server runtime")
-                .on_kernel_split(id);
-            {
-                let r = self.reqs.get_mut(&id).expect("req");
-                r.cpu_task = None;
-                r.processed_bytes = split * r.bytes;
-                if self.cfg.data_plane {
-                    let mut kernel = r.kernel.take().expect("data-plane kernel");
-                    let cut = (r.processed_bytes.floor() as usize)
-                        .min(r.data.as_ref().map(|d| d.len()).unwrap_or(0));
-                    r.processed_bytes = cut as f64;
-                    kernel.process_chunk(&r.data.as_ref().expect("data")[..cut]);
-                    r.ship_state = Some(kernel.checkpoint());
-                }
-            }
-            self.servers
-                .get_mut(&server)
-                .expect("server")
-                .demote(now, id);
-            self.start_data_flow(id, true, now, sched);
-            return;
-        }
-        self.runtimes
-            .get_mut(&server)
-            .expect("server runtime")
-            .on_kernel_done(id);
-        let (op, bytes) = {
-            let r = self.reqs.get_mut(&id).expect("req");
-            r.cpu_task = None;
-            r.processed_bytes = r.bytes;
-            (r.op.clone().expect("kernel has op"), r.bytes)
-        };
-        if self.cfg.data_plane {
-            let r = self.reqs.get_mut(&id).expect("req");
-            let mut kernel = r.kernel.take().expect("data-plane kernel");
-            let data = r.data.as_deref().expect("data-plane bytes");
-            kernel.process_chunk(data);
-            r.result = Some(kernel.finalize());
-        }
-        let result_bytes = self.cfg.rates.result_model(&op).bytes(bytes);
-        let (src, dst) = (server, self.reqs[&id].client);
-        let flow = self
-            .cluster
-            .fabric
-            .start_flow(now, src, dst, result_bytes);
-        self.flow_req.insert(flow, id);
-        self.reqs.get_mut(&id).expect("req").t_flow_start = now;
-        self.schedule_net(sched);
-    }
-
-    /// Ship raw data (plus checkpoint for migrations) to the client.
-    fn start_data_flow(
-        &mut self,
-        id: RequestId,
-        migrated: bool,
-        now: SimTime,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let (src, dst, ship) = {
-            let r = &self.reqs[&id];
-            let residual = (r.bytes - r.processed_bytes).max(0.0);
-            let state_bytes = if migrated && r.processed_bytes > 0.0 {
-                r.ship_state
-                    .as_ref()
-                    .map(|s| s.wire_size() as f64)
-                    .unwrap_or(STATE_SIZE_ESTIMATE)
-            } else {
-                0.0
-            };
-            (r.server, r.client, residual + state_bytes)
-        };
-        let flow = self.cluster.fabric.start_flow(now, src, dst, ship);
-        self.flow_req.insert(flow, id);
-        self.reqs.get_mut(&id).expect("req").t_flow_start = now;
-        // A checkpoint-ship fault active on the source dooms migrated
-        // shipments launched under it: the transfer runs its course and
-        // then fails instead of delivering (see `on_checkpoint_ship_failed`).
-        if migrated && self.cfg.fault_plan.checkpoint_ship_fails(now, src.0) {
-            self.doomed_flows.insert(flow);
-        }
-        self.schedule_net(sched);
-    }
-
-    /// A doomed migrated shipment finished transferring but its payload
-    /// (data + checkpoint) is lost. The request gives up on the checkpoint:
-    /// it re-queues at the disk as a plain normal read — partial kernel
-    /// progress is discarded — and ships raw bytes on the second attempt.
-    /// The re-ship is a `Normal` (not `Migrated`) flow, so it cannot be
-    /// doomed again and the request terminates.
-    fn on_checkpoint_ship_failed(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let server = self.reqs[&id].server;
-        if let Err(e) = self
-            .runtimes
-            .get_mut(&server)
-            .expect("server runtime")
-            .on_checkpoint_failed(id)
-        {
-            // The request is no longer a failable migrated shipment (it
-            // raced out of that state); deliver the transfer normally
-            // instead of wedging it.
-            debug_assert!(false, "doomed flow in unexpected state: {e}");
-            sched.after(self.cfg.cluster.net_latency, Ev::Deliver(id));
-            return;
-        }
-        let bytes = {
-            let r = self.reqs.get_mut(&id).expect("req");
-            r.processed_bytes = 0.0;
-            r.ship_state = None;
-            r.split = None;
-            r.kernel = None;
-            r.bytes
-        };
-        let ordinal = self.cluster.storage_ordinal(server);
-        let disk_bytes = self.cache_filter_read(server, id, bytes);
-        let disk_id = self.cluster.disks[ordinal].submit_read(now, disk_bytes);
-        self.disk_req.insert((ordinal, disk_id), id);
-        self.schedule_disk(ordinal, sched);
-    }
-
-    fn on_net_tick(&mut self, epoch: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
-        if self.cluster.fabric.epoch() != epoch {
-            return;
-        }
-        self.sample_bandwidth(now);
-        let completions = self.cluster.fabric.take_completed(now);
-        for c in completions {
-            if self.flow_coll.remove(&c.id) {
-                let run = self.collective.as_mut().expect("collective running");
-                run.inflight -= 1;
-                if run.inflight == 0 {
-                    if run.round > run.max_round {
-                        self.finish_collective(now, sched);
-                    } else {
-                        self.launch_collective_round(now, sched);
-                    }
-                }
-                continue;
-            }
-            let id = self
-                .flow_req
-                .remove(&c.id)
-                .expect("flow completion maps to a request");
-            if self.doomed_flows.remove(&c.id) {
-                self.on_checkpoint_ship_failed(id, now, sched);
-                continue;
-            }
-            if self.reqs[&id].is_write {
-                // Payload arrived at the server: queue the disk write.
-                let server = self.reqs[&id].server;
-                let bytes = self.reqs[&id].bytes;
-                let ordinal = self.cluster.storage_ordinal(server);
-                let disk_id = self.cluster.disks[ordinal].submit_write(now, bytes);
-                self.disk_req.insert((ordinal, disk_id), id);
-                self.schedule_disk(ordinal, sched);
-                continue;
-            }
-            sched.after(self.cfg.cluster.net_latency, Ev::Deliver(id));
-        }
-        self.schedule_net(sched);
-    }
-
-    fn on_deliver(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let server = self.reqs[&id].server;
-        {
-            let (start, track, write) = {
-                let r = &self.reqs[&id];
-                (r.t_flow_start, r.app.0, r.is_write)
-            };
-            let name = if write { "write-xfer+disk" } else { "transfer" };
-            self.trace_span(name.into(), "net", start, now, server.0, track);
-        }
-        if self.reqs[&id].is_write {
-            // Ack received: the write is durable and the request is done.
-            self.servers
-                .get_mut(&server)
-                .expect("server")
-                .complete(now, id)
-                .expect("request was queued");
-            let r = self.reqs.remove(&id).expect("req");
-            let app = self.apps.get_mut(&r.app).expect("app");
-            app.parts_pending -= 1;
-            if app.parts_pending == 0 {
-                self.finish_app(r.app, now, sched);
-            }
-            return;
-        }
-        let mode = self
-            .runtimes
-            .get_mut(&server)
-            .expect("server runtime")
-            .on_delivered(id);
-        self.servers
-            .get_mut(&server)
-            .expect("server")
-            .complete(now, id)
-            .expect("request was queued");
-
-        let mut r = self.reqs.remove(&id).expect("req");
-        let app_id = r.app;
-        match mode {
-            ServiceMode::Active => {
-                let result = r.result.take().unwrap_or_default();
-                let rb = ResultBuf::completed(result, r.fh, r.bytes as u64);
-                let action = self
-                    .ascs
-                    .get_mut(&r.client)
-                    .expect("asc")
-                    .handle_result(id, &rb)
-                    .expect("completed results never fail");
-                let app = self.apps.get_mut(&app_id).expect("app");
-                app.any_active_completed = true;
-                if let ClientAction::Deliver(bytes) = action {
-                    if self.cfg.data_plane {
-                        app.pieces.push((r.part_index, Piece::Ready(bytes)));
-                    }
-                }
-            }
-            ServiceMode::Normal | ServiceMode::Migrated => {
-                if r.op.is_some() {
-                    // Demoted or migrated active request: the ASC finishes it.
-                    let state = r.ship_state.take();
-                    let rb =
-                        ResultBuf::uncompleted(state, r.fh, r.processed_bytes.floor() as u64);
-                    let action = self
-                        .ascs
-                        .get_mut(&r.client)
-                        .expect("asc")
-                        .handle_result(id, &rb)
-                        .expect("registered ops restore");
-                    let app = self.apps.get_mut(&app_id).expect("app");
-                    match action {
-                        ClientAction::FinishLocally {
-                            remaining_bytes,
-                            kernel,
-                        } => {
-                            app.client_bytes += remaining_bytes as f64;
-                            app.rate_op = r.op.clone();
-                            if mode == ServiceMode::Migrated {
-                                app.any_migrated = true;
-                            } else {
-                                app.any_demoted = true;
-                            }
-                            if self.cfg.data_plane {
-                                let tail = r
-                                    .data
-                                    .as_ref()
-                                    .map(|d| d[r.processed_bytes.floor() as usize..].to_vec())
-                                    .expect("data-plane bytes");
-                                app.pieces.push((r.part_index, Piece::Finish(kernel, tail)));
-                            }
-                        }
-                        ClientAction::Deliver(_) => {
-                            unreachable!("uncompleted results never deliver directly")
-                        }
-                    }
-                } else {
-                    // Plain read part.
-                    let app = self.apps.get_mut(&app_id).expect("app");
-                    if app.client_op.is_some() {
-                        app.client_bytes += r.bytes;
-                        app.rate_op = app.client_op.as_ref().map(|(op, _)| op.clone());
-                    }
-                    if self.cfg.data_plane {
-                        let data = r.data.take().expect("data-plane bytes");
-                        // Slice the concatenated server payload back into
-                        // its file extents so the client can reassemble
-                        // file order across servers.
-                        let mut chunks = Vec::with_capacity(r.extents.len());
-                        let mut pos = 0usize;
-                        for &(offset, len) in &r.extents {
-                            chunks.push((offset, data[pos..pos + len as usize].to_vec()));
-                            pos += len as usize;
-                        }
-                        app.pieces.push((r.part_index, Piece::Raw(chunks)));
-                    }
-                }
-            }
-        }
-
-        let app = self.apps.get_mut(&app_id).expect("app");
-        app.parts_pending -= 1;
-        if app.parts_pending == 0 {
-            if app.client_bytes > 0.0 {
-                let op = app
-                    .rate_op
-                    .clone()
-                    .expect("client compute has an operation");
-                let client_bytes = app.client_bytes;
-                let rank = app.rank;
-                app.t_client_start = now;
-                let core_seconds = self.cpu_cost(client_bytes / self.cfg.rates.per_core(&op));
-                let node = self.ranks[rank].node.0;
-                let task = self.cluster.cpus[node].submit(now, core_seconds);
-                self.cpu_work
-                    .insert((node, task), CpuWork::ClientCompute(app_id));
-                self.schedule_cpu(node, sched);
-            } else {
-                self.finish_app(app_id, now, sched);
-            }
-        }
-    }
-
-    /// Assemble the final result, record metrics, resume the rank.
-    fn finish_app(&mut self, app_id: AppIoId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let mut app = self.apps.remove(&app_id).expect("app");
-        if app.client_bytes > 0.0 {
-            let node = self.ranks[app.rank].node.0;
-            let start = app.t_client_start;
-            let op = app.rate_op.clone().unwrap_or_default();
-            self.trace_span(
-                format!("client-compute({op})"),
-                "cpu",
-                start,
-                now,
-                node,
-                app_id.0,
-            );
-        }
-        if self.cfg.data_plane {
-            app.pieces.sort_by_key(|(idx, _)| *idx);
-            let result = if let Some((op, params)) = &app.client_op {
-                // TS-style read: one client kernel over all raw extents,
-                // replayed in file order.
-                let mut kernel = self
-                    .registry
-                    .create(op, params)
-                    .expect("client op constructs");
-                let mut extents: Vec<(u64, Vec<u8>)> = Vec::new();
-                for (_, piece) in app.pieces.drain(..) {
-                    match piece {
-                        Piece::Raw(chunks) => extents.extend(chunks),
-                        _ => unreachable!("client-op apps only receive raw pieces"),
-                    }
-                }
-                extents.sort_by_key(|&(offset, _)| offset);
-                for (_, data) in &extents {
-                    kernel.process_chunk(data);
-                }
-                Some(kernel.finalize())
-            } else if app.pieces.len() == 1 {
-                match app.pieces.pop().expect("one piece").1 {
-                    Piece::Ready(bytes) => Some(bytes),
-                    Piece::Finish(mut kernel, tail) => {
-                        kernel.process_chunk(&tail);
-                        Some(kernel.finalize())
-                    }
-                    Piece::Raw(chunks) => {
-                        let mut sorted = chunks;
-                        sorted.sort_by_key(|&(offset, _)| offset);
-                        Some(sorted.into_iter().flat_map(|(_, d)| d).collect())
-                    }
-                }
-            } else if !app.pieces.is_empty() {
-                // Multi-server reads: reassemble raw extents in file order;
-                // server-side results concatenate in part order.
-                let mut extents: Vec<(u64, Vec<u8>)> = Vec::new();
-                let mut out = Vec::new();
-                for (_, piece) in app.pieces.drain(..) {
-                    match piece {
-                        Piece::Raw(chunks) => extents.extend(chunks),
-                        Piece::Ready(b) => out.extend_from_slice(&b),
-                        Piece::Finish(mut kernel, tail) => {
-                            kernel.process_chunk(&tail);
-                            out.extend_from_slice(&kernel.finalize());
-                        }
-                    }
-                }
-                extents.sort_by_key(|&(offset, _)| offset);
-                for (_, d) in extents {
-                    out.extend_from_slice(&d);
-                }
-                Some(out)
-            } else {
-                None
-            };
-            if let Some(result) = result {
-                self.results.insert(app_id.0, result);
-            }
-        }
-
-        let site = if app.any_migrated {
-            ExecutionSite::Migrated
-        } else if app.any_demoted || app.client_op.is_some() {
-            ExecutionSite::Compute
-        } else if app.any_active_completed {
-            ExecutionSite::Storage
-        } else {
-            ExecutionSite::None
-        };
-        self.records.push(AppIoRecord {
-            app: app_id.0,
-            rank: app.rank,
-            bytes: app.total_bytes,
-            op: app
-                .op
-                .clone()
-                .or_else(|| app.client_op.as_ref().map(|(op, _)| op.clone())),
-            issued_at: app.issued_at,
-            completed_at: now,
-            site,
-        });
-        self.ranks[app.rank].pc += 1;
-        sched.immediately(Ev::RankStep(app.rank));
-    }
-
-    /// Observe each storage node's aggregate outbound throughput whenever
-    /// its transmit link is saturated (≥ 2 concurrent flows): that sum
-    /// equals the link's true achievable bandwidth, which the nominal
-    /// configuration only approximates (paper: 118 nominal, 111–120 real).
-    fn sample_bandwidth(&mut self, now: SimTime) {
-        if !self.dosas.as_ref().is_some_and(|d| d.estimate_bandwidth) {
-            return;
-        }
-        self.cluster.fabric.advance(now);
-        let storage: Vec<NodeId> = self.cluster.storage_ids().collect();
-        for server in storage {
-            let (rate, flows) = self.cluster.fabric.tx_observation(server);
-            if flows >= 2 {
-                let entry = self.bw_estimate.entry(server).or_insert((rate, 0));
-                const ALPHA: f64 = 0.3;
-                entry.0 = ALPHA * rate + (1.0 - ALPHA) * entry.0;
-                entry.1 += 1;
-            }
-        }
-    }
-
-    /// The CE's bandwidth input for `server`: the EWMA once it has enough
-    /// samples, otherwise `None` (nominal).
-    fn bandwidth_estimate_for(&self, server: NodeId) -> Option<f64> {
-        if !self.dosas.as_ref().is_some_and(|d| d.estimate_bandwidth) {
-            return None;
-        }
-        self.bw_estimate
-            .get(&server)
-            .filter(|(_, n)| *n >= 3)
-            .map(|(bw, _)| *bw)
-    }
-
-    /// How many bytes of a read must actually touch the disk, after the
-    /// server's buffer cache (whole request still pays the per-request
-    /// overhead via the disk submission).
-    fn cache_filter_read(&mut self, server: NodeId, id: RequestId, bytes: f64) -> f64 {
-        let Some(cache) = self.caches.get_mut(&server) else {
-            return bytes;
-        };
-        let (fh, extents) = {
-            let r = &self.reqs[&id];
-            (r.fh, r.extents.clone())
-        };
-        let mut miss = 0u64;
-        for (offset, len) in extents {
-            miss += cache.access(fh, offset, len).miss_bytes;
-        }
-        (miss as f64).min(bytes)
-    }
-
-    // ----- DOSAS decision-making -----
-
-    /// Probe the server, generate a policy, and execute it (paper §III-C/D).
-    fn dosas_decide(&mut self, server: NodeId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        if let Some(policy) = self.build_policy(server, now) {
-            self.apply_ce_policy(server, &policy, now, sched);
-        }
-    }
-
-    /// One CE probe of `server`, subject to the fault plan: the probe may be
-    /// lost (supervisor decides retry vs fallback) or delayed (the policy is
-    /// generated from the state *at send time* but applied only when it
-    /// arrives, if still fresh). `allow_retry` is false for arrival-triggered
-    /// decisions — the periodic probe loop owns the retry schedule.
-    fn handle_probe(
-        &mut self,
-        server: NodeId,
-        now: SimTime,
-        allow_retry: bool,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        if self.estimator.is_none() {
-            return;
-        }
-        if let Some(sup) = self.supervisors.get_mut(&server) {
-            sup.on_probe_sent();
-        }
-        if self.cfg.fault_plan.probe_lost(now, server.0) {
-            if let Some(sup) = self.supervisors.get_mut(&server) {
-                // The loss is noticed `timeout` later; the verdict's delay
-                // already accounts for that.
-                if let ProbeVerdict::Retry { after } = sup.on_probe_lost(now) {
-                    if allow_retry {
-                        sched.at(now + after, Ev::ProbeRetry(server));
-                    }
-                }
-                // Fallback: apply no policy — requests keep their requested
-                // (all-Active) service, the static degraded mode.
-            }
-            return;
-        }
-        match self.cfg.fault_plan.probe_delay(now, server.0) {
-            Some(delay) if !delay.is_zero() => {
-                // Snapshot now; the policy travels for `delay` and may be
-                // stale on arrival (checked in `Ev::PolicyArrive`).
-                if let Some(policy) = self.build_policy(server, now) {
-                    let token = self.next_policy_token;
-                    self.next_policy_token += 1;
-                    self.pending_policies.insert(token, (server, policy));
-                    sched.at(now + delay, Ev::PolicyArrive(token));
-                }
-            }
-            _ => {
-                if let Some(sup) = self.supervisors.get_mut(&server) {
-                    sup.on_probe_success(now);
-                }
-                self.dosas_decide(server, now, sched);
-            }
-        }
-    }
-
-    /// A delayed policy reaches the runtime: apply it if still within the
-    /// staleness bound, discard it (and maybe re-probe) otherwise.
-    fn on_policy_arrive(&mut self, token: u64, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let Some((server, policy)) = self.pending_policies.remove(&token) else {
-            return;
-        };
-        let usable = self
-            .supervisors
-            .get(&server)
-            .is_none_or(|s| s.policy_usable(policy.generated_at, now));
-        if usable {
-            if let Some(sup) = self.supervisors.get_mut(&server) {
-                sup.on_probe_success(now);
-            }
-            self.apply_ce_policy(server, &policy, now, sched);
-        } else if let Some(sup) = self.supervisors.get_mut(&server) {
-            if let ProbeVerdict::Retry { after } = sup.on_stale_policy(now) {
-                sched.at(now + after, Ev::ProbeRetry(server));
-            }
-        }
-    }
-
-    /// Generate a policy from the server's current queue state (the probe
-    /// payload), without side effects. `None` when DOSAS is not active.
-    fn build_policy(&mut self, server: NodeId, now: SimTime) -> Option<Policy> {
-        let estimator = self.estimator.as_ref()?;
-        let dosas = self.dosas.as_ref().expect("estimator implies dosas config");
-
-        // Only requests that can still be re-planned: queued at disk or
-        // running a kernel. Requests already shipping are beyond decision.
-        let full = self.servers[&server].snapshot(now);
-        let rt = &self.runtimes[&server];
-        let rows: Vec<SnapshotRow> = full
-            .requests
-            .into_iter()
-            .filter(|row| {
-                matches!(
-                    rt.stage(row.id),
-                    Some(
-                        crate::runtime::ServerStage::QueuedDisk
-                            | crate::runtime::ServerStage::Running
-                    )
-                )
-            })
-            .collect();
-        let k = rows.iter().filter(|r| r.is_active()).count();
-        let queue = QueueSnapshot {
-            n: rows.len(),
-            k,
-            d_active: rows.iter().filter(|r| r.is_active()).map(|r| r.bytes).sum(),
-            d_normal: rows
-                .iter()
-                .filter(|r| !r.is_active())
-                .map(|r| r.bytes)
-                .sum(),
-            requests: rows,
-            taken_at: now,
-        };
-        let probe = crate::estimator::SystemProbe {
-            queue,
-            background_cpu: 0.0,
-            background_memory: 0.0,
-            bandwidth_estimate: self.bandwidth_estimate_for(server),
-        };
-        let policy = if dosas.partial_offload {
-            estimator.generate_split_policy(now, &probe)
-        } else {
-            estimator.generate_policy(now, &probe)
-        };
-        Some(policy)
-    }
-
-    /// Execute a generated policy: record planned fractions, log it, and
-    /// drive the runtime's demote/interrupt actions.
-    fn apply_ce_policy(
-        &mut self,
-        server: NodeId,
-        policy: &Policy,
-        now: SimTime,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let dosas = self.dosas.clone().expect("policies only exist under dosas");
-        // Record planned fractions on requests that have not started their
-        // kernel yet (plans are re-tunable until the kernel launches).
-        if dosas.partial_offload {
-            for (&id, &p) in &policy.fractions {
-                let still_plannable = matches!(
-                    self.runtimes[&server].stage(id),
-                    Some(
-                        crate::runtime::ServerStage::InFlight
-                            | crate::runtime::ServerStage::QueuedDisk
-                    )
-                );
-                if still_plannable {
-                    if let Some(r) = self.reqs.get_mut(&id) {
-                        r.split = Some(p);
-                    }
-                }
-            }
-        }
-        if !policy.decisions.is_empty() {
-            self.policy_log.push(PolicyLogEntry {
-                time: now,
-                server: server.0,
-                k: policy.decisions.len(),
-                kept_active: policy.active_count(),
-                demoted: policy.normal_count(),
-                predicted_time: policy.predicted_time,
-            });
-        }
-
-        let actions = self
-            .runtimes
-            .get_mut(&server)
-            .expect("runtime")
-            .apply_policy(policy, dosas.allow_interrupt);
-        for action in actions {
-            match action {
-                RuntimeAction::Demote(id) => {
-                    self.servers
-                        .get_mut(&server)
-                        .expect("server")
-                        .demote(now, id);
-                }
-                RuntimeAction::Interrupt(id) => self.interrupt_kernel(id, now, sched),
-            }
-        }
-    }
-
-    /// Stop a running kernel: checkpoint its variables and ship the residual
-    /// data plus state to the client (paper §III-C, "record and interrupt
-    /// current active I/O being serviced").
-    fn interrupt_kernel(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let server = self.reqs[&id].server;
-        let task = self.reqs.get_mut(&id).expect("req").cpu_task.take();
-        let Some(task) = task else {
-            // FIFO mode: the kernel never launched — it is still in the
-            // work queue. Remove it and ship the whole request (a fresh
-            // demotion in migration clothing: zero progress, no state).
-            if let Some(q) = self.kernel_queue.get_mut(&server) {
-                q.retain(|&qid| qid != id);
-            }
-            self.reqs.get_mut(&id).expect("req").kernel = None;
-            self.servers
-                .get_mut(&server)
-                .expect("server")
-                .demote(now, id);
-            self.start_data_flow(id, true, now, sched);
-            return;
-        };
-        // Under fault-delayed policies the task may race to completion in
-        // the same instant; treat a vanished task as fully processed rather
-        // than panicking (the kernel's result simply ships as a migration
-        // with zero residue).
-        let progress = self.cluster.cpus[server.0]
-            .interrupt(now, task)
-            .map_or(1.0, |removed| removed.progress);
-        self.cpu_work.remove(&(server.0, task));
-        self.kernel_slot_freed(server, now, sched);
-        self.schedule_cpu(server.0, sched);
-
-        {
-            let r = self.reqs.get_mut(&id).expect("req");
-            r.processed_bytes = (progress * r.bytes).min(r.bytes);
-            if self.cfg.data_plane {
-                let mut kernel = r.kernel.take().expect("data-plane kernel");
-                let cut = (r.processed_bytes.floor() as usize)
-                    .min(r.data.as_ref().map(|d| d.len()).unwrap_or(0));
-                r.processed_bytes = cut as f64;
-                kernel.process_chunk(&r.data.as_ref().expect("data")[..cut]);
-                r.ship_state = Some(kernel.checkpoint());
-            }
-        }
-        self.servers
-            .get_mut(&server)
-            .expect("server")
-            .demote(now, id);
-        self.start_data_flow(id, true, now, sched);
-    }
-
-    fn all_ranks_done(&self) -> bool {
-        self.finished_ranks == self.ranks.len()
+        sim.world
+            .collect_metrics(scheme_name, total_bytes, end, events)
     }
 }
 
@@ -1916,28 +340,12 @@ impl World for Driver {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
-        match event {
-            Ev::RankStep(rank) => self.rank_step(rank, now, sched),
-            Ev::Arrive(id) => self.on_arrive(id, now, sched),
-            Ev::DiskTick { ordinal, epoch } => self.on_disk_tick(ordinal, epoch, now, sched),
-            Ev::CpuTick { node, epoch } => self.on_cpu_tick(node, epoch, now, sched),
-            Ev::NetTick { epoch } => self.on_net_tick(epoch, now, sched),
-            Ev::Deliver(id) => self.on_deliver(id, now, sched),
-            Ev::Probe(server) => {
-                self.handle_probe(server, now, true, sched);
-                if !self.all_ranks_done() {
-                    if let Some(d) = &self.dosas {
-                        sched.after(d.probe_period, Ev::Probe(server));
-                    }
-                }
-            }
-            Ev::Fault => self.apply_faults(now, sched),
-            Ev::ProbeRetry(server) => {
-                if !self.all_ranks_done() {
-                    self.handle_probe(server, now, true, sched);
-                }
-            }
-            Ev::PolicyArrive(token) => self.on_policy_arrive(token, now, sched),
+        match event.route() {
+            Subsystem::Ranks => ranks::RanksComponent::dispatch(self, now, event, sched),
+            Subsystem::IoPath => io_path::IoPathComponent::dispatch(self, now, event, sched),
+            Subsystem::Server => server::ServerComponent::dispatch(self, now, event, sched),
+            Subsystem::Control => control::ControlComponent::dispatch(self, now, event, sched),
+            Subsystem::Faults => faults::FaultsComponent::dispatch(self, now, event, sched),
         }
     }
 }

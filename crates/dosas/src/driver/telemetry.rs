@@ -1,0 +1,126 @@
+//! `telemetry` subsystem: observation without participation.
+//!
+//! Owns everything the simulation records but never reads back: per-app
+//! I/O records, the CE policy log, and the optional per-stage execution
+//! timeline. Also assembles the final [`RunMetrics`] from the drained
+//! world. The subsystem is passive — it handles no routed events; other
+//! subsystems push into it mid-dispatch (e.g. [`Driver::trace_span`]).
+
+use super::metrics::{AppIoRecord, PolicyLogEntry, RunMetrics};
+use super::trace::TraceEvent;
+use super::Driver;
+use crate::estimator::CeStats;
+use crate::runtime::RuntimeCounters;
+use simkit::SimTime;
+
+/// Telemetry state embedded in [`Driver`].
+#[derive(Default)]
+pub(super) struct Telemetry {
+    pub(super) records: Vec<AppIoRecord>,
+    pub(super) policy_log: Vec<PolicyLogEntry>,
+    pub(super) trace: Vec<TraceEvent>,
+}
+
+impl Driver {
+    /// Record one timeline span (no-op unless `cfg.trace`).
+    pub(super) fn trace_span(
+        &mut self,
+        name: String,
+        cat: &'static str,
+        start: SimTime,
+        end: SimTime,
+        node: usize,
+        track: u64,
+    ) {
+        if self.cfg.trace {
+            self.telemetry.trace.push(TraceEvent::new(
+                name,
+                cat,
+                start.as_secs_f64(),
+                end.as_secs_f64(),
+                node,
+                track,
+            ));
+        }
+    }
+
+    /// Fold the drained world into the run's final metrics: makespan over
+    /// rank finish times, aggregated runtime/CE counters, time-weighted
+    /// queue depths, and the recorded logs.
+    pub(super) fn collect_metrics(
+        self,
+        scheme: String,
+        total_bytes: f64,
+        end: SimTime,
+        events: u64,
+    ) -> RunMetrics {
+        let w = self;
+        assert_eq!(
+            w.ranks.finished,
+            w.ranks.len(),
+            "simulation drained with unfinished ranks — deadlocked workload?"
+        );
+
+        let makespan = w
+            .ranks
+            .states
+            .iter()
+            .filter_map(|r| r.finished)
+            .fold(SimTime::ZERO, SimTime::max);
+        let makespan_secs = makespan.as_secs_f64();
+
+        let mut runtime = RuntimeCounters::default();
+        for rt in w.server.runtimes.values() {
+            runtime.absorb(&rt.counters);
+        }
+        let mut ce = CeStats::default();
+        for sup in w.control.supervisors.values() {
+            ce.absorb(&sup.stats);
+        }
+        let n_servers = w.server.servers.len().max(1) as f64;
+        let mean_queue_depth = w
+            .server
+            .servers
+            .values()
+            .map(|s| s.mean_depth(end))
+            .sum::<f64>()
+            / n_servers;
+        let peak_queue_depth = w
+            .server
+            .servers
+            .values()
+            .map(|s| s.peak_depth())
+            .fold(0.0, f64::max);
+
+        RunMetrics {
+            scheme,
+            makespan_secs,
+            total_requested_bytes: total_bytes,
+            achieved_bandwidth: if makespan_secs > 0.0 {
+                total_bytes / makespan_secs
+            } else {
+                0.0
+            },
+            records: w.telemetry.records,
+            runtime,
+            ce,
+            mean_queue_depth,
+            peak_queue_depth,
+            policy_log: w.telemetry.policy_log,
+            estimated_bandwidth: w
+                .control
+                .bw_estimate
+                .iter()
+                .filter(|(_, (_, n))| *n >= 3)
+                .map(|(node, (bw, _))| (node.0, *bw))
+                .collect(),
+            results: w.io.results,
+            trace: if w.cfg.trace {
+                Some(w.telemetry.trace)
+            } else {
+                None
+            },
+            events,
+        }
+    }
+}

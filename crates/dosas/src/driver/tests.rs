@@ -6,7 +6,7 @@ use super::*;
 use crate::config::{DosasConfig, OpRates, Scheme};
 use crate::workload::{plain_reads, Workload};
 use kernels::sum::SumKernel;
-use kernels::KernelParams;
+use kernels::{Kernel, KernelParams};
 use simkit::SimSpan;
 
 const MIB: f64 = 1024.0 * 1024.0;
@@ -110,14 +110,20 @@ fn dosas_tracks_the_better_scheme_at_both_extremes() {
     let d = run(Scheme::dosas_default(), 2);
     let a = run(Scheme::ActiveStorage, 2);
     let t = run(Scheme::Traditional, 2);
-    assert!((d - a).abs() / a < 0.15, "DOSAS {d:.2} should track AS {a:.2}");
+    assert!(
+        (d - a).abs() / a < 0.15,
+        "DOSAS {d:.2} should track AS {a:.2}"
+    );
     assert!(d < t, "DOSAS {d:.2} must beat TS {t:.2} at small scale");
 
     // Large scale: DOSAS ≈ TS (and well under AS).
     let d = run(Scheme::dosas_default(), 32);
     let a = run(Scheme::ActiveStorage, 32);
     let t = run(Scheme::Traditional, 32);
-    assert!((d - t).abs() / t < 0.15, "DOSAS {d:.2} should track TS {t:.2}");
+    assert!(
+        (d - t).abs() / t < 0.15,
+        "DOSAS {d:.2} should track TS {t:.2}"
+    );
     assert!(d < a, "DOSAS {d:.2} must beat AS {a:.2} at large scale");
 }
 
@@ -246,11 +252,8 @@ fn data_plane_migration_preserves_results() {
     let m = Driver::run(cfg, &make(image.clone()));
 
     // Expected digest from a reference kernel.
-    let mut reference = kernels::GaussianFilter2D::new(
-        width as usize,
-        kernels::GaussianOutput::Digest,
-    )
-    .unwrap();
+    let mut reference =
+        kernels::GaussianFilter2D::new(width as usize, kernels::GaussianOutput::Digest).unwrap();
     reference.process_chunk(&image);
     let expect = reference.finalize();
     for (app, result) in &m.results {
@@ -317,7 +320,12 @@ fn compute_and_barrier_steps_execute() {
     use mpiio::program::Op;
     let mut w = plain_reads(2, 1, mb(1));
     for p in &mut w.programs {
-        p.ops.insert(0, Op::Compute { span: SimSpan::from_millis(50) });
+        p.ops.insert(
+            0,
+            Op::Compute {
+                span: SimSpan::from_millis(50),
+            },
+        );
         p.ops.insert(1, Op::Barrier);
     }
     let m = Driver::run(det_config(Scheme::Traditional), &w);
@@ -364,9 +372,7 @@ fn explicit_file_content_must_match_size() {
     w.files[0].content = Some(vec![0u8; 10]); // wrong length
     let mut cfg = det_config(Scheme::ActiveStorage);
     cfg.data_plane = true;
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        Driver::run(cfg, &w)
-    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Driver::run(cfg, &w)));
     assert!(result.is_err());
 }
 
@@ -375,8 +381,8 @@ fn asc_counters_follow_the_protocol() {
     let w = Workload::uniform_active(16, 1, mb(128), "gaussian2d", gaussian_params());
     let m = Driver::run(det_config(Scheme::dosas_default()), &w);
     // Every app I/O is accounted exactly once.
-    let done = m.runtime.completed_active + m.runtime.completed_normal
-        + m.runtime.completed_migrated;
+    let done =
+        m.runtime.completed_active + m.runtime.completed_normal + m.runtime.completed_migrated;
     assert_eq!(done, 16);
 }
 
@@ -427,7 +433,11 @@ fn partial_offload_data_plane_results_are_exact() {
     let mut reference = kernels::StatsKernel::new();
     reference.process_chunk(&content);
     let expect = reference.finalize();
-    assert!(m.runtime.split > 0, "expected planned splits: {:?}", m.runtime);
+    assert!(
+        m.runtime.split > 0,
+        "expected planned splits: {:?}",
+        m.runtime
+    );
     for (app, result) in &m.results {
         assert_eq!(result, &expect, "app {app}");
     }
@@ -661,8 +671,8 @@ fn memory_guard_limits_admitted_kernels() {
         "memory pressure must demote most of the batch: {:?}",
         m.runtime
     );
-    let done = m.runtime.completed_active + m.runtime.completed_normal
-        + m.runtime.completed_migrated;
+    let done =
+        m.runtime.completed_active + m.runtime.completed_normal + m.runtime.completed_migrated;
     assert_eq!(done, 8);
 }
 
@@ -704,7 +714,10 @@ fn allreduce_and_gather_execute() {
     for p in &mut w.programs {
         *p = RankProgram::new()
             .push(Op::Allreduce { bytes: mb(118) })
-            .push(Op::Gather { root: 0, bytes: mb(10) });
+            .push(Op::Gather {
+                root: 0,
+                bytes: mb(10),
+            });
     }
     let mut cfg = det_config(Scheme::Traditional);
     cfg.cluster.compute_nodes = 4;
@@ -730,8 +743,8 @@ fn striped_active_reads_under_dosas() {
     let w = Workload::striped_active(8, 1 << 20, mb(256), "gaussian2d", gaussian_params());
     let m = Driver::run(cfg, &w);
     assert_eq!(m.records.len(), 8);
-    let done = m.runtime.completed_active + m.runtime.completed_normal
-        + m.runtime.completed_migrated;
+    let done =
+        m.runtime.completed_active + m.runtime.completed_normal + m.runtime.completed_migrated;
     assert_eq!(done, 8 * 4, "8 requests × 4 per-server parts");
     // Parts are 64 MB on each server; 8 concurrent Gaussians per server is
     // past the crossover, so demotions must happen.
@@ -752,7 +765,10 @@ fn switch_capacity_caps_aggregate_throughput() {
     let open = run(None);
     let capped = run(Some(200.0 * MIB));
     // 8 × 128 MB through a 200 MB/s core is at least 5.1 s of transfer.
-    assert!(capped > open, "switch cap must slow the run: {capped} vs {open}");
+    assert!(
+        capped > open,
+        "switch cap must slow the run: {capped} vs {open}"
+    );
     assert!(capped >= 8.0 * 128.0 / 200.0 - 0.1);
 }
 
@@ -767,11 +783,15 @@ fn probe_only_dosas_still_converges() {
     };
     let w = Workload::uniform_active(16, 1, mb(128), "gaussian2d", gaussian_params());
     let m = Driver::run(det_config(Scheme::Dosas(dosas)), &w);
-    let done = m.runtime.completed_active + m.runtime.completed_normal
-        + m.runtime.completed_migrated;
+    let done =
+        m.runtime.completed_active + m.runtime.completed_normal + m.runtime.completed_migrated;
     assert_eq!(done, 16);
     // Coarse probing wastes a little time vs arrival-time decisions but
     // must stay in the same regime as TS.
     let ts = Driver::run(det_config(Scheme::Traditional), &w).makespan_secs;
-    assert!(m.makespan_secs < ts * 1.25, "{} vs TS {ts}", m.makespan_secs);
+    assert!(
+        m.makespan_secs < ts * 1.25,
+        "{} vs TS {ts}",
+        m.makespan_secs
+    );
 }

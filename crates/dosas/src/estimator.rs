@@ -161,9 +161,7 @@ impl ContentionEstimator {
         // Memory guard: active kernels pin roughly their request buffers;
         // demote the largest admitted requests until the working set fits.
         let budget = (self.memory_capacity - probe.background_memory).max(0.0);
-        let mut admitted: Vec<usize> = (0..rows.len())
-            .filter(|&i| assignment.active[i])
-            .collect();
+        let mut admitted: Vec<usize> = (0..rows.len()).filter(|&i| assignment.active[i]).collect();
         let mut pinned: f64 = admitted.iter().map(|&i| rows[i].bytes).sum();
         if pinned > budget {
             admitted.sort_by(|&a, &b| {
@@ -188,7 +186,11 @@ impl ContentionEstimator {
             .map(|(row, &a)| {
                 (
                     row.id,
-                    if a { Decision::Active } else { Decision::Normal },
+                    if a {
+                        Decision::Active
+                    } else {
+                        Decision::Normal
+                    },
                 )
             })
             .collect();
@@ -299,6 +301,18 @@ pub struct CeStats {
     pub stale_discards: u64,
     pub fallback_entries: u64,
     pub recoveries: u64,
+}
+
+impl CeStats {
+    /// Fold another supervisor's counters into this aggregate.
+    pub fn absorb(&mut self, other: &CeStats) {
+        self.probes_sent += other.probes_sent;
+        self.probes_lost += other.probes_lost;
+        self.retries += other.retries;
+        self.stale_discards += other.stale_discards;
+        self.fallback_entries += other.fallback_entries;
+        self.recoveries += other.recoveries;
+    }
 }
 
 /// Supervises one storage node's probe loop: bounded retry with exponential
@@ -448,7 +462,10 @@ mod tests {
     #[test]
     fn small_gaussian_batch_stays_active() {
         let ce = estimator();
-        let probe = probe_with(&[(0, "gaussian2d", 128.0 * MIB), (1, "gaussian2d", 128.0 * MIB)]);
+        let probe = probe_with(&[
+            (0, "gaussian2d", 128.0 * MIB),
+            (1, "gaussian2d", 128.0 * MIB),
+        ]);
         let p = ce.generate_policy(SimTime::ZERO, &probe);
         assert_eq!(p.decisions.len(), 2);
         assert_eq!(p.active_count(), 2);
@@ -459,7 +476,11 @@ mod tests {
         let ce = estimator();
         let reqs: Vec<(u64, &str, f64)> = (0..16).map(|i| (i, "gaussian2d", 128.0 * MIB)).collect();
         let p = ce.generate_policy(SimTime::ZERO, &probe_with(&reqs));
-        assert_eq!(p.normal_count(), 16, "16 concurrent Gaussians overload the node");
+        assert_eq!(
+            p.normal_count(),
+            16,
+            "16 concurrent Gaussians overload the node"
+        );
     }
 
     #[test]
@@ -467,7 +488,11 @@ mod tests {
         let ce = estimator();
         let reqs: Vec<(u64, &str, f64)> = (0..64).map(|i| (i, "sum", 128.0 * MIB)).collect();
         let p = ce.generate_policy(SimTime::ZERO, &probe_with(&reqs));
-        assert_eq!(p.active_count(), 64, "860 MB/s/core >> network: always offload");
+        assert_eq!(
+            p.active_count(),
+            64,
+            "860 MB/s/core >> network: always offload"
+        );
     }
 
     #[test]
@@ -537,8 +562,7 @@ mod tests {
     #[test]
     fn split_policy_balances_mid_contention() {
         let ce = estimator();
-        let reqs: Vec<(u64, &str, f64)> =
-            (0..8).map(|i| (i, "gaussian2d", 128.0 * MIB)).collect();
+        let reqs: Vec<(u64, &str, f64)> = (0..8).map(|i| (i, "gaussian2d", 128.0 * MIB)).collect();
         let p = ce.generate_split_policy(SimTime::ZERO, &probe_with(&reqs));
         assert_eq!(p.decisions.len(), 8);
         assert_eq!(p.active_count(), 8, "split mode keeps requests active");
@@ -554,10 +578,7 @@ mod tests {
     #[test]
     fn split_policy_keeps_cheap_kernels_whole() {
         let ce = estimator();
-        let p = ce.generate_split_policy(
-            SimTime::ZERO,
-            &probe_with(&[(0, "sum", 128.0 * MIB)]),
-        );
+        let p = ce.generate_split_policy(SimTime::ZERO, &probe_with(&[(0, "sum", 128.0 * MIB)]));
         assert_eq!(p.fraction(RequestId(0)), 1.0, "sum never splits");
         assert!(p.fractions.is_empty());
     }
@@ -645,7 +666,10 @@ mod tests {
         let generated = SimTime::from_secs_f64(1.0);
         let bound = probe_cfg().staleness_bound;
         assert!(sup.policy_usable(generated, generated));
-        assert!(sup.policy_usable(generated, generated + bound), "age == bound is usable");
+        assert!(
+            sup.policy_usable(generated, generated + bound),
+            "age == bound is usable"
+        );
         assert!(
             !sup.policy_usable(generated, generated + bound + SimSpan::from_nanos(1)),
             "one nanosecond past the bound is stale"

@@ -78,11 +78,7 @@ impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuntimeError::NotTracked(id) => write!(f, "request {id:?} not tracked"),
-            RuntimeError::InvalidTransition {
-                id,
-                stage,
-                mode,
-            } => {
+            RuntimeError::InvalidTransition { id, stage, mode } => {
                 write!(f, "request {id:?} in invalid state {stage:?}/{mode:?}")
             }
         }
@@ -113,6 +109,20 @@ pub struct RuntimeCounters {
     /// normal reads (fault-injection extension).
     #[serde(default)]
     pub checkpoint_failures: u64,
+}
+
+impl RuntimeCounters {
+    /// Fold another node's counters into this aggregate.
+    pub fn absorb(&mut self, other: &RuntimeCounters) {
+        self.admitted += other.admitted;
+        self.demoted += other.demoted;
+        self.interrupted += other.interrupted;
+        self.split += other.split;
+        self.completed_active += other.completed_active;
+        self.completed_normal += other.completed_normal;
+        self.completed_migrated += other.completed_migrated;
+        self.checkpoint_failures += other.checkpoint_failures;
+    }
 }
 
 /// One storage node's Active I/O Runtime.
@@ -489,11 +499,18 @@ mod tests {
     fn state_is_legal(stage: ServerStage, mode: ServiceMode) -> bool {
         matches!(
             (stage, mode),
-            (ServerStage::InFlight, ServiceMode::Active | ServiceMode::Normal)
-                | (ServerStage::QueuedDisk, ServiceMode::Active | ServiceMode::Normal)
-                | (ServerStage::Running, ServiceMode::Active)
+            (
+                ServerStage::InFlight,
+                ServiceMode::Active | ServiceMode::Normal
+            ) | (
+                ServerStage::QueuedDisk,
+                ServiceMode::Active | ServiceMode::Normal
+            ) | (ServerStage::Running, ServiceMode::Active)
                 | (ServerStage::SendingResult, ServiceMode::Active)
-                | (ServerStage::SendingData, ServiceMode::Normal | ServiceMode::Migrated)
+                | (
+                    ServerStage::SendingData,
+                    ServiceMode::Normal | ServiceMode::Migrated
+                )
         )
     }
 

@@ -106,7 +106,11 @@ mod tests {
         let cases = vec![
             vec![item(1.0, 2.0, 0.5)],
             vec![item(5.0, 1.0, 2.0), item(5.0, 1.0, 2.0)],
-            vec![item(1.0, 5.0, 0.1), item(4.0, 1.0, 3.0), item(2.0, 2.0, 1.0)],
+            vec![
+                item(1.0, 5.0, 0.1),
+                item(4.0, 1.0, 3.0),
+                item(2.0, 2.0, 1.0),
+            ],
             vec![
                 item(0.5, 0.4, 0.9),
                 item(2.0, 2.5, 0.2),

@@ -82,7 +82,11 @@ mod tests {
         assert_eq!(a.active, vec![false]);
         assert!((a.time - 1.5).abs() < 1e-12);
         let a = solve(&[item(1.0, 1.0, 0.5)]);
-        assert_eq!(a.active, vec![true], "tie prefers active=false mask? No: x==1.0 < y+z=1.5");
+        assert_eq!(
+            a.active,
+            vec![true],
+            "tie prefers active=false mask? No: x==1.0 < y+z=1.5"
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ mod tests {
 
     #[test]
     fn never_worse_than_trivial_policies() {
-        let items = vec![item(2.0, 1.0, 5.0), item(1.0, 3.0, 0.5), item(4.0, 4.0, 1.0)];
+        let items = vec![
+            item(2.0, 1.0, 5.0),
+            item(1.0, 3.0, 0.5),
+            item(4.0, 4.0, 1.0),
+        ];
         let g = solve(&items);
         let ta = assignment_time(&items, &[true, true, true]);
         let tn = assignment_time(&items, &[false, false, false]);

@@ -71,11 +71,7 @@ fn vec_mat(v: &[f64], m: &BitMatrix) -> Vec<f64> {
 /// `maxterm(B)_j = max_i b_ij·z_i` — the `z` of Eq. 7 per column.
 fn max_term(b: &BitMatrix, z: &[f64]) -> Vec<f64> {
     (0..b.cols)
-        .map(|j| {
-            (0..b.rows)
-                .map(|i| b.at(i, j) * z[i])
-                .fold(0.0, f64::max)
-        })
+        .map(|j| (0..b.rows).map(|i| b.at(i, j) * z[i]).fold(0.0, f64::max))
         .collect()
 }
 
@@ -110,16 +106,17 @@ pub fn solve(items: &[Item]) -> Assignment {
         .map(|((xa, yb), zt)| xa + yb + zt)
         .collect();
 
-    let (best_j, best_time) = values
-        .iter()
-        .enumerate()
-        .fold((0usize, f64::INFINITY), |(bj, bt), (j, &t)| {
-            if t < bt {
-                (j, t)
-            } else {
-                (bj, bt)
-            }
-        });
+    let (best_j, best_time) =
+        values
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::INFINITY), |(bj, bt), (j, &t)| {
+                if t < bt {
+                    (j, t)
+                } else {
+                    (bj, bt)
+                }
+            });
 
     let active = (0..k).map(|i| (best_j >> i) & 1 == 1).collect();
     Assignment {
@@ -166,7 +163,11 @@ mod tests {
 
     #[test]
     fn agrees_with_direct_evaluation() {
-        let items = vec![item(1.0, 2.0, 0.5), item(4.0, 1.0, 0.25), item(2.0, 2.0, 3.0)];
+        let items = vec![
+            item(1.0, 2.0, 0.5),
+            item(4.0, 1.0, 0.25),
+            item(2.0, 2.0, 3.0),
+        ];
         let a = solve(&items);
         assert!((assignment_time(&items, &a.active) - a.time).abs() < 1e-12);
     }

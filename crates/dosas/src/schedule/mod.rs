@@ -173,8 +173,7 @@ mod cross_solver_tests {
 
     fn arb_items(max_k: usize) -> impl Strategy<Value = Vec<Item>> {
         proptest::collection::vec(
-            (0.01f64..10.0, 0.01f64..10.0, 0.01f64..10.0)
-                .prop_map(|(x, y, z)| Item { x, y, z }),
+            (0.01f64..10.0, 0.01f64..10.0, 0.01f64..10.0).prop_map(|(x, y, z)| Item { x, y, z }),
             1..=max_k,
         )
     }

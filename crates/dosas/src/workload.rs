@@ -259,10 +259,13 @@ mod tests {
     #[test]
     fn plain_reads_have_no_ops() {
         let w = plain_reads(3, 1, 100);
-        assert!(w
-            .programs
-            .iter()
-            .all(|p| matches!(&p.ops[0], Op::Read { client_op: None, .. })));
+        assert!(w.programs.iter().all(|p| matches!(
+            &p.ops[0],
+            Op::Read {
+                client_op: None,
+                ..
+            }
+        )));
     }
 
     #[test]

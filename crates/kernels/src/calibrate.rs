@@ -69,7 +69,9 @@ pub fn synthetic_f64_stream(bytes: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(items * 8);
     let mut x: u64 = 0x243F_6A88_85A3_08D3;
     for _ in 0..items {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Map to a tame float range to avoid NaN/inf artifacts.
         let v = (x >> 11) as f64 / (1u64 << 53) as f64;
         out.extend_from_slice(&v.to_le_bytes());

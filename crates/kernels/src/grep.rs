@@ -23,7 +23,9 @@ pub struct GrepKernel {
 impl GrepKernel {
     pub fn new(pattern: &[u8]) -> Result<Self, KernelError> {
         if pattern.is_empty() {
-            return Err(KernelError::BadParams("grep pattern must be non-empty".into()));
+            return Err(KernelError::BadParams(
+                "grep pattern must be non-empty".into(),
+            ));
         }
         Ok(GrepKernel {
             pattern: pattern.to_vec(),
@@ -42,7 +44,9 @@ impl GrepKernel {
         }
         let pattern = state.get_bytes("pattern")?.to_vec();
         if pattern.is_empty() {
-            return Err(KernelError::BadParams("checkpoint has empty pattern".into()));
+            return Err(KernelError::BadParams(
+                "checkpoint has empty pattern".into(),
+            ));
         }
         Ok(GrepKernel {
             pattern,

@@ -25,7 +25,9 @@ pub struct KMeansKernel {
 impl KMeansKernel {
     pub fn new(centroids: Vec<f64>) -> Result<Self, KernelError> {
         if centroids.is_empty() {
-            return Err(KernelError::BadParams("kmeans needs at least one centroid".into()));
+            return Err(KernelError::BadParams(
+                "kmeans needs at least one centroid".into(),
+            ));
         }
         let k = centroids.len();
         Ok(KMeansKernel {
@@ -250,7 +252,13 @@ mod tests {
     fn iterated_passes_converge() {
         // Two well-separated groups; Lloyd's converges in a few passes.
         let vals: Vec<f64> = (0..50)
-            .map(|i| if i % 2 == 0 { 1.0 + (i % 5) as f64 * 0.1 } else { 50.0 + (i % 7) as f64 * 0.1 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    1.0 + (i % 5) as f64 * 0.1
+                } else {
+                    50.0 + (i % 7) as f64 * 0.1
+                }
+            })
             .collect();
         let data = encode(&vals);
         let mut centroids = vec![0.0, 10.0];

@@ -33,10 +33,15 @@ where
 {
     let proto = make();
     let item = proto.complexity().item_bytes as usize;
-    assert!(chunk_bytes > 0 && chunk_bytes.is_multiple_of(item),
-        "chunk_bytes {chunk_bytes} must be a positive multiple of the item size {item}");
-    assert!(data.len().is_multiple_of(item),
-        "input length {} is not item-aligned (item size {item})", data.len());
+    assert!(
+        chunk_bytes > 0 && chunk_bytes.is_multiple_of(item),
+        "chunk_bytes {chunk_bytes} must be a positive multiple of the item size {item}"
+    );
+    assert!(
+        data.len().is_multiple_of(item),
+        "input length {} is not item-aligned (item size {item})",
+        data.len()
+    );
 
     data.par_chunks(chunk_bytes)
         .map(|chunk| {
@@ -55,7 +60,10 @@ where
 /// a stitch pass over each chunk boundary.
 pub fn par_grep_count(data: &[u8], pattern: &[u8], chunk_bytes: usize) -> u64 {
     assert!(!pattern.is_empty());
-    assert!(chunk_bytes >= pattern.len(), "chunks must hold at least one pattern");
+    assert!(
+        chunk_bytes >= pattern.len(),
+        "chunks must hold at least one pattern"
+    );
     let m = pattern.len();
     let local: u64 = data
         .par_chunks(chunk_bytes)

@@ -82,7 +82,11 @@ impl KernelRegistry {
         r.register(crate::gaussian::OP_NAME, create_gaussian, restore_gaussian);
         r.register(crate::stats::OP_NAME, create_stats, restore_stats);
         r.register(crate::grep::OP_NAME, create_grep, restore_grep);
-        r.register(crate::histogram::OP_NAME, create_histogram, restore_histogram);
+        r.register(
+            crate::histogram::OP_NAME,
+            create_histogram,
+            restore_histogram,
+        );
         r.register(crate::kmeans::OP_NAME, create_kmeans, restore_kmeans);
         r.register(crate::smooth::OP_NAME, create_smooth, restore_smooth);
         r
@@ -206,7 +210,15 @@ mod tests {
         let r = KernelRegistry::with_defaults();
         assert_eq!(
             r.ops(),
-            vec!["gaussian2d", "grep", "histogram", "kmeans1d", "smooth1d", "stats", "sum"]
+            vec![
+                "gaussian2d",
+                "grep",
+                "histogram",
+                "kmeans1d",
+                "smooth1d",
+                "stats",
+                "sum"
+            ]
         );
         assert!(r.contains("sum"));
         assert!(!r.contains("zip"));

@@ -159,12 +159,8 @@ mod tests {
 
     #[test]
     fn read_with_client_op_is_not_active() {
-        let p = RankProgram::single_read_with_client_op(
-            "/f",
-            1024,
-            "stats",
-            KernelParams::default(),
-        );
+        let p =
+            RankProgram::single_read_with_client_op("/f", 1024, "stats", KernelParams::default());
         assert!(!p.ops[0].is_active_io());
         assert_eq!(p.ops[0].request_bytes(), 1024);
     }
@@ -179,7 +175,14 @@ mod tests {
             0
         );
         assert_eq!(Op::Barrier.request_bytes(), 0);
-        assert_eq!(Op::Bcast { root: 0, bytes: 4096 }.request_bytes(), 0);
+        assert_eq!(
+            Op::Bcast {
+                root: 0,
+                bytes: 4096
+            }
+            .request_bytes(),
+            0
+        );
         assert_eq!(Op::Reduce { root: 1, bytes: 64 }.request_bytes(), 0);
     }
 
@@ -198,11 +201,9 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let p = RankProgram::new()
-            .push(Op::Barrier)
-            .push(Op::Compute {
-                span: SimSpan::from_millis(10),
-            });
+        let p = RankProgram::new().push(Op::Barrier).push(Op::Compute {
+            span: SimSpan::from_millis(10),
+        });
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
     }

@@ -12,11 +12,7 @@ pub enum PfsError {
     /// Handle is stale or was never issued.
     BadHandle(u64),
     /// Read/write beyond end of file.
-    OutOfBounds {
-        offset: u64,
-        len: u64,
-        size: u64,
-    },
+    OutOfBounds { offset: u64, len: u64, size: u64 },
     /// A layout referenced zero data servers.
     EmptyLayout,
 }

@@ -97,8 +97,7 @@ impl StripeLayout {
     /// Total bytes of `[offset, offset+len)` stored on each server,
     /// in server-list order (servers with zero bytes omitted).
     pub fn server_totals(&self, offset: u64, len: u64) -> Vec<(NodeId, u64)> {
-        let mut totals: Vec<(NodeId, u64)> =
-            self.servers.iter().map(|&s| (s, 0)).collect();
+        let mut totals: Vec<(NodeId, u64)> = self.servers.iter().map(|&s| (s, 0)).collect();
         for e in self.locate(offset, len) {
             let slot = totals
                 .iter_mut()
@@ -152,9 +151,21 @@ mod tests {
         assert_eq!(
             ex,
             vec![
-                Extent { server: n(0), offset: 5, len: 5 },
-                Extent { server: n(1), offset: 10, len: 10 },
-                Extent { server: n(0), offset: 20, len: 5 },
+                Extent {
+                    server: n(0),
+                    offset: 5,
+                    len: 5
+                },
+                Extent {
+                    server: n(1),
+                    offset: 10,
+                    len: 10
+                },
+                Extent {
+                    server: n(0),
+                    offset: 20,
+                    len: 5
+                },
             ]
         );
     }

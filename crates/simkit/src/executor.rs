@@ -44,7 +44,11 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` is in the past: causality violations are model bugs.
     pub fn at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         self.queue.push(at, event);
     }
 
@@ -181,7 +185,12 @@ mod tests {
         struct Rec(Vec<&'static str>);
         impl World for Rec {
             type Event = &'static str;
-            fn handle(&mut self, _t: SimTime, ev: &'static str, sched: &mut Scheduler<&'static str>) {
+            fn handle(
+                &mut self,
+                _t: SimTime,
+                ev: &'static str,
+                sched: &mut Scheduler<&'static str>,
+            ) {
                 self.0.push(ev);
                 if ev == "first" {
                     sched.immediately("injected");

@@ -158,11 +158,7 @@ impl FaultPlan {
     /// Every window boundary, sorted and deduplicated: the times at which a
     /// driver must re-evaluate fault effects.
     pub fn transition_times(&self) -> Vec<SimTime> {
-        let mut times: Vec<SimTime> = self
-            .events
-            .iter()
-            .flat_map(|e| [e.start, e.end])
-            .collect();
+        let mut times: Vec<SimTime> = self.events.iter().flat_map(|e| [e.start, e.end]).collect();
         times.sort();
         times.dedup();
         times
@@ -288,9 +284,18 @@ mod tests {
     #[test]
     fn disk_stall_window_query() {
         let plan = FaultPlan::new().inject(5, FaultKind::DiskStall, secs(2.0), span(1.0));
-        assert_eq!(plan.disk_stalls_starting(secs(0.0), secs(2.0), 5).count(), 0);
-        assert_eq!(plan.disk_stalls_starting(secs(2.0), secs(2.5), 5).count(), 1);
-        assert_eq!(plan.disk_stalls_starting(secs(2.5), secs(9.0), 5).count(), 0);
+        assert_eq!(
+            plan.disk_stalls_starting(secs(0.0), secs(2.0), 5).count(),
+            0
+        );
+        assert_eq!(
+            plan.disk_stalls_starting(secs(2.0), secs(2.5), 5).count(),
+            1
+        );
+        assert_eq!(
+            plan.disk_stalls_starting(secs(2.5), secs(9.0), 5).count(),
+            0
+        );
     }
 
     #[test]

@@ -140,7 +140,9 @@ impl FifoServer {
 
     fn fill_servers(&mut self, now: SimTime) {
         while self.busy.len() < self.servers {
-            let Some(w) = self.queue.pop_front() else { break };
+            let Some(w) = self.queue.pop_front() else {
+                break;
+            };
             self.start_times.push((w.id, w.enqueued, now));
             self.busy.push(InService {
                 id: w.id,

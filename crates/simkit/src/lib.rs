@@ -8,6 +8,8 @@
 //! * [`time`] — integer-nanosecond simulation clock ([`SimTime`], [`SimSpan`]).
 //! * [`event`] — a stable-order event queue (FIFO among equal timestamps).
 //! * [`executor`] — the [`executor::World`] trait and run loop.
+//! * [`component`] — [`component::Component`]/[`component::Routed`]: split a
+//!   world into event-routed subsystems without changing its event schedule.
 //! * [`share`] — a generalized processor-sharing resource with max-min fair
 //!   allocation and epoch-based completion-event invalidation; models
 //!   multi-core CPUs and fair-share network links.
@@ -28,6 +30,7 @@
 //!   tick carrying the epoch and ignores the tick if the epoch moved on.
 //!   This avoids priority-queue deletion entirely.
 
+pub mod component;
 pub mod event;
 pub mod executor;
 pub mod fault;
@@ -37,6 +40,7 @@ pub mod share;
 pub mod stats;
 pub mod time;
 
+pub use component::{Component, Routed};
 pub use event::EventQueue;
 pub use executor::{Scheduler, Simulation, World};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};

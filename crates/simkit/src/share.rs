@@ -95,7 +95,10 @@ impl ShareResource {
 
     /// Submit `work` units with a per-task rate cap of `cap` units/second.
     pub fn add(&mut self, now: SimTime, work: f64, cap: f64) -> TaskId {
-        assert!(work.is_finite() && work >= 0.0, "work must be >= 0, got {work}");
+        assert!(
+            work.is_finite() && work >= 0.0,
+            "work must be >= 0, got {work}"
+        );
         assert!(cap.is_finite() && cap > 0.0, "cap must be > 0, got {cap}");
         self.advance(now);
         let id = TaskId(self.next_id);

@@ -23,8 +23,10 @@ fn temperature_field(points: usize) -> Vec<u8> {
         .flat_map(|i| {
             let lat_band = (i % 180) as f64 / 180.0; // 0 pole .. 1 equator-ish
             let season = ((i / 180) % 365) as f64 / 365.0;
-            let t = 288.0 - 40.0 * (1.0 - lat_band) + 8.0 * (season * std::f64::consts::TAU).sin()
-                + ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+            let t = 288.0 - 40.0 * (1.0 - lat_band)
+                + 8.0 * (season * std::f64::consts::TAU).sin()
+                + ((i * 2654435761) % 1000) as f64 / 500.0
+                - 1.0;
             t.to_le_bytes()
         })
         .collect()
@@ -33,7 +35,10 @@ fn temperature_field(points: usize) -> Vec<u8> {
 fn main() {
     // ---- data plane: reduce a real field with the real kernel ----
     let field = temperature_field(2_000_000);
-    println!("climate_stats — reducing {} MB of temperature data", field.len() >> 20);
+    println!(
+        "climate_stats — reducing {} MB of temperature data",
+        field.len() >> 20
+    );
 
     // Client-side completion path: rayon over all cores (what the ASC does
     // with a demoted request on a multi-core compute node).
@@ -43,15 +48,36 @@ fn main() {
         "  {count} points: min {min:.1} K, max {max:.1} K, mean {mean:.2} K, stddev {:.2} K",
         var.sqrt()
     );
-    println!("  (40 bytes of answer instead of {} MB of data movement)\n", field.len() >> 20);
+    println!(
+        "  (40 bytes of answer instead of {} MB of data movement)\n",
+        field.len() >> 20
+    );
 
     // ---- performance plane: Figure-1 style application mix ----
     let apps = vec![
         // (op, params, bytes per request, active?, ranks)
-        ("stats".to_string(), KernelParams::default(), 256 << 20, true, 8),
-        ("sum".to_string(), KernelParams::default(), 512 << 20, true, 4),
+        (
+            "stats".to_string(),
+            KernelParams::default(),
+            256 << 20,
+            true,
+            8,
+        ),
+        (
+            "sum".to_string(),
+            KernelParams::default(),
+            512 << 20,
+            true,
+            4,
+        ),
         // A traditional visualization app pulling raw fields.
-        ("stats".to_string(), KernelParams::default(), 256 << 20, false, 6),
+        (
+            "stats".to_string(),
+            KernelParams::default(),
+            256 << 20,
+            false,
+            6,
+        ),
     ];
     println!("three applications sharing one storage node (18 processes total):");
     println!(

@@ -35,10 +35,7 @@ fn main() {
         let m = Driver::run(DriverConfig::paper(scheme), &w);
         println!(
             "{label:>9}  {:>12.2}  {:>8}  {:>8}  {:>11}",
-            m.makespan_secs,
-            m.runtime.completed_active,
-            m.runtime.demoted,
-            m.runtime.interrupted
+            m.makespan_secs, m.runtime.completed_active, m.runtime.demoted, m.runtime.interrupted
         );
     }
 
@@ -82,7 +79,11 @@ fn main() {
     // when wave 2 lands (the file is small).
     let mut cfg = DriverConfig::paper(Scheme::dosas_default());
     let mut rates = OpRates::paper();
-    rates.set("gaussian2d", (1u64 << 20) as f64, dosas::cost::ResultModel::fixed(32));
+    rates.set(
+        "gaussian2d",
+        (1u64 << 20) as f64,
+        dosas::cost::ResultModel::fixed(32),
+    );
     cfg.rates = rates;
     cfg.data_plane = true;
     let m = Driver::run(cfg, &w);

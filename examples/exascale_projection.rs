@@ -40,12 +40,7 @@ fn main() {
         );
         println!(
             "{:>9}  {:>8.1}  {:>8.1}  {:>8.1}  {:>9.1}  {:>22}",
-            n,
-            ts.makespan_secs,
-            as_.makespan_secs,
-            ds.makespan_secs,
-            sp.makespan_secs,
-            policy
+            n, ts.makespan_secs, as_.makespan_secs, ds.makespan_secs, sp.makespan_secs, policy
         );
     }
 

@@ -61,8 +61,7 @@ fn main() {
 
         // Reference: whole-image convolution.
         let reference = filter_image(&slice, width);
-        let reference_bytes: Vec<u8> =
-            reference.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let reference_bytes: Vec<u8> = reference.iter().flat_map(|v| v.to_le_bytes()).collect();
         assert_eq!(streamed, reference_bytes, "slice {z} mismatch");
     }
     println!(
@@ -72,7 +71,10 @@ fn main() {
 
     // ---- performance plane: where should the filtering run? ----
     println!("archive node serving concurrent smoothing requests (512 MB each):");
-    println!("{:>8}  {:>9}  {:>9}  {:>9}", "readers", "TS (s)", "AS (s)", "DOSAS (s)");
+    println!(
+        "{:>8}  {:>9}  {:>9}  {:>9}",
+        "readers", "TS (s)", "AS (s)", "DOSAS (s)"
+    );
     for readers in [2usize, 8, 32] {
         let workload = Workload::uniform_active(
             readers,

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo verify path: tier-1 build/tests plus the failure-scenario harness
-# and a warning-free clippy pass. Run from the repo root.
+# Repo verify path: tier-1 build/tests plus the failure-scenario harness,
+# a warning-free clippy pass, formatting, and a warning-free doc build.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,5 +10,7 @@ cargo test -q
 cargo test -q --workspace
 cargo test -q --test failure_scenarios
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "verify: OK"

@@ -74,10 +74,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--scheme" => {
                 args.schemes = value("--scheme")?
@@ -87,9 +84,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--op" => args.op = value("--op")?,
             "--n" => {
-                args.n = value("--n")?
-                    .parse()
-                    .map_err(|e| format!("--n: {e}"))?;
+                args.n = value("--n")?.parse().map_err(|e| format!("--n: {e}"))?;
             }
             "--size-mb" => {
                 args.size_mb = value("--size-mb")?
@@ -140,9 +135,21 @@ fn main() {
             exit(2);
         }
     };
-    let known_ops = ["sum", "gaussian2d", "stats", "grep", "histogram", "kmeans1d", "smooth1d"];
+    let known_ops = [
+        "sum",
+        "gaussian2d",
+        "stats",
+        "grep",
+        "histogram",
+        "kmeans1d",
+        "smooth1d",
+    ];
     if !known_ops.contains(&args.op.as_str()) {
-        eprintln!("error: unknown op {:?}; known: {}", args.op, known_ops.join(", "));
+        eprintln!(
+            "error: unknown op {:?}; known: {}",
+            args.op,
+            known_ops.join(", ")
+        );
         exit(2);
     }
 

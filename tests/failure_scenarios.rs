@@ -29,7 +29,13 @@ fn det(scheme: Scheme, fault_plan: FaultPlan) -> DriverConfig {
 }
 
 fn gaussians(n: usize) -> Workload {
-    Workload::uniform_active(n, 1, 128 * MIB, "gaussian2d", KernelParams::with_width(1024))
+    Workload::uniform_active(
+        n,
+        1,
+        128 * MIB,
+        "gaussian2d",
+        KernelParams::with_width(1024),
+    )
 }
 
 /// Two-wave workload that reliably triggers mid-kernel interruptions
@@ -221,12 +227,7 @@ fn disk_stall_delays_but_completes() {
     let w = gaussians(4);
     let clean = run_deterministic(&det(Scheme::dosas_default(), FaultPlan::new()), &w);
 
-    let plan = FaultPlan::new().inject(
-        STORAGE_NODE,
-        FaultKind::DiskStall,
-        secs(0.05),
-        span(1.0),
-    );
+    let plan = FaultPlan::new().inject(STORAGE_NODE, FaultKind::DiskStall, secs(0.05), span(1.0));
     let m = run_deterministic(&det(Scheme::dosas_default(), plan), &w);
 
     assert_all_complete(&m, 4);

@@ -94,7 +94,11 @@ fn bandwidth_envelope() {
     let ds = Driver::run(det(Scheme::dosas_default()), &w).bandwidth_mb_per_s();
     assert!(ts > 100.0, "TS should approach the 118 MB/s wire: {ts:.1}");
     assert!((as_ - 80.0).abs() < 5.0, "AS pinned near 80 MB/s: {as_:.1}");
-    assert!(ds >= ts.max(as_) * 0.95, "DOSAS {ds:.1} vs max {:.1}", ts.max(as_));
+    assert!(
+        ds >= ts.max(as_) * 0.95,
+        "DOSAS {ds:.1} vs max {:.1}",
+        ts.max(as_)
+    );
 }
 
 /// The enhanced-call protocol (Table I) is exercised end to end: results
@@ -128,7 +132,8 @@ fn protocol_equivalence_with_real_data() {
 #[test]
 fn heterogeneous_sizes_complete() {
     use mpiio::program::RankProgram;
-    let mut w = Workload::uniform_active(1, 1, 64 << 20, "gaussian2d", KernelParams::with_width(4096));
+    let mut w =
+        Workload::uniform_active(1, 1, 64 << 20, "gaussian2d", KernelParams::with_width(4096));
     for mb in [128u64, 256, 512] {
         w.programs.push(RankProgram::single_read_ex(
             "/data/server0.dat",
@@ -139,6 +144,7 @@ fn heterogeneous_sizes_complete() {
     }
     let m = Driver::run(det(Scheme::dosas_default()), &w);
     assert_eq!(m.records.len(), 4);
-    let done = m.runtime.completed_active + m.runtime.completed_normal + m.runtime.completed_migrated;
+    let done =
+        m.runtime.completed_active + m.runtime.completed_normal + m.runtime.completed_migrated;
     assert_eq!(done, 4);
 }

@@ -37,11 +37,22 @@ impl World for MiniWorld {
                         .start_flow(now, src, NodeId(0), 1024.0 * 1024.0);
                     self.pending_flows += 1;
                     if let Some(t) = self.cluster.fabric.next_completion() {
-                        sched.at(t, Ev::NetTick { epoch: self.cluster.fabric.epoch() });
+                        sched.at(
+                            t,
+                            Ev::NetTick {
+                                epoch: self.cluster.fabric.epoch(),
+                            },
+                        );
                     }
                 }
                 if let Some(t) = self.cluster.disks[ordinal].next_event() {
-                    sched.at(t, Ev::DiskTick { ordinal, epoch: self.cluster.disks[ordinal].epoch() });
+                    sched.at(
+                        t,
+                        Ev::DiskTick {
+                            ordinal,
+                            epoch: self.cluster.disks[ordinal].epoch(),
+                        },
+                    );
                 }
             }
             Ev::NetTick { epoch } => {
@@ -54,7 +65,12 @@ impl World for MiniWorld {
                     self.done_at = Some(now);
                 }
                 if let Some(t) = self.cluster.fabric.next_completion() {
-                    sched.at(t, Ev::NetTick { epoch: self.cluster.fabric.epoch() });
+                    sched.at(
+                        t,
+                        Ev::NetTick {
+                            epoch: self.cluster.fabric.epoch(),
+                        },
+                    );
                 }
             }
         }
@@ -119,7 +135,9 @@ fn metadata_striping_and_read_planning_compose() {
 fn communicator_places_ranks_on_cluster_nodes() {
     let cfg = ClusterConfig::default();
     let cluster = ClusterState::build(cfg, &RngFactory::new(1));
-    let nodes: Vec<NodeId> = (0..16).map(|i| NodeId(i % cluster.cfg.compute_nodes)).collect();
+    let nodes: Vec<NodeId> = (0..16)
+        .map(|i| NodeId(i % cluster.cfg.compute_nodes))
+        .collect();
     let comm = Communicator::new(nodes);
     assert_eq!(comm.size(), 16);
     // Binomial bcast covers all ranks in ceil(log2 16) = 4 rounds.
@@ -139,7 +157,9 @@ fn kernels_roundtrip_through_every_layer_of_state() {
     use mpiio::file::ResultBuf;
     use pfs::FileHandle;
 
-    let data: Vec<u8> = (0..1000u64).flat_map(|v| (v as f64).to_le_bytes()).collect();
+    let data: Vec<u8> = (0..1000u64)
+        .flat_map(|v| (v as f64).to_le_bytes())
+        .collect();
     let mut k = SumKernel::new();
     k.process_chunk(&data[..4096]);
     let rb = ResultBuf::uncompleted(Some(k.checkpoint()), FileHandle(3), 4096);

@@ -83,8 +83,8 @@ impl Bencher {
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
         // Aim for sample_size samples within the measurement budget.
         let budget = self.measurement_time.as_secs_f64();
-        let total_iters = ((budget / per_iter.max(1e-9)) as u64)
-            .clamp(self.sample_size as u64, 10_000_000);
+        let total_iters =
+            ((budget / per_iter.max(1e-9)) as u64).clamp(self.sample_size as u64, 10_000_000);
         let start = Instant::now();
         for _ in 0..total_iters {
             black_box(f());
@@ -131,7 +131,12 @@ impl Criterion {
         self
     }
 
-    fn run_one(&self, label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run_one(
+        &self,
+        label: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
@@ -211,7 +216,8 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
-        self.c.run_one(&label, self.throughput, &mut |b| f(b, input));
+        self.c
+            .run_one(&label, self.throughput, &mut |b| f(b, input));
         self
     }
 

@@ -12,10 +12,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::msg(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
     }
     T::from_value(&v)
 }

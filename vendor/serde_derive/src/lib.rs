@@ -91,8 +91,7 @@ fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
                         if tokens.get(i + 1).map(|t| is_punct(t, '=')).unwrap_or(false) {
                             if let Some(TokenTree::Literal(lit)) = tokens.get(i + 2) {
                                 let s = lit.to_string();
-                                attrs.skip_serializing_if =
-                                    Some(s.trim_matches('"').to_string());
+                                attrs.skip_serializing_if = Some(s.trim_matches('"').to_string());
                                 i += 2;
                             }
                         }
@@ -304,10 +303,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     f.name
                 );
                 if let Some(pred) = &f.attrs.skip_serializing_if {
-                    body.push_str(&format!(
-                        "if !({pred})(&self.{}) {{ {push} }}\n",
-                        f.name
-                    ));
+                    body.push_str(&format!("if !({pred})(&self.{}) {{ {push} }}\n", f.name));
                 } else {
                     body.push_str(&push);
                     body.push('\n');
@@ -358,8 +354,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         ));
                     }
                     Shape::Named(fields) => {
-                        let pats: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let items: Vec<String> = fields
                             .iter()
                             .filter(|f| !f.attrs.skip)
@@ -388,7 +383,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         "impl{g} ::serde::Serialize for {name}{g} {{\n\
          fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
     );
-    out.parse().expect("serde_derive emitted invalid Serialize impl")
+    out.parse()
+        .expect("serde_derive emitted invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
