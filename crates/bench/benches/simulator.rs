@@ -83,6 +83,62 @@ fn bench_fabric_recompute(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_tick_dispatch(c: &mut Criterion) {
+    // The ISSUE 3 headline: a tick-dominated workload (every server fires at
+    // every timestamp) dispatched by the monolithic-heap serial executor vs
+    // the sharded-lane batch executor. Fixed total event count, so larger
+    // server counts mean larger same-timestamp batches.
+    use bench::tickworld::{run_serial_heap, run_sharded_parallel};
+    const TOTAL_EVENTS: u64 = 100_000;
+
+    let mut g = c.benchmark_group("tick_dispatch");
+    for servers in [16usize, 64, 256] {
+        let ticks = (TOTAL_EVENTS / servers as u64) as u32;
+        g.bench_with_input(
+            BenchmarkId::new("serial_heap", servers),
+            &servers,
+            |b, &s| b.iter(|| black_box(run_serial_heap(s, ticks))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sharded_parallel", servers),
+            &servers,
+            |b, &s| b.iter(|| black_box(run_sharded_parallel(s, ticks, 0))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_driver_exec_mode(c: &mut Criterion) {
+    // End-to-end: a contended DOSAS run under both run loops (golden tests
+    // prove the metrics bit-identical; this measures the dispatch cost).
+    use dosas::{Driver, DriverConfig, ExecMode, Scheme, Workload};
+    use kernels::KernelParams;
+
+    let workload = Workload::uniform_active(
+        8,
+        1,
+        32 * 1024 * 1024,
+        "gaussian2d",
+        KernelParams::with_width(1024),
+    );
+    let cfg = || DriverConfig::paper(Scheme::dosas_default());
+
+    let mut g = c.benchmark_group("driver_exec_mode");
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(Driver::run_with(cfg(), &workload, ExecMode::Serial)))
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(Driver::run_with(
+                cfg(),
+                &workload,
+                ExecMode::Parallel { threads: 0 },
+            ))
+        })
+    });
+    g.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .measurement_time(std::time::Duration::from_secs(3))
@@ -93,6 +149,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_event_dispatch, bench_share_resource_churn, bench_fabric_recompute
+    targets = bench_event_dispatch, bench_share_resource_churn, bench_fabric_recompute,
+        bench_tick_dispatch, bench_driver_exec_mode
 }
 criterion_main!(benches);

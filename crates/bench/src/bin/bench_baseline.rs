@@ -1,0 +1,115 @@
+//! Emits `BENCH_simulator.json` — the committed machine-readable baseline
+//! for the sharded event-lane executor (ISSUE 3 acceptance numbers).
+//!
+//! Two comparisons, both wall-clock `Instant` timings (best of three):
+//!
+//! 1. `tick_dispatch` — the synthetic tick-dominated world of
+//!    [`bench::tickworld`] at 16 / 64 / 256 servers with a fixed event
+//!    total, monolithic-heap serial executor vs the sharded
+//!    `ParallelSimulation`.
+//! 2. `driver` — a full contended DOSAS run under `ExecMode::Serial` vs
+//!    `ExecMode::Parallel`, checked bit-identical before timing.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_baseline [out.json]
+//! ```
+//!
+//! Run via `scripts/bench.sh`, which regenerates the committed file at the
+//! repository root.
+
+use bench::executor_scaling;
+use dosas::{Driver, DriverConfig, ExecMode, Scheme, Workload};
+use kernels::KernelParams;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const MIB: u64 = 1024 * 1024;
+const TICK_EVENTS: u64 = 200_000;
+
+fn driver_cfg() -> DriverConfig {
+    let mut cfg = DriverConfig::paper(Scheme::dosas_default());
+    cfg.seed = 42;
+    cfg
+}
+
+fn driver_workload() -> Workload {
+    Workload::uniform_active(
+        64,
+        1,
+        256 * MIB,
+        "gaussian2d",
+        KernelParams::with_width(1024),
+    )
+}
+
+fn time_driver(mode: ExecMode) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(Driver::run_with(driver_cfg(), &driver_workload(), mode));
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_simulator.json")
+        });
+
+    eprintln!("timing tick_dispatch sweep ({TICK_EVENTS} events/point)...");
+    let tick = executor_scaling(TICK_EVENTS, 0);
+
+    eprintln!("timing driver serial vs parallel...");
+    let serial = Driver::run_with(driver_cfg(), &driver_workload(), ExecMode::Serial);
+    let parallel = Driver::run_with(
+        driver_cfg(),
+        &driver_workload(),
+        ExecMode::Parallel { threads: 0 },
+    );
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "serial and parallel driver runs must be bit-identical"
+    );
+    let serial_secs = time_driver(ExecMode::Serial);
+    let parallel_secs = time_driver(ExecMode::Parallel { threads: 0 });
+
+    let tick_section = serde_json::json!({
+        "total_events_per_point": TICK_EVENTS,
+        "points": tick,
+    });
+    let driver_section = serde_json::json!({
+        "workload": "64 ranks x 256 MiB gaussian2d, DOSAS scheme, paper testbed",
+        "events": serial.events,
+        "serial_secs": serial_secs,
+        "parallel_secs": parallel_secs,
+        "speedup": serial_secs / parallel_secs,
+    });
+    let report = serde_json::json!({
+        "schema": "dosas-bench-baseline/v1",
+        "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        "tick_dispatch": tick_section,
+        "driver": driver_section,
+    });
+    let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
+    json.push('\n');
+    std::fs::write(&out, json).expect("write baseline");
+    println!("wrote {}", out.display());
+    for p in report["tick_dispatch"]["points"].as_array().unwrap() {
+        println!(
+            "  {:>4} servers: heap {:.4}s  sharded {:.4}s  ({:.2}x)",
+            p["servers"],
+            p["heap_secs"].as_f64().unwrap_or(f64::NAN),
+            p["sharded_secs"].as_f64().unwrap_or(f64::NAN),
+            p["speedup"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+    println!(
+        "  driver: serial {serial_secs:.4}s  parallel {parallel_secs:.4}s  ({:.2}x)",
+        serial_secs / parallel_secs
+    );
+}

@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod plot;
 pub mod report;
+pub mod tickworld;
 
 pub use experiments::*;
 pub use report::{write_csv, Table};

@@ -1,0 +1,112 @@
+//! Synthetic tick-dominated world for executor benchmarks.
+//!
+//! Models the shape that dominates real DOSAS runs: every storage server
+//! fires a resource tick at the same timestamp (disks and CPUs advance in
+//! lockstep under processor sharing), so each simulated instant is a batch
+//! of `servers` independent events. This is the regime the sharded
+//! [`LaneQueue`](simkit::LaneQueue) targets — O(1) lane pushes and one
+//! batch-amortised head scan versus per-event `O(log n)` heap sifts — and
+//! the workload behind the committed `BENCH_simulator.json` baseline.
+
+use simkit::{
+    BatchWorld, Lane, Laned, ParallelSimulation, Scheduler, SimSpan, SimTime, Simulation, World,
+};
+
+/// One server's resource tick.
+#[derive(Debug, Clone, Copy)]
+pub struct Tick(pub usize);
+
+impl Laned for Tick {
+    fn lane(&self) -> Lane {
+        Lane::Server(self.0)
+    }
+}
+
+/// `servers` independent tick chains, each `ticks_per_server` long, all in
+/// lockstep (every tick reschedules itself one period later). `acc` is an
+/// order-insensitive checksum proving both executors did identical work.
+pub struct TickWorld {
+    remaining: Vec<u32>,
+    pub acc: u64,
+}
+
+impl TickWorld {
+    pub fn new(servers: usize, ticks_per_server: u32) -> Self {
+        TickWorld {
+            remaining: vec![ticks_per_server; servers],
+            acc: 0,
+        }
+    }
+}
+
+/// Schedule every server's first tick at `t = 0`.
+pub fn seed(servers: usize, sched: &mut Scheduler<Tick>) {
+    for s in 0..servers {
+        sched.at(SimTime::ZERO, Tick(s));
+    }
+}
+
+impl World for TickWorld {
+    type Event = Tick;
+
+    fn handle(&mut self, _now: SimTime, Tick(s): Tick, sched: &mut Scheduler<Tick>) {
+        // A small arithmetic payload standing in for completion harvesting.
+        self.acc = self
+            .acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(s as u64 + 1);
+        if self.remaining[s] > 0 {
+            self.remaining[s] -= 1;
+            sched.after(SimSpan::from_micros(100), Tick(s));
+        }
+    }
+}
+
+impl BatchWorld for TickWorld {}
+
+/// Run on the monolithic-heap serial executor; returns (end time, checksum,
+/// events dispatched).
+pub fn run_serial_heap(servers: usize, ticks_per_server: u32) -> (SimTime, u64, u64) {
+    let mut sim = Simulation::new(TickWorld::new(servers, ticks_per_server));
+    seed(servers, sim.scheduler());
+    let end = sim.run();
+    let dispatched = sim.scheduler().dispatched_count();
+    (end, sim.world.acc, dispatched)
+}
+
+/// Run on the sharded-lane batch executor; returns (end time, checksum,
+/// events dispatched).
+pub fn run_sharded_parallel(
+    servers: usize,
+    ticks_per_server: u32,
+    threads: usize,
+) -> (SimTime, u64, u64) {
+    let mut sim =
+        ParallelSimulation::with_threads(TickWorld::new(servers, ticks_per_server), threads);
+    seed(servers, sim.scheduler());
+    let end = sim.run();
+    let dispatched = sim.scheduler().dispatched_count();
+    (end, sim.world.acc, dispatched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executors_agree_on_end_time_checksum_and_event_count() {
+        for servers in [1usize, 3, 16] {
+            let heap = run_serial_heap(servers, 50);
+            for threads in [1usize, 4] {
+                let lanes = run_sharded_parallel(servers, 50, threads);
+                assert_eq!(heap, lanes, "servers={servers} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_count_is_seed_plus_reschedules() {
+        let (_, _, dispatched) = run_serial_heap(8, 10);
+        assert_eq!(dispatched, 8 * 11);
+    }
+}

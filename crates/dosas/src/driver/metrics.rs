@@ -67,6 +67,10 @@ pub struct RunMetrics {
     pub trace: Option<Vec<crate::driver::trace::TraceEvent>>,
     /// Simulation events dispatched (engine throughput accounting).
     pub events: u64,
+    /// Simulation events ever scheduled. `events_scheduled - events` is the
+    /// queue residue: zero for run-to-drain, the still-pending backlog for
+    /// deadline-bounded runs.
+    pub events_scheduled: u64,
 }
 
 impl RunMetrics {
@@ -163,6 +167,7 @@ mod tests {
             results: BTreeMap::new(),
             trace: None,
             events: 0,
+            events_scheduled: 0,
         };
         assert!((m.mean_latency_secs() - 3.0).abs() < 1e-9);
         assert_eq!(m.site_histogram()["Storage"], 2);

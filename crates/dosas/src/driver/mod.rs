@@ -61,8 +61,12 @@ use pfs::{DataServer, MemoryStore, MetadataServer, RequestId, StripeLayout};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use ranks::Ranks;
+use server::StagedTicks;
 use server::{KernelSlots, Servers};
-use simkit::{Component, FaultPlan, RngFactory, Routed, Scheduler, SimTime, Simulation, World};
+use simkit::{
+    Component, FaultPlan, Lane, Laned, ParallelSimulation, RngFactory, Routed, Scheduler, SimSpan,
+    SimTime, Simulation, World,
+};
 use std::collections::BTreeMap;
 use telemetry::Telemetry;
 
@@ -99,7 +103,7 @@ impl DriverConfig {
 }
 
 /// Simulation events.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum Ev {
     /// Rank executes its next program step.
     RankStep(usize),
@@ -143,6 +147,22 @@ impl Routed for Ev {
             Ev::DiskTick { .. } | Ev::CpuTick { .. } => Subsystem::Server,
             Ev::Probe(_) | Ev::ProbeRetry(_) | Ev::PolicyArrive(_) => Subsystem::Control,
             Ev::Fault => Subsystem::Faults,
+        }
+    }
+}
+
+impl Laned for Ev {
+    /// Shard key for the [`LaneQueue`](simkit::LaneQueue): each per-node
+    /// resource tick gets its own lane (disk `o` → even lane `2o`, CPU on
+    /// node `n` → odd lane `2n+1`); everything that can touch shared state —
+    /// rank traffic, the fabric's `NetTick`, delivery, CE control, faults —
+    /// stays in the global lane, where it acts as a barrier between
+    /// parallel tick runs (see [`simkit::BatchWorld::handle_batch`]).
+    fn lane(&self) -> Lane {
+        match *self {
+            Ev::DiskTick { ordinal, .. } => Lane::Server(2 * ordinal),
+            Ev::CpuTick { node, .. } => Lane::Server(2 * node + 1),
+            _ => Lane::Global,
         }
     }
 }
@@ -282,6 +302,7 @@ impl Driver {
                 disk_req: BTreeMap::new(),
                 cpu_work: BTreeMap::new(),
                 slots: KernelSlots::new(fifo_kernels),
+                staged: StagedTicks::default(),
             },
             control: Control {
                 estimator,
@@ -307,32 +328,108 @@ impl Driver {
     }
 
     /// Run a workload to completion and report metrics.
+    ///
+    /// The executor is picked from the environment: `DOSAS_EXEC=parallel`
+    /// selects [`ExecMode::Parallel`] (thread count from `DOSAS_THREADS`,
+    /// default one per core), anything else runs serial. Results are
+    /// bit-identical either way, so existing suites can be re-run under the
+    /// parallel executor unchanged (`scripts/verify.sh` does).
     pub fn run(cfg: DriverConfig, workload: &Workload) -> RunMetrics {
+        Self::run_with(cfg, workload, ExecMode::from_env())
+    }
+
+    /// Run a workload to completion under an explicit executor.
+    pub fn run_with(cfg: DriverConfig, workload: &Workload, mode: ExecMode) -> RunMetrics {
         let scheme_name = cfg.scheme.name().to_string();
         let total_bytes = workload.total_request_bytes() as f64;
         let driver = Driver::new(cfg, workload);
-        let probe_period = driver.dosas.as_ref().map(|d| d.probe_period);
-        let storage: Vec<NodeId> = driver.cluster.storage_ids().collect();
-
-        let mut sim = Simulation::new(driver);
-        // Fault transitions first, so same-time fault effects precede the
-        // rank steps and probes they degrade (FIFO among equal timestamps).
-        let fault_times = sim.world.cfg.fault_plan.transition_times();
-        for t in fault_times {
-            sim.scheduler().at(t, Ev::Fault);
-        }
-        for rank in 0..sim.world.ranks.len() {
-            sim.scheduler().at(SimTime::ZERO, Ev::RankStep(rank));
-        }
-        if let Some(period) = probe_period {
-            for &s in &storage {
-                sim.scheduler().at(SimTime::ZERO + period, Ev::Probe(s));
+        let seed = driver.seed_plan();
+        match mode {
+            ExecMode::Serial => {
+                let mut sim = Simulation::new(driver);
+                seed.apply(sim.scheduler());
+                let end = sim.run();
+                let events = sim.scheduler().dispatched_count();
+                let scheduled = sim.scheduler().scheduled_count();
+                sim.world
+                    .collect_metrics(scheme_name, total_bytes, end, events, scheduled)
+            }
+            ExecMode::Parallel { threads } => {
+                let mut sim = ParallelSimulation::with_threads(driver, threads);
+                seed.apply(sim.scheduler());
+                let end = sim.run();
+                let events = sim.scheduler().dispatched_count();
+                let scheduled = sim.scheduler().scheduled_count();
+                sim.world
+                    .collect_metrics(scheme_name, total_bytes, end, events, scheduled)
             }
         }
-        let end = sim.run();
-        let events = sim.scheduler().dispatched_count();
-        sim.world
-            .collect_metrics(scheme_name, total_bytes, end, events)
+    }
+
+    /// The initial event schedule, captured before the world moves into an
+    /// executor (both executors seed identically).
+    fn seed_plan(&self) -> SeedPlan {
+        SeedPlan {
+            fault_times: self.cfg.fault_plan.transition_times(),
+            ranks: self.ranks.len(),
+            probes: self.dosas.as_ref().map(|d| {
+                (
+                    d.probe_period,
+                    self.cluster.storage_ids().collect::<Vec<_>>(),
+                )
+            }),
+        }
+    }
+}
+
+/// Which run loop drives the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One event at a time over the monolithic heap ([`Simulation`]).
+    Serial,
+    /// Whole-timestamp batches over per-server lanes with parallel tick
+    /// staging ([`ParallelSimulation`]); `threads == 0` means one worker
+    /// per available core. Bit-identical to [`ExecMode::Serial`].
+    Parallel { threads: usize },
+}
+
+impl ExecMode {
+    /// `DOSAS_EXEC=parallel` (+ optional `DOSAS_THREADS=n`) or serial.
+    pub fn from_env() -> Self {
+        match std::env::var("DOSAS_EXEC").as_deref() {
+            Ok("parallel") => ExecMode::Parallel {
+                threads: std::env::var("DOSAS_THREADS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0),
+            },
+            _ => ExecMode::Serial,
+        }
+    }
+}
+
+/// The initial events of a run: fault transitions first, so same-time fault
+/// effects precede the rank steps and probes they degrade (FIFO among equal
+/// timestamps), then one `RankStep` per rank, then the CE probe cadence.
+struct SeedPlan {
+    fault_times: Vec<SimTime>,
+    ranks: usize,
+    probes: Option<(SimSpan, Vec<NodeId>)>,
+}
+
+impl SeedPlan {
+    fn apply(&self, sched: &mut Scheduler<Ev>) {
+        for &t in &self.fault_times {
+            sched.at(t, Ev::Fault);
+        }
+        for rank in 0..self.ranks {
+            sched.at(SimTime::ZERO, Ev::RankStep(rank));
+        }
+        if let Some((period, storage)) = &self.probes {
+            for &s in storage {
+                sched.at(SimTime::ZERO + *period, Ev::Probe(s));
+            }
+        }
     }
 }
 

@@ -53,6 +53,7 @@ impl Driver {
         total_bytes: f64,
         end: SimTime,
         events: u64,
+        events_scheduled: u64,
     ) -> RunMetrics {
         let w = self;
         assert_eq!(
@@ -121,6 +122,7 @@ impl Driver {
                 None
             },
             events,
+            events_scheduled,
         }
     }
 }

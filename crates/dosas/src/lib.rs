@@ -48,7 +48,7 @@ pub mod workload;
 
 pub use config::{DosasConfig, OpRates, ProbeConfig, Scheme};
 pub use cost::{CostModel, Item, RequestSpec, ResultModel};
-pub use driver::{Driver, DriverConfig, RunMetrics};
+pub use driver::{Driver, DriverConfig, ExecMode, RunMetrics};
 pub use estimator::{
     CeStats, CeSupervisor, ContentionEstimator, Decision, Policy, ProbeVerdict, SystemProbe,
 };

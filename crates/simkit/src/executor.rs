@@ -3,8 +3,20 @@
 //! A simulation is a [`World`] (all model state) plus a [`Scheduler`]
 //! (the event queue and the clock). The world's `handle` method receives each
 //! event in timestamp order and may schedule further events.
+//!
+//! Two executors share that contract:
+//!
+//! * [`Simulation`] — the classic serial loop over a monolithic
+//!   [`EventQueue`], one event per step.
+//! * [`ParallelSimulation`] — a batch loop over a sharded [`LaneQueue`]
+//!   (requires `Event: Laned`): each step drains *every* event of the
+//!   earliest timestamp and hands the batch to [`BatchWorld::handle_batch`]
+//!   together with a rayon pool, so worlds can run independent per-server
+//!   work concurrently while keeping results bit-identical to the serial
+//!   executor (see `lane.rs` and DESIGN.md §8).
 
 use crate::event::EventQueue;
+use crate::lane::{Lane, LaneQueue, Laned};
 use crate::time::{SimSpan, SimTime};
 
 /// The model: owns all state and reacts to events.
@@ -15,10 +27,38 @@ pub trait World {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+/// A [`World`] that can additionally consume a whole same-timestamp batch,
+/// typically to fan independent per-server work out on `pool`.
+///
+/// The default implementation dispatches the batch serially in (time, seq)
+/// order, which is *definitionally* identical to [`Simulation`]; overriding
+/// worlds must preserve that equivalence (the driver's two-phase tick
+/// staging does — see DESIGN.md §8).
+pub trait BatchWorld: World {
+    fn handle_batch(
+        &mut self,
+        now: SimTime,
+        batch: &mut Vec<Self::Event>,
+        _pool: &rayon::ThreadPool,
+        sched: &mut Scheduler<Self::Event>,
+    ) {
+        for event in batch.drain(..) {
+            self.handle(now, event, sched);
+        }
+    }
+}
+
+/// The pending-event store behind a [`Scheduler`]: one monolithic heap, or
+/// per-server lanes with a deterministic merge. Pop order is identical.
+enum Backend<E> {
+    Heap(EventQueue<E>),
+    Lanes(LaneQueue<E>),
+}
+
 /// The clock plus the pending-event queue, handed to the world on every event.
 pub struct Scheduler<E> {
     now: SimTime,
-    queue: EventQueue<E>,
+    queue: Backend<E>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -31,7 +71,16 @@ impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: Backend::Heap(EventQueue::new()),
+        }
+    }
+
+    /// A scheduler backed by a sharded [`LaneQueue`] with an explicit
+    /// lane-key function. Pop order is identical to [`Scheduler::new`].
+    pub fn with_lanes(lane_of: fn(&E) -> Lane) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: Backend::Lanes(LaneQueue::new(lane_of)),
         }
     }
 
@@ -49,30 +98,91 @@ impl<E> Scheduler<E> {
             "cannot schedule into the past ({at} < {})",
             self.now
         );
-        self.queue.push(at, event);
+        match &mut self.queue {
+            Backend::Heap(q) => q.push(at, event),
+            Backend::Lanes(q) => q.push(at, event),
+        }
     }
 
     /// Schedule `event` after a delay of `span`.
+    ///
+    /// Routed through the same causality assertion as [`Scheduler::at`], so
+    /// an overflowed `now + span` cannot silently schedule into the past.
     pub fn after(&mut self, span: SimSpan, event: E) {
-        self.queue.push(self.now + span, event);
+        let at = self.now + span;
+        self.at(at, event);
     }
 
     /// Schedule `event` at the current instant (processed after the events
     /// already queued for this instant).
     pub fn immediately(&mut self, event: E) {
-        self.queue.push(self.now, event);
+        let now = self.now;
+        self.at(now, event);
     }
 
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        match &self.queue {
+            Backend::Heap(q) => q.len(),
+            Backend::Lanes(q) => q.len(),
+        }
     }
 
+    /// Total number of events ever scheduled.
+    pub fn scheduled_count(&self) -> u64 {
+        match &self.queue {
+            Backend::Heap(q) => q.scheduled_count(),
+            Backend::Lanes(q) => q.scheduled_count(),
+        }
+    }
+
+    /// Total number of events ever dispatched.
     pub fn dispatched_count(&self) -> u64 {
-        self.queue.dispatched_count()
+        match &self.queue {
+            Backend::Heap(q) => q.dispatched_count(),
+            Backend::Lanes(q) => q.dispatched_count(),
+        }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    fn peek_time(&self) -> Option<SimTime> {
+        match &self.queue {
+            Backend::Heap(q) => q.peek_time(),
+            Backend::Lanes(q) => q.peek_time(),
+        }
+    }
+
+    /// Pop the earliest event and advance the clock to it.
+    fn pop_event(&mut self) -> Option<(SimTime, E)> {
+        let (t, ev) = match &mut self.queue {
+            Backend::Heap(q) => q.pop(),
+            Backend::Lanes(q) => q.pop(),
+        }?;
+        debug_assert!(t >= self.now);
+        self.now = t;
+        Some((t, ev))
+    }
+
+    /// Pop *every* event of the earliest timestamp into `out` (in (time,
+    /// seq) order), advance the clock to it, and return it.
+    fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let t = match &mut self.queue {
+            Backend::Heap(q) => {
+                let (t, ev) = q.pop()?;
+                out.push(ev);
+                while q.peek_time() == Some(t) {
+                    out.push(q.pop().expect("peeked entry").1);
+                }
+                t
+            }
+            Backend::Lanes(q) => q.pop_batch(out)?,
+        };
+        debug_assert!(t >= self.now);
+        self.now = t;
+        Some(t)
     }
 }
 
-/// Drives a [`World`] to completion or to a deadline.
+/// Drives a [`World`] to completion or to a deadline, one event at a time.
 pub struct Simulation<W: World> {
     pub world: W,
     sched: Scheduler<W::Event>,
@@ -97,10 +207,8 @@ impl<W: World> Simulation<W> {
 
     /// Dispatch a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.sched.queue.pop() {
+        match self.sched.pop_event() {
             Some((t, ev)) => {
-                debug_assert!(t >= self.sched.now);
-                self.sched.now = t;
                 self.world.handle(t, ev, &mut self.sched);
                 true
             }
@@ -119,7 +227,95 @@ impl<W: World> Simulation<W> {
     /// Events stamped after `deadline` stay queued; the clock is left at the
     /// last dispatched event (or `deadline` if nothing ran past it).
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        while let Some(t) = self.sched.queue.peek_time() {
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.sched.now
+    }
+}
+
+/// Drives a [`BatchWorld`] over a sharded [`LaneQueue`], one whole
+/// timestamp per step, with a rayon pool for intra-batch parallelism.
+///
+/// Results are bit-identical to [`Simulation`] at any thread count: the
+/// lane queue reproduces the heap's exact pop order, and `handle_batch`
+/// implementations are required to preserve serial-equivalent semantics.
+pub struct ParallelSimulation<W: BatchWorld>
+where
+    W::Event: Laned,
+{
+    pub world: W,
+    sched: Scheduler<W::Event>,
+    pool: rayon::ThreadPool,
+    scratch: Vec<W::Event>,
+}
+
+impl<W: BatchWorld> ParallelSimulation<W>
+where
+    W::Event: Laned,
+{
+    /// One worker per available core (a single worker on 1-core hosts).
+    pub fn new(world: W) -> Self {
+        Self::with_threads(world, 0)
+    }
+
+    /// Explicit worker count; `0` means one per available core.
+    pub fn with_threads(world: W, threads: usize) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("worker threads spawn");
+        ParallelSimulation {
+            world,
+            sched: Scheduler::with_lanes(<W::Event as Laned>::lane),
+            pool,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Access the scheduler, e.g. to seed initial events before running.
+    pub fn scheduler(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.sched
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// Dispatch one whole timestamp. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let mut batch = std::mem::take(&mut self.scratch);
+        batch.clear();
+        let stepped = match self.sched.pop_batch(&mut batch) {
+            Some(t) => {
+                self.world
+                    .handle_batch(t, &mut batch, &self.pool, &mut self.sched);
+                debug_assert!(batch.is_empty(), "handle_batch must drain its batch");
+                true
+            }
+            None => false,
+        };
+        self.scratch = batch;
+        stepped
+    }
+
+    /// Run until no events remain. Returns the final simulation time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.sched.now
+    }
+
+    /// Run until no events remain or the clock passes `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while let Some(t) = self.sched.peek_time() {
             if t > deadline {
                 break;
             }
@@ -132,6 +328,7 @@ impl<W: World> Simulation<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lane::Lane;
 
     /// A world that re-schedules a decrementing counter.
     struct Countdown {
@@ -220,6 +417,35 @@ mod tests {
     }
 
     #[test]
+    fn after_with_overflowing_span_saturates_to_far_future() {
+        // `now + span` saturates at SimTime::MAX, and `after` routes through
+        // `at`'s causality assertion — an overflowed span can therefore only
+        // land in the far future, never silently in the past.
+        struct Once {
+            scheduled: bool,
+            fired_at: Option<SimTime>,
+        }
+        impl World for Once {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+                if !self.scheduled {
+                    self.scheduled = true;
+                    sched.after(SimSpan::MAX, ());
+                } else {
+                    self.fired_at = Some(now);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Once {
+            scheduled: false,
+            fired_at: None,
+        });
+        sim.scheduler().at(SimTime::from_nanos(10), ());
+        sim.run();
+        assert_eq!(sim.world.fired_at, Some(SimTime::MAX));
+    }
+
+    #[test]
     fn step_returns_false_when_idle() {
         let mut sim = Simulation::new(Countdown {
             remaining: 0,
@@ -227,5 +453,102 @@ mod tests {
         });
         assert!(!sim.step());
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn scheduled_count_is_visible() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 2,
+            fired_at: vec![],
+        });
+        sim.scheduler().at(SimTime::ZERO, ());
+        sim.run();
+        assert_eq!(sim.scheduler().scheduled_count(), 3);
+        assert_eq!(sim.scheduler().dispatched_count(), 3);
+    }
+
+    // ----- parallel executor -----
+
+    /// Per-server ping events, recorded in dispatch order.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Ping(usize);
+
+    impl Laned for Ping {
+        fn lane(&self) -> Lane {
+            if self.0 == 0 {
+                Lane::Global
+            } else {
+                Lane::Server(self.0 - 1)
+            }
+        }
+    }
+
+    struct PingWorld {
+        rounds: u32,
+        servers: usize,
+        order: Vec<(SimTime, usize)>,
+    }
+
+    impl World for PingWorld {
+        type Event = Ping;
+        fn handle(&mut self, now: SimTime, ev: Ping, sched: &mut Scheduler<Ping>) {
+            self.order.push((now, ev.0));
+            if self.rounds > 0 {
+                if ev.0 == self.servers - 1 {
+                    self.rounds -= 1;
+                }
+                sched.after(SimSpan::from_nanos(100), ev);
+            }
+        }
+    }
+
+    impl BatchWorld for PingWorld {}
+
+    fn ping_order(threads: usize) -> Vec<(SimTime, usize)> {
+        let world = PingWorld {
+            rounds: 50,
+            servers: 8,
+            order: vec![],
+        };
+        let mut sim = ParallelSimulation::with_threads(world, threads);
+        for s in 0..8 {
+            sim.scheduler().at(SimTime::ZERO, Ping(s));
+        }
+        sim.run();
+        sim.world.order
+    }
+
+    #[test]
+    fn parallel_executor_matches_serial_dispatch_order() {
+        let world = PingWorld {
+            rounds: 50,
+            servers: 8,
+            order: vec![],
+        };
+        let mut serial = Simulation::new(world);
+        for s in 0..8 {
+            serial.scheduler().at(SimTime::ZERO, Ping(s));
+        }
+        serial.run();
+        assert_eq!(serial.world.order, ping_order(1));
+        assert_eq!(serial.world.order, ping_order(2));
+        assert_eq!(serial.world.order, ping_order(8));
+    }
+
+    #[test]
+    fn parallel_run_until_respects_deadline() {
+        let world = PingWorld {
+            rounds: 1_000,
+            servers: 4,
+            order: vec![],
+        };
+        let mut sim = ParallelSimulation::with_threads(world, 2);
+        for s in 0..4 {
+            sim.scheduler().at(SimTime::ZERO, Ping(s));
+        }
+        sim.run_until(SimTime::from_nanos(250));
+        // Timestamps 0, 100, 200 → 3 batches of 4 events.
+        assert_eq!(sim.world.order.len(), 12);
+        assert!(sim.scheduler().pending() > 0);
     }
 }

@@ -10,6 +10,10 @@
 //! * [`executor`] — the [`executor::World`] trait and run loop.
 //! * [`component`] — [`component::Component`]/[`component::Routed`]: split a
 //!   world into event-routed subsystems without changing its event schedule.
+//! * [`lane`] — [`lane::LaneQueue`]/[`lane::Laned`]: the event queue sharded
+//!   into per-server lanes with a deterministic k-way merge; order-identical
+//!   to [`event::EventQueue`] but with O(1) lane operations and whole-
+//!   timestamp batch pops, the substrate for [`ParallelSimulation`].
 //! * [`share`] — a generalized processor-sharing resource with max-min fair
 //!   allocation and epoch-based completion-event invalidation; models
 //!   multi-core CPUs and fair-share network links.
@@ -35,6 +39,7 @@ pub mod event;
 pub mod executor;
 pub mod fault;
 pub mod fifo;
+pub mod lane;
 pub mod rng;
 pub mod share;
 pub mod stats;
@@ -42,9 +47,10 @@ pub mod time;
 
 pub use component::{Component, Routed};
 pub use event::EventQueue;
-pub use executor::{Scheduler, Simulation, World};
+pub use executor::{BatchWorld, ParallelSimulation, Scheduler, Simulation, World};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fifo::FifoServer;
+pub use lane::{Lane, LaneQueue, Laned};
 pub use rng::RngFactory;
 pub use share::{ShareResource, TaskId};
 pub use time::{SimSpan, SimTime};

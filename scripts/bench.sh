@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Benchmark path: runs the criterion suites in crates/bench/benches/ and
+# regenerates the committed machine-readable executor baseline
+# (BENCH_simulator.json at the repo root). Run from the repo root.
+#
+#   scripts/bench.sh            # everything (criterion suites are slow)
+#   scripts/bench.sh baseline   # just refresh BENCH_simulator.json
+#   scripts/bench.sh criterion  # just the criterion suites
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+if [[ "$mode" == "all" || "$mode" == "criterion" ]]; then
+  for suite in scheduler kernels simulator endtoend; do
+    cargo bench -p bench --bench "$suite"
+  done
+fi
+
+if [[ "$mode" == "all" || "$mode" == "baseline" ]]; then
+  cargo run --release -p bench --bin bench_baseline
+fi
+
+echo "bench: OK"

@@ -9,6 +9,10 @@ cargo build --release
 cargo test -q
 cargo test -q --workspace
 cargo test -q --test failure_scenarios
+# The same determinism suites must hold under the sharded parallel executor
+# (DESIGN.md §8): metrics are bit-identical to serial at any thread count.
+DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test failure_scenarios
+DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test golden_metrics
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

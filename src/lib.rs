@@ -42,7 +42,7 @@ pub use simkit;
 pub mod prelude {
     pub use cluster::{ClusterConfig, NodeId};
     pub use dosas::{
-        CostModel, DosasConfig, Driver, DriverConfig, OpRates, ProbeConfig, RequestSpec,
+        CostModel, DosasConfig, Driver, DriverConfig, ExecMode, OpRates, ProbeConfig, RequestSpec,
         RunMetrics, Scheme, SolverKind, Workload,
     };
     pub use kernels::{Kernel, KernelParams, KernelRegistry};

@@ -1,7 +1,15 @@
-//! Minimal offline stand-in for `rayon`: the parallel-slice entry points the
-//! workspace uses (`par_chunks` + `map`/`reduce_with`/`sum`), executed
-//! sequentially. Kernel merge logic stays correct; only wall-clock
-//! parallelism is lost, which the simulator never depends on.
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Two layers:
+//!
+//! * The sequential `ParallelSlice`/`ParIter` adapters the kernels crate
+//!   uses for chunked map/reduce — unchanged, still sequential.
+//! * A real [`ThreadPool`] with rayon's `ThreadPoolBuilder` / `scope` /
+//!   `Scope::spawn` surface, used by `simkit::ParallelSimulation` to run
+//!   independent per-server tick batches on worker threads. Persistent
+//!   workers pull jobs from a shared injector queue; the scoping thread
+//!   helps execute jobs while it waits, and panics inside spawned tasks
+//!   are captured and resumed at the end of the scope (like rayon).
 
 pub mod prelude {
     pub use crate::{ParIter, ParallelSlice};
@@ -41,9 +49,233 @@ impl<T> ParallelSlice<T> for [T] {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared injector: jobs in FIFO order plus the shutdown flag.
+struct Injector {
+    queue: Mutex<InjectorState>,
+    ready: Condvar,
+}
+
+struct InjectorState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl Injector {
+    fn push(&self, job: Job) {
+        let mut st = self.queue.lock().unwrap();
+        st.jobs.push_back(job);
+        drop(st);
+        self.ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().jobs.pop_front()
+    }
+}
+
+fn worker_loop(injector: &Injector) {
+    loop {
+        let job = {
+            let mut st = injector.queue.lock().unwrap();
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = injector.ready.wait(st).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Error building a [`ThreadPool`] (worker thread spawn failed).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`] mirroring rayon's API subset.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "one worker per available core".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(InjectorState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let inj = Arc::clone(&injector);
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{i}"))
+                    .spawn(move || worker_loop(&inj))
+                    .map_err(|_| ThreadPoolBuildError)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThreadPool {
+            injector,
+            workers,
+            threads,
+        })
+    }
+}
+
+/// A pool of persistent worker threads accepting scoped jobs.
+pub struct ThreadPool {
+    injector: Arc<Injector>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+/// Bookkeeping for one `scope` call: outstanding tasks and the first panic.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Handle passed to the `scope` closure; `spawn` borrows from the enclosing
+/// stack frame (`'scope`), which is sound because `ThreadPool::scope` joins
+/// every spawned task before it returns.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    injector: Arc<Injector>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let nested = Scope {
+            state: Arc::clone(&self.state),
+            injector: Arc::clone(&self.injector),
+            _marker: PhantomData,
+        };
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&nested))) {
+                state.panic.lock().unwrap().get_or_insert(p);
+            }
+            let mut pending = state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        // Erase 'scope: every spawned job completes before `scope` returns,
+        // so no borrow outlives the frame it points into.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        self.injector.push(job);
+    }
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op`, wait for everything it spawned (helping execute queued
+    /// jobs meanwhile), then propagate the first captured panic, if any.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            injector: Arc::clone(&self.injector),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Caller helps: drain queued jobs until none are left, then block
+        // until in-flight tasks (ours included) finish.
+        while let Some(job) = self.injector.try_pop() {
+            job();
+        }
+        let mut pending = scope.state.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = scope.state.done.wait(pending).unwrap();
+        }
+        drop(pending);
+        let task_panic = scope.state.panic.lock().unwrap().take();
+        match (result, task_panic) {
+            (Err(p), _) => resume_unwind(p),
+            (Ok(_), Some(p)) => resume_unwind(p),
+            (Ok(r), None) => r,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.injector.queue.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.injector.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn chunked_map_reduce_matches_sequential() {
@@ -56,5 +288,81 @@ mod tests {
         assert_eq!(total, data.iter().sum::<u64>());
         let s: u64 = data.par_chunks(7).map(|c| c.len() as u64).sum();
         assert_eq!(s, 1000);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_with_stack_borrows() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let mut out = vec![0u64; 64];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (i as u64) * 3);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i as u64) * 3));
+    }
+
+    #[test]
+    fn scope_supports_nested_spawn() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move |inner| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    inner.spawn(move |_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn single_thread_pool_still_completes_scopes() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let sum = AtomicUsize::new(0);
+        let sum_ref = &sum;
+        for round in 0..3usize {
+            pool.scope(|s| {
+                for i in 0..10usize {
+                    s.spawn(move |_| {
+                        sum_ref.fetch_add(round * 10 + i, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        assert_eq!(sum.load(Ordering::SeqCst), (0..30).sum::<usize>());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_scope_drains() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let ran = AtomicUsize::new(0);
+        let ran = &ran;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..6 {
+                    s.spawn(move |_| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The pool stays usable after a panicking scope.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|_| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
     }
 }
