@@ -10,6 +10,11 @@
 //! 2. `driver` — a full contended DOSAS run under `ExecMode::Serial` vs
 //!    `ExecMode::Parallel`, checked bit-identical before timing.
 //!
+//! Plus a `profile` section: the simkit executor's wall-clock dispatch
+//! breakdown (per-subsystem handler time under the serial executor, batch
+//! statistics and lane-spill counts under the parallel one) for the same
+//! driver run, via `Driver::run_profiled`.
+//!
 //! ```text
 //! cargo run -p bench --release --bin bench_baseline [out.json]
 //! ```
@@ -78,6 +83,15 @@ fn main() {
     let serial_secs = time_driver(ExecMode::Serial);
     let parallel_secs = time_driver(ExecMode::Parallel { threads: 0 });
 
+    eprintln!("profiling dispatch breakdown...");
+    let (_, serial_profile) =
+        Driver::run_profiled(driver_cfg(), &driver_workload(), ExecMode::Serial);
+    let (_, parallel_profile) = Driver::run_profiled(
+        driver_cfg(),
+        &driver_workload(),
+        ExecMode::Parallel { threads: 0 },
+    );
+
     let tick_section = serde_json::json!({
         "total_events_per_point": TICK_EVENTS,
         "points": tick,
@@ -89,11 +103,22 @@ fn main() {
         "parallel_secs": parallel_secs,
         "speedup": serial_secs / parallel_secs,
     });
+    // Wall-clock dispatch breakdown (simkit executor profiling hooks):
+    // per-subsystem event counts and handler time under the serial
+    // executor, batch statistics and lane-FIFO spill count under the
+    // parallel one. Observational only — collecting it does not change the
+    // event stream, which the serial/parallel bit-identity assert above
+    // already proved for these exact runs.
+    let profile_section = serde_json::json!({
+        "serial": serial_profile,
+        "parallel": parallel_profile,
+    });
     let report = serde_json::json!({
-        "schema": "dosas-bench-baseline/v1",
+        "schema": "dosas-bench-baseline/v2",
         "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "tick_dispatch": tick_section,
         "driver": driver_section,
+        "profile": profile_section,
     });
     let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
     json.push('\n');

@@ -145,6 +145,57 @@ pub fn line_plot(table: &Table, label_col: usize, value_cols: &[usize], y_label:
     svg
 }
 
+/// Parse an observability `timeline.jsonl` document (one
+/// [`obs::TimelineRecord`] per line, as written by `dosas-sim --obs-out`)
+/// into a plottable [`Table`]: one row per sample, columns for simulated
+/// time, the cross-server mean queue depth, total kernels running, and mean
+/// network transmit utilisation. Event records are skipped. At most
+/// `max_rows` rows are kept (stride-sampled) so the categorical x-axis of
+/// [`line_plot`] stays readable.
+pub fn timeline_table(jsonl: &str, max_rows: usize) -> Result<Table, String> {
+    let mut samples = Vec::new();
+    for (ln, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: obs::TimelineRecord =
+            serde_json::from_str(line).map_err(|e| format!("timeline line {}: {e}", ln + 1))?;
+        if let obs::TimelineRecord::Sample(s) = rec {
+            samples.push(s);
+        }
+    }
+    let stride = samples.len().div_ceil(max_rows.max(1)).max(1);
+    let mut t = Table::new(
+        "observability timeline",
+        &[
+            "t_secs",
+            "mean_queue_depth",
+            "kernels_running",
+            "net_tx_util",
+        ],
+    );
+    for s in samples.iter().step_by(stride) {
+        let n = s.servers.len().max(1) as f64;
+        let depth: f64 = s.servers.iter().map(|v| v.queue_depth).sum::<f64>() / n;
+        let kernels: usize = s.servers.iter().map(|v| v.kernels_running).sum();
+        let util: f64 = s.servers.iter().map(|v| v.net_tx_util).sum::<f64>() / n;
+        t.push(vec![
+            format!("{:.2}", s.t.as_secs_f64()),
+            format!("{depth:.3}"),
+            format!("{kernels}"),
+            format!("{util:.4}"),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Render a `timeline.jsonl` document as an SVG line plot (queue depth,
+/// kernel occupancy and network utilisation over simulated time).
+pub fn timeline_plot(jsonl: &str) -> Result<String, String> {
+    let table = timeline_table(jsonl, 24)?;
+    Ok(line_plot(&table, 0, &[1, 2, 3], "per-server mean"))
+}
+
 fn format_tick(v: f64) -> String {
     if v >= 100.0 {
         format!("{v:.0}")
@@ -190,6 +241,29 @@ mod tests {
     fn empty_table_renders_nothing() {
         let t = Table::new("empty", &["n", "v"]);
         assert!(line_plot(&t, 0, &[1], "y").is_empty());
+    }
+
+    #[test]
+    fn timeline_jsonl_round_trips_into_a_table() {
+        let jsonl = concat!(
+            r#"{"Event":{"seq":0,"t":100000,"severity":"Info","subsystem":"control","node":8,"message":"m"}}"#,
+            "\n",
+            r#"{"Sample":{"seq":1,"t":10000000,"servers":[{"node":8,"queue_depth":4.0,"queue_depth_integral":0.04,"kernels_running":1,"probe_age_secs":0.01,"demoted_total":0,"net_tx_util":0.5}]}}"#,
+            "\n",
+            r#"{"Sample":{"seq":2,"t":20000000,"servers":[{"node":8,"queue_depth":2.0,"queue_depth_integral":0.07,"kernels_running":0,"probe_age_secs":0.02,"demoted_total":1,"net_tx_util":0.25}]}}"#,
+            "\n",
+        );
+        let t = timeline_table(jsonl, 100).unwrap();
+        assert_eq!(t.rows.len(), 2, "event line skipped, samples kept");
+        assert_eq!(t.rows[0][1], "4.000");
+        assert_eq!(t.rows[1][3], "0.2500");
+        let svg = timeline_plot(jsonl).unwrap();
+        assert!(svg.starts_with("<svg") && svg.contains("mean_queue_depth"));
+    }
+
+    #[test]
+    fn timeline_rejects_garbage() {
+        assert!(timeline_table("not json\n", 10).is_err());
     }
 
     #[test]

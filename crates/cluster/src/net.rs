@@ -279,7 +279,10 @@ impl Fabric {
         (rate, count)
     }
 
-    /// Utilization of node `n`'s transmit link, `[0, 1]`.
+    /// Utilization of node `n`'s transmit link, `[0, 1]`. The `+ 0.0`
+    /// normalizes IEEE `-0.0` (which `clamp` passes through, `-0.0` not
+    /// being less than `0.0`) so idle links serialize as plain `0.0` in
+    /// observability samples.
     pub fn tx_utilization(&self, n: NodeId) -> f64 {
         let used: f64 = self
             .flows
@@ -287,10 +290,11 @@ impl Fabric {
             .filter(|f| f.src == n)
             .map(|f| f.rate)
             .sum();
-        (used / self.eff_tx(n.0)).clamp(0.0, 1.0)
+        (used / self.eff_tx(n.0)).clamp(0.0, 1.0) + 0.0
     }
 
-    /// Utilization of node `n`'s receive link, `[0, 1]`.
+    /// Utilization of node `n`'s receive link, `[0, 1]` (`-0.0` normalized
+    /// like [`Fabric::tx_utilization`]).
     pub fn rx_utilization(&self, n: NodeId) -> f64 {
         let used: f64 = self
             .flows
@@ -298,7 +302,7 @@ impl Fabric {
             .filter(|f| f.dst == n)
             .map(|f| f.rate)
             .sum();
-        (used / self.eff_rx(n.0)).clamp(0.0, 1.0)
+        (used / self.eff_rx(n.0)).clamp(0.0, 1.0) + 0.0
     }
 
     fn bump(&mut self) {

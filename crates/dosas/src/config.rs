@@ -176,6 +176,12 @@ pub struct ProbeConfig {
     /// Maximum age (`now - generated_at`) at which a policy may still be
     /// applied; exactly at the bound is still usable.
     pub staleness_bound: SimSpan,
+    /// Minimum per-node observation count before an online bandwidth
+    /// estimate is trusted (used by the EWMA sampler's consumers and the
+    /// end-of-run `estimated_bandwidth` report). Below the threshold the
+    /// estimate is treated as absent.
+    #[serde(default)]
+    pub min_bw_samples: u32,
 }
 
 impl Default for ProbeConfig {
@@ -185,6 +191,7 @@ impl Default for ProbeConfig {
             max_retries: 2,
             retry_backoff: SimSpan::from_millis(20),
             staleness_bound: SimSpan::from_millis(300),
+            min_bw_samples: 3,
         }
     }
 }

@@ -49,6 +49,11 @@ impl Driver {
         if plan.is_empty() {
             return;
         }
+        self.obs_inc("faults", "transitions", obs::Label::None);
+        let active = plan.active_count(now);
+        self.obs_event(now, obs::Severity::Info, "faults", None, || {
+            format!("fault-plan transition: {active} window(s) active")
+        });
         for node in 0..self.cluster.cpus.len() {
             let cpu_f = plan.cpu_factor(now, node);
             if (cpu_f - self.cluster.cpus[node].capacity_factor()).abs() > f64::EPSILON {

@@ -92,6 +92,7 @@ impl Driver {
             (r.server, kind, r.bytes, r.client, r.is_write)
         };
         self.io.reqs.get_mut(&id).expect("req").t_arrive = now;
+        self.obs_inc("io_path", "requests_arrived", obs::Label::Node(server.0));
         self.server
             .servers
             .get_mut(&server)
@@ -213,6 +214,14 @@ impl Driver {
             r.kernel = None;
             r.bytes
         };
+        self.obs_inc(
+            "io_path",
+            "checkpoint_ship_failures",
+            obs::Label::Node(server.0),
+        );
+        self.obs_event(now, obs::Severity::Warn, "io_path", Some(server.0), || {
+            "checkpoint shipment lost; re-reading as normal I/O".to_string()
+        });
         self.submit_disk_read(server, id, bytes, now, sched);
     }
 
@@ -266,7 +275,7 @@ impl Driver {
                 (r.t_flow_start, r.app.0, r.is_write)
             };
             let name = if write { "write-xfer+disk" } else { "transfer" };
-            self.trace_span(name.into(), "net", start, now, server.0, track);
+            self.trace_span(|| name.into(), "net", start, now, server.0, track);
         }
         if self.io.reqs[&id].is_write {
             // Ack received: the write is durable and the request is done.
@@ -412,7 +421,7 @@ impl Driver {
             let start = app.t_client_start;
             let op = app.rate_op.clone().unwrap_or_default();
             self.trace_span(
-                format!("client-compute({op})"),
+                || format!("client-compute({op})"),
                 "cpu",
                 start,
                 now,
@@ -435,6 +444,13 @@ impl Driver {
         } else {
             ExecutionSite::None
         };
+        self.obs_inc("io_path", "app_ios_completed", obs::Label::None);
+        self.obs_observe(
+            "io_path",
+            "app_latency_seconds",
+            obs::Label::None,
+            (now - app.issued_at).as_secs_f64(),
+        );
         self.telemetry.records.push(super::metrics::AppIoRecord {
             app: app_id.0,
             rank: app.rank,

@@ -71,6 +71,12 @@ pub struct RunMetrics {
     /// queue residue: zero for run-to-drain, the still-pending backlog for
     /// deadline-bounded runs.
     pub events_scheduled: u64,
+    /// Observability report (metrics registry, event log, timeline samples)
+    /// when `DriverConfig::obs` was enabled. Excluded from the serialized
+    /// form so golden snapshots stay stable; export it explicitly via
+    /// [`obs::ObsReport::to_prometheus`] / `timeline_jsonl`.
+    #[serde(skip)]
+    pub obs: Option<obs::ObsReport>,
 }
 
 impl RunMetrics {
@@ -168,6 +174,7 @@ mod tests {
             trace: None,
             events: 0,
             events_scheduled: 0,
+            obs: None,
         };
         assert!((m.mean_latency_secs() - 3.0).abs() < 1e-9);
         assert_eq!(m.site_histogram()["Storage"], 2);

@@ -85,6 +85,10 @@ pub struct DriverConfig {
     /// Deterministic fault schedule applied during the run (empty = no
     /// faults). Node indices are cluster node ids; see [`simkit::fault`].
     pub fault_plan: FaultPlan,
+    /// Observability: metrics registry, structured event log and periodic
+    /// timeline sampling (see [`obs`]). Disabled by default; when disabled
+    /// the driver allocates no observer state and formats no messages.
+    pub obs: obs::ObsConfig,
 }
 
 impl DriverConfig {
@@ -98,6 +102,7 @@ impl DriverConfig {
             data_plane: false,
             trace: false,
             fault_plan: FaultPlan::default(),
+            obs: obs::ObsConfig::default(),
         }
     }
 }
@@ -125,6 +130,9 @@ pub enum Ev {
     ProbeRetry(NodeId),
     /// A delayed probe's policy finally reaches the runtime.
     PolicyArrive(u64),
+    /// Periodic observability sample (global lane, so it acts as a barrier
+    /// and reads a consistent world state in every exec mode).
+    Sample,
 }
 
 /// The driver's routing table: which subsystem owns each event.
@@ -135,6 +143,7 @@ pub enum Subsystem {
     Server,
     Control,
     Faults,
+    Telemetry,
 }
 
 impl Routed for Ev {
@@ -147,6 +156,7 @@ impl Routed for Ev {
             Ev::DiskTick { .. } | Ev::CpuTick { .. } => Subsystem::Server,
             Ev::Probe(_) | Ev::ProbeRetry(_) | Ev::PolicyArrive(_) => Subsystem::Control,
             Ev::Fault => Subsystem::Faults,
+            Ev::Sample => Subsystem::Telemetry,
         }
     }
 }
@@ -312,7 +322,7 @@ impl Driver {
                 bw_estimate: BTreeMap::new(),
             },
             faults: Faults::default(),
-            telemetry: Telemetry::default(),
+            telemetry: Telemetry::new(&cfg.obs),
             cfg,
         }
     }
@@ -378,6 +388,65 @@ impl Driver {
                     self.cluster.storage_ids().collect::<Vec<_>>(),
                 )
             }),
+            sample: (self.cfg.obs.enabled && self.cfg.obs.sample_period > SimSpan::ZERO)
+                .then_some(self.cfg.obs.sample_period),
+        }
+    }
+
+    /// Profiling label: the subsystem an event routes to.
+    fn profile_label(ev: &Ev) -> &'static str {
+        match ev.route() {
+            Subsystem::Ranks => "ranks",
+            Subsystem::IoPath => "io_path",
+            Subsystem::Server => "server",
+            Subsystem::Control => "control",
+            Subsystem::Faults => "faults",
+            Subsystem::Telemetry => "telemetry",
+        }
+    }
+
+    /// Like [`Driver::run_with`], but with wall-clock executor profiling
+    /// enabled: per-subsystem dispatch breakdown (serial) or per-batch
+    /// timing (parallel). Profiling is purely observational — the returned
+    /// [`RunMetrics`] are bit-identical to an unprofiled run.
+    pub fn run_profiled(
+        cfg: DriverConfig,
+        workload: &Workload,
+        mode: ExecMode,
+    ) -> (RunMetrics, simkit::ExecProfile) {
+        let scheme_name = cfg.scheme.name().to_string();
+        let total_bytes = workload.total_request_bytes() as f64;
+        let driver = Driver::new(cfg, workload);
+        let seed = driver.seed_plan();
+        match mode {
+            ExecMode::Serial => {
+                let mut sim = Simulation::new(driver);
+                sim.enable_profiling(Self::profile_label);
+                seed.apply(sim.scheduler());
+                let end = sim.run();
+                let events = sim.scheduler().dispatched_count();
+                let scheduled = sim.scheduler().scheduled_count();
+                let mut profile = sim.take_profile().expect("profiling enabled");
+                profile.queue_spilled = sim.scheduler().spilled_count();
+                let metrics =
+                    sim.world
+                        .collect_metrics(scheme_name, total_bytes, end, events, scheduled);
+                (metrics, profile)
+            }
+            ExecMode::Parallel { threads } => {
+                let mut sim = ParallelSimulation::with_threads(driver, threads);
+                sim.enable_profiling(Self::profile_label);
+                seed.apply(sim.scheduler());
+                let end = sim.run();
+                let events = sim.scheduler().dispatched_count();
+                let scheduled = sim.scheduler().scheduled_count();
+                let mut profile = sim.take_profile().expect("profiling enabled");
+                profile.queue_spilled = sim.scheduler().spilled_count();
+                let metrics =
+                    sim.world
+                        .collect_metrics(scheme_name, total_bytes, end, events, scheduled);
+                (metrics, profile)
+            }
         }
     }
 }
@@ -415,6 +484,7 @@ struct SeedPlan {
     fault_times: Vec<SimTime>,
     ranks: usize,
     probes: Option<(SimSpan, Vec<NodeId>)>,
+    sample: Option<SimSpan>,
 }
 
 impl SeedPlan {
@@ -430,6 +500,9 @@ impl SeedPlan {
                 sched.at(SimTime::ZERO + *period, Ev::Probe(s));
             }
         }
+        if let Some(period) = self.sample {
+            sched.at(SimTime::ZERO + period, Ev::Sample);
+        }
     }
 }
 
@@ -443,6 +516,9 @@ impl World for Driver {
             Subsystem::Server => server::ServerComponent::dispatch(self, now, event, sched),
             Subsystem::Control => control::ControlComponent::dispatch(self, now, event, sched),
             Subsystem::Faults => faults::FaultsComponent::dispatch(self, now, event, sched),
+            Subsystem::Telemetry => {
+                telemetry::TelemetryComponent::dispatch(self, now, event, sched)
+            }
         }
     }
 }

@@ -164,6 +164,11 @@ impl Driver {
             if self.ranks.states[rank].finished.is_none() {
                 self.ranks.states[rank].finished = Some(now);
                 self.ranks.finished += 1;
+                self.obs_inc("ranks", "finished", obs::Label::None);
+                let (done, total) = (self.ranks.finished, self.ranks.len());
+                self.obs_event(now, obs::Severity::Info, "ranks", None, || {
+                    format!("rank {rank} finished ({done}/{total})")
+                });
             }
             return;
         };

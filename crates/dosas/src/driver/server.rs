@@ -166,6 +166,7 @@ impl Driver {
         sched: &mut Scheduler<Ev>,
     ) {
         let ordinal = self.cluster.storage_ordinal(server);
+        self.obs_inc("server", "disk_reads_submitted", obs::Label::Node(server.0));
         let disk_bytes = self.cache_filter_read(server, id, bytes);
         let disk_id = self.cluster.disks[ordinal].submit_read(now, disk_bytes);
         self.server.disk_req.insert((ordinal, disk_id), id);
@@ -260,7 +261,15 @@ impl Driver {
                 let r = &self.io.reqs[&id];
                 (r.t_arrive, r.app.0)
             };
-            self.trace_span("queue+disk".into(), "disk", arrived, now, server.0, track);
+            self.trace_span(
+                || "queue+disk".into(),
+                "disk",
+                arrived,
+                now,
+                server.0,
+                track,
+            );
+            self.obs_inc("server", "disk_reads_done", obs::Label::Node(server.0));
         }
         let mode = self
             .server
@@ -293,6 +302,7 @@ impl Driver {
             )
         };
         let core_seconds = self.cpu_cost(split * bytes / self.cfg.rates.per_core(&op));
+        self.obs_inc("server", "kernels_started", obs::Label::Node(server.0));
         let task = self.cluster.cpus[server.0].submit(now, core_seconds);
         self.server
             .cpu_work
@@ -359,14 +369,21 @@ impl Driver {
                 (r.op.clone().unwrap_or_default(), r.t_kernel_start, r.app.0)
             };
             self.trace_span(
-                format!("kernel({op})"),
+                || format!("kernel({op})"),
                 "kernel",
                 start,
                 now,
                 server.0,
                 track,
             );
+            self.obs_observe(
+                "server",
+                "kernel_seconds",
+                obs::Label::Node(server.0),
+                (now - start).as_secs_f64(),
+            );
         }
+        self.obs_inc("server", "kernels_done", obs::Label::Node(server.0));
         self.kernel_slot_freed(server, now, sched);
         // Planned partial offload: the kernel was submitted with only its
         // storage-side fraction of the work; at this point it checkpoints

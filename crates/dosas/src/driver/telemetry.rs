@@ -1,17 +1,26 @@
 //! `telemetry` subsystem: observation without participation.
 //!
 //! Owns everything the simulation records but never reads back: per-app
-//! I/O records, the CE policy log, and the optional per-stage execution
-//! timeline. Also assembles the final [`RunMetrics`] from the drained
-//! world. The subsystem is passive — it handles no routed events; other
-//! subsystems push into it mid-dispatch (e.g. [`Driver::trace_span`]).
+//! I/O records, the CE policy log, the optional per-stage execution
+//! timeline, and the [`obs::Observer`] behind `DriverConfig::obs`. Also
+//! assembles the final [`RunMetrics`] from the drained world.
+//!
+//! Unlike the other subsystems the telemetry component handles exactly one
+//! routed event, the periodic [`Ev::Sample`] tick. The tick lives on the
+//! global lane, so under the parallel executor it is a batch barrier and
+//! reads the same consistent world state the serial executor would — the
+//! timeline is byte-identical across `ExecMode`s and thread counts. The
+//! handler only *reads* simulated state (queues, slots, supervisors,
+//! runtimes, fabric) and only *writes* observer state, which no simulated
+//! path reads back, so enabling observability never changes scheme results.
 
 use super::metrics::{AppIoRecord, PolicyLogEntry, RunMetrics};
 use super::trace::TraceEvent;
-use super::Driver;
+use super::{Driver, Ev, Subsystem};
 use crate::estimator::CeStats;
 use crate::runtime::RuntimeCounters;
-use simkit::SimTime;
+use obs::{Label, ObsConfig, Observer, ServerSample, Severity};
+use simkit::{Component, Scheduler, SimTime};
 
 /// Telemetry state embedded in [`Driver`].
 #[derive(Default)]
@@ -19,13 +28,41 @@ pub(super) struct Telemetry {
     pub(super) records: Vec<AppIoRecord>,
     pub(super) policy_log: Vec<PolicyLogEntry>,
     pub(super) trace: Vec<TraceEvent>,
+    /// Live observability state; `None` when `DriverConfig::obs` is
+    /// disabled, keeping every instrumentation call a branch on an Option.
+    pub(super) obs: Option<Observer>,
+}
+
+impl Telemetry {
+    pub(super) fn new(cfg: &ObsConfig) -> Self {
+        Telemetry {
+            obs: cfg.enabled.then(|| Observer::new(cfg.clone())),
+            ..Telemetry::default()
+        }
+    }
+}
+
+/// The telemetry component: periodic observability sampling.
+pub(super) struct TelemetryComponent;
+
+impl Component<Driver> for TelemetryComponent {
+    const ROUTE: Subsystem = Subsystem::Telemetry;
+    const NAME: &'static str = "telemetry";
+
+    fn handle(world: &mut Driver, now: SimTime, event: Ev, sched: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Sample => world.on_sample(now, sched),
+            other => unreachable!("telemetry got unrouted event {other:?}"),
+        }
+    }
 }
 
 impl Driver {
-    /// Record one timeline span (no-op unless `cfg.trace`).
+    /// Record one timeline span (the name closure only runs when tracing is
+    /// on, so disabled runs pay no formatting or allocation).
     pub(super) fn trace_span(
         &mut self,
-        name: String,
+        name: impl FnOnce() -> String,
         cat: &'static str,
         start: SimTime,
         end: SimTime,
@@ -34,7 +71,7 @@ impl Driver {
     ) {
         if self.cfg.trace {
             self.telemetry.trace.push(TraceEvent::new(
-                name,
+                name(),
                 cat,
                 start.as_secs_f64(),
                 end.as_secs_f64(),
@@ -44,9 +81,110 @@ impl Driver {
         }
     }
 
+    /// Increment an observability counter (no-op when obs is disabled).
+    #[inline]
+    pub(super) fn obs_inc(&mut self, subsystem: &'static str, name: &'static str, label: Label) {
+        if let Some(o) = self.telemetry.obs.as_mut() {
+            o.registry_mut().inc(subsystem, name, label);
+        }
+    }
+
+    /// Record a histogram observation (no-op when obs is disabled).
+    #[inline]
+    pub(super) fn obs_observe(
+        &mut self,
+        subsystem: &'static str,
+        name: &'static str,
+        label: Label,
+        v: f64,
+    ) {
+        if let Some(o) = self.telemetry.obs.as_mut() {
+            o.registry_mut().observe(subsystem, name, label, v);
+        }
+    }
+
+    /// Append a structured log record; the message closure only runs when
+    /// obs is enabled, so disabled runs pay no formatting.
+    #[inline]
+    pub(super) fn obs_event(
+        &mut self,
+        t: SimTime,
+        severity: Severity,
+        subsystem: &'static str,
+        node: Option<usize>,
+        message: impl FnOnce() -> String,
+    ) {
+        if let Some(o) = self.telemetry.obs.as_mut() {
+            o.log(t, severity, subsystem, node, message());
+        }
+    }
+
+    /// Handle the periodic `Sample` tick: capture one timeline row and
+    /// re-arm while ranks are still running.
+    fn on_sample(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.take_sample(now);
+        if let Some(o) = self.telemetry.obs.as_ref() {
+            if !self.all_ranks_done() {
+                sched.after(o.config().sample_period, Ev::Sample);
+            }
+        }
+    }
+
+    /// Capture one per-server sample row set at `now` into the observer.
+    ///
+    /// Read-only with respect to simulated state: queue depths and their
+    /// cumulative time-weighted integrals, kernel-slot occupancy, CE probe
+    /// age, demotion totals and fabric utilization are all pure queries.
+    pub(super) fn take_sample(&mut self, now: SimTime) {
+        if self.telemetry.obs.is_none() {
+            return;
+        }
+        let rows: Vec<ServerSample> = self
+            .cluster
+            .storage_ids()
+            .map(|node| {
+                let ds = &self.server.servers[&node];
+                let kernels_running = self
+                    .server
+                    .cpu_work
+                    .iter()
+                    .filter(|((n, _), w)| {
+                        *n == node.0 && matches!(w, super::server::CpuWork::Kernel(_))
+                    })
+                    .count();
+                let probe_age_secs = self
+                    .control
+                    .supervisors
+                    .get(&node)
+                    .map_or(-1.0, |sup| sup.probe_age_secs(now));
+                ServerSample {
+                    node: node.0,
+                    queue_depth: ds.current_depth(),
+                    queue_depth_integral: ds.depth_integral_at(now),
+                    kernels_running,
+                    probe_age_secs,
+                    demoted_total: self.server.runtimes[&node].demoted_total(),
+                    net_tx_util: self.cluster.fabric.tx_utilization(node),
+                }
+            })
+            .collect();
+        let active_faults = self.cfg.fault_plan.active_count(now);
+        let o = self.telemetry.obs.as_mut().expect("checked above");
+        o.registry_mut().inc("telemetry", "samples", Label::None);
+        o.registry_mut().set_gauge(
+            "faults",
+            "active_windows",
+            Label::None,
+            active_faults as f64,
+        );
+        o.record_sample(now, rows);
+    }
+
     /// Fold the drained world into the run's final metrics: makespan over
     /// rank finish times, aggregated runtime/CE counters, time-weighted
-    /// queue depths, and the recorded logs.
+    /// queue depths, and the recorded logs. When observability is on, a
+    /// final sample is taken at `end` so the timeline's cumulative
+    /// queue-depth integrals reconcile exactly with `mean_queue_depth`.
     pub(super) fn collect_metrics(
         self,
         scheme: String,
@@ -55,7 +193,7 @@ impl Driver {
         events: u64,
         events_scheduled: u64,
     ) -> RunMetrics {
-        let w = self;
+        let mut w = self;
         assert_eq!(
             w.ranks.finished,
             w.ranks.len(),
@@ -92,16 +230,44 @@ impl Driver {
             .values()
             .map(|s| s.peak_depth())
             .fold(0.0, f64::max);
+        // Zero-duration guard: an empty workload finishes at t = 0 with no
+        // bytes moved; every derived rate must come out 0, never NaN.
+        let achieved_bandwidth = if makespan_secs > 0.0 && total_bytes > 0.0 {
+            total_bytes / makespan_secs
+        } else {
+            0.0
+        };
+        let mean_queue_depth = if mean_queue_depth.is_finite() {
+            mean_queue_depth
+        } else {
+            0.0
+        };
+        let min_bw_samples = w.dosas.as_ref().map_or(3, |d| d.probe.min_bw_samples);
+
+        // Close out the observability run: one last sample at the final sim
+        // time plus end-of-run summary gauges, then freeze the report.
+        if w.telemetry.obs.is_some() {
+            w.take_sample(end);
+            let o = w.telemetry.obs.as_mut().expect("checked above");
+            let r = o.registry_mut();
+            r.set_gauge("driver", "makespan_secs", Label::None, makespan_secs);
+            r.set_gauge(
+                "driver",
+                "achieved_bandwidth_bytes_per_sec",
+                Label::None,
+                achieved_bandwidth,
+            );
+            r.set_gauge("driver", "mean_queue_depth", Label::None, mean_queue_depth);
+            r.add("driver", "events_dispatched", Label::None, events);
+            r.add("driver", "events_scheduled", Label::None, events_scheduled);
+        }
+        let obs = w.telemetry.obs.take().map(Observer::into_report);
 
         RunMetrics {
             scheme,
             makespan_secs,
             total_requested_bytes: total_bytes,
-            achieved_bandwidth: if makespan_secs > 0.0 {
-                total_bytes / makespan_secs
-            } else {
-                0.0
-            },
+            achieved_bandwidth,
             records: w.telemetry.records,
             runtime,
             ce,
@@ -112,7 +278,7 @@ impl Driver {
                 .control
                 .bw_estimate
                 .iter()
-                .filter(|(_, (_, n))| *n >= 3)
+                .filter(|(_, (_, n))| *n >= min_bw_samples)
                 .map(|(node, (bw, _))| (node.0, *bw))
                 .collect(),
             results: w.io.results,
@@ -123,6 +289,7 @@ impl Driver {
             },
             events,
             events_scheduled,
+            obs,
         }
     }
 }

@@ -51,30 +51,24 @@ impl TraceEvent {
 }
 
 /// Serialize spans to the Chrome trace-event JSON array format.
+///
+/// Delegates to the [`obs`] crate's exporter so there is exactly one
+/// serializer for `trace.json` across the workspace.
 pub fn to_chrome_json(events: &[TraceEvent]) -> String {
-    #[derive(Serialize)]
-    struct Chrome<'a> {
-        name: &'a str,
-        cat: &'a str,
-        ph: &'a str,
-        ts: f64,
-        dur: f64,
-        pid: usize,
-        tid: u64,
-    }
-    let rows: Vec<Chrome> = events
+    let spans: Vec<obs::TraceSpan> = events
         .iter()
-        .map(|e| Chrome {
-            name: &e.name,
-            cat: e.cat,
-            ph: "X",
-            ts: e.ts_us,
-            dur: e.dur_us,
-            pid: e.node,
-            tid: e.track,
+        .map(|e| {
+            obs::TraceSpan::complete(
+                e.name.clone(),
+                e.cat.to_string(),
+                e.ts_us,
+                e.dur_us,
+                e.node,
+                e.track,
+            )
         })
         .collect();
-    serde_json::to_string_pretty(&rows).expect("trace serializes")
+    obs::chrome_trace_json(&spans)
 }
 
 #[cfg(test)]

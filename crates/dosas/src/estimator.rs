@@ -355,6 +355,13 @@ impl CeSupervisor {
         self.last_success
     }
 
+    /// Age of the CE's knowledge at `now`, in seconds: time since the last
+    /// successfully applied probe, or `-1.0` if none succeeded yet. This is
+    /// the staleness signal the observability sampler exports per server.
+    pub fn probe_age_secs(&self, now: SimTime) -> f64 {
+        self.last_success.map_or(-1.0, |t| (now - t).as_secs_f64())
+    }
+
     /// A probe was sent (accounting only).
     pub fn on_probe_sent(&mut self) {
         self.stats.probes_sent += 1;
@@ -617,6 +624,7 @@ mod tests {
             max_retries: 2,
             retry_backoff: SimSpan::from_millis(10),
             staleness_bound: SimSpan::from_millis(300),
+            min_bw_samples: 3,
         }
     }
 

@@ -309,6 +309,13 @@ impl ActiveIoRuntime {
     pub fn tracked_count(&self) -> usize {
         self.requests.len()
     }
+
+    /// Cumulative demotions this runtime has performed — the demotion-rate
+    /// signal the observability sampler exports per server (a consumer can
+    /// difference consecutive samples for a rate).
+    pub fn demoted_total(&self) -> u64 {
+        self.counters.demoted
+    }
 }
 
 #[cfg(test)]

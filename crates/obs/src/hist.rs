@@ -1,0 +1,182 @@
+//! Fixed-bucket histograms with approximate quantiles.
+//!
+//! A [`Histogram`] owns a sorted list of finite bucket upper bounds plus an
+//! implicit `+inf` overflow bucket, mirroring the Prometheus histogram model.
+//! Observations are O(log B) (binary search over bounds); quantile queries
+//! return the *upper bound of the bucket containing the nearest-rank sample*,
+//! which by construction is within one bucket of the exact nearest-rank
+//! quantile — the property the obs proptest suite pins down.
+//!
+//! The default bounds ([`Histogram::latency_default`]) are log-spaced with
+//! four buckets per decade from 1 µs to 1000 s, suitable for simulated I/O
+//! latencies across every scheme the driver runs.
+
+use serde::Serialize;
+
+/// A fixed-bucket histogram: monotonically increasing finite upper bounds
+/// plus an implicit overflow bucket.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// Finite bucket upper bounds, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts.len() == bounds.len() + 1` (last = overflow).
+    counts: Vec<u64>,
+    /// Sum of all observed values.
+    sum: f64,
+    /// Total number of observations.
+    count: u64,
+}
+
+impl Histogram {
+    /// Build a histogram over the given finite upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty, unsorted, or contains non-finite values.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Log-spaced latency bounds: four buckets per decade, 1 µs ..= 1000 s.
+    pub fn latency_default() -> Self {
+        let bounds: Vec<f64> = (-24..=12).map(|k| 10f64.powf(k as f64 / 4.0)).collect();
+        Histogram::new(bounds)
+    }
+
+    /// Index of the bucket a value falls in (overflow bucket = `bounds.len()`).
+    pub fn bucket_index(&self, v: f64) -> usize {
+        self.bounds.partition_point(|b| *b < v)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let i = self.bucket_index(v);
+        self.counts[i] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile: the upper bound of the bucket holding the
+    /// nearest-rank sample. Returns `None` when empty. Values that landed in
+    /// the overflow bucket report the largest finite bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest rank r (1-based) with r >= q * count.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    *self.bounds.last().expect("non-empty bounds")
+                });
+            }
+        }
+        unreachable!("cumulative count must reach total count")
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_range() {
+        let h = Histogram::latency_default();
+        assert_eq!(h.counts().len(), h.bounds().len() + 1);
+        assert!(h.bounds()[0] <= 1.1e-6);
+        assert!(*h.bounds().last().unwrap() >= 999.0);
+    }
+
+    #[test]
+    fn observe_and_quantiles() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 1.5, 1.7, 3.0, 7.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 113.7).abs() < 1e-12);
+        // rank(0.5 * 6) = 3 -> third sample (1.7) lives in bucket <=2.0.
+        assert_eq!(h.p50(), Some(2.0));
+        // Overflow values clamp to the last finite bound.
+        assert_eq!(h.p99(), Some(8.0));
+    }
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = Histogram::latency_default();
+        assert_eq!(h.p50(), None);
+    }
+
+    #[test]
+    fn quantile_within_one_bucket_of_exact() {
+        // Deterministic sweep complementing the proptest in tests/.
+        let mut h = Histogram::latency_default();
+        let mut xs: Vec<f64> = (0..500).map(|i| 1e-5 * 1.03f64.powi(i % 300)).collect();
+        for &x in &xs {
+            h.observe(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * xs.len() as f64).ceil() as usize).max(1);
+            let exact = xs[rank - 1];
+            let est = h.quantile(q).unwrap();
+            let d = (h.bucket_index(est) as i64 - h.bucket_index(exact) as i64).abs();
+            assert!(d <= 1, "q={q}: est {est} vs exact {exact} ({d} buckets)");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Structured, ring-buffered event log.
+//!
+//! Every record carries a monotone sequence number, the simulation time it
+//! was emitted at, a severity, the owning subsystem and a free-form message.
+//! The log is bounded: when full, the oldest record is dropped and a drop
+//! counter incremented, so long runs degrade gracefully instead of growing
+//! without bound. Records serialize as JSONL via the timeline exporter and
+//! round-trip through serde.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+use std::collections::VecDeque;
+
+/// Log severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Fine-grained diagnostic detail.
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Degraded-but-recovering conditions (probe loss, faults, fallbacks).
+    Warn,
+    /// Unrecoverable subsystem failures.
+    Error,
+}
+
+/// One structured log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Global emission order (shared with samples, so the timeline merges
+    /// deterministically).
+    pub seq: u64,
+    /// Simulation time of emission.
+    pub t: SimTime,
+    /// Severity.
+    pub severity: Severity,
+    /// Emitting subsystem (e.g. `"control"`, `"faults"`).
+    pub subsystem: String,
+    /// Node ordinal when the record concerns one server.
+    #[serde(default)]
+    pub node: Option<usize>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Bounded ring buffer of [`LogRecord`]s with a drop counter.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    cap: usize,
+    records: VecDeque<LogRecord>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// New log holding at most `cap` records (`cap == 0` drops everything).
+    pub fn new(cap: usize) -> Self {
+        EventLog {
+            cap,
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&mut self, rec: LogRecord) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted or rejected so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consume the log, returning retained records and the drop count.
+    pub fn into_parts(self) -> (Vec<LogRecord>, u64) {
+        (self.records.into_iter().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> LogRecord {
+        LogRecord {
+            seq,
+            t: SimTime::from_nanos(seq * 10),
+            severity: Severity::Info,
+            subsystem: "test".into(),
+            node: Some(1),
+            message: format!("event {seq}"),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for s in 0..5 {
+            log.push(rec(s));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let seqs: Vec<u64> = log.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn record_roundtrips_through_serde() {
+        let r = rec(7);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: LogRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

@@ -1,0 +1,284 @@
+//! The [`Observer`]: per-run observability state, and the frozen
+//! [`ObsReport`] it becomes when a run finishes.
+//!
+//! An `Observer` bundles the metrics [`Registry`], the structured
+//! [`EventLog`] and the [`SampleRing`] under one monotone sequence counter,
+//! so samples and log records interleave in a single deterministic order —
+//! the order the timeline exporter emits. Everything is plain owned state;
+//! the driver stores the observer inside its telemetry subsystem and only
+//! touches it when [`ObsConfig::enabled`] is set, keeping the disabled path
+//! free of allocation and formatting.
+
+use crate::log::{EventLog, LogRecord, Severity};
+use crate::registry::Registry;
+use crate::series::{SampleRecord, SampleRing, ServerSample};
+use serde::{Deserialize, Serialize};
+use simkit::{SimSpan, SimTime};
+
+/// Observability configuration, embedded in `DriverConfig`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Master switch; when false no observer is constructed at all.
+    pub enabled: bool,
+    /// Period of the sim-time `Sample` tick.
+    pub sample_period: SimSpan,
+    /// Capacity of the timeline sample ring.
+    pub sample_capacity: usize,
+    /// Capacity of the structured event log ring.
+    pub event_log_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            sample_period: SimSpan::from_millis(10),
+            sample_capacity: 65_536,
+            event_log_capacity: 8_192,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// The default configuration with the master switch on.
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// Live observability state for one simulation run.
+#[derive(Debug, Clone)]
+pub struct Observer {
+    cfg: ObsConfig,
+    registry: Registry,
+    log: EventLog,
+    samples: SampleRing,
+    seq: u64,
+}
+
+impl Observer {
+    /// Build an observer for the given configuration.
+    pub fn new(cfg: ObsConfig) -> Self {
+        let log = EventLog::new(cfg.event_log_capacity);
+        let samples = SampleRing::new(cfg.sample_capacity);
+        Observer {
+            cfg,
+            registry: Registry::new(),
+            log,
+            samples,
+            seq: 0,
+        }
+    }
+
+    /// The configuration this observer was built with.
+    pub fn config(&self) -> &ObsConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the metrics registry.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Read access to the metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Append a structured log record.
+    pub fn log(
+        &mut self,
+        t: SimTime,
+        severity: Severity,
+        subsystem: &'static str,
+        node: Option<usize>,
+        message: String,
+    ) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.log.push(LogRecord {
+            seq,
+            t,
+            severity,
+            subsystem: subsystem.to_string(),
+            node,
+            message,
+        });
+    }
+
+    /// Append a timeline sample (per-server rows ordered by node ordinal).
+    pub fn record_sample(&mut self, t: SimTime, servers: Vec<ServerSample>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.samples.push(SampleRecord { seq, t, servers });
+    }
+
+    /// Number of samples recorded so far (including any later evicted).
+    pub fn samples_len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Freeze into an immutable end-of-run report.
+    pub fn into_report(self) -> ObsReport {
+        let (events, events_dropped) = self.log.into_parts();
+        let (samples, samples_dropped) = self.samples.into_parts();
+        ObsReport {
+            metrics: self.registry,
+            samples,
+            samples_dropped,
+            events,
+            events_dropped,
+        }
+    }
+}
+
+/// A merged timeline row: either a periodic sample or a log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimelineRecord {
+    /// Periodic per-server sample.
+    Sample(SampleRecord),
+    /// Structured log event.
+    Event(LogRecord),
+}
+
+impl TimelineRecord {
+    /// The shared sequence number, used for merge ordering.
+    pub fn seq(&self) -> u64 {
+        match self {
+            TimelineRecord::Sample(s) => s.seq,
+            TimelineRecord::Event(e) => e.seq,
+        }
+    }
+
+    /// The simulation time of the row.
+    pub fn time(&self) -> SimTime {
+        match self {
+            TimelineRecord::Sample(s) => s.t,
+            TimelineRecord::Event(e) => e.t,
+        }
+    }
+}
+
+/// Frozen end-of-run observability report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsReport {
+    /// Final metrics registry.
+    pub metrics: Registry,
+    /// Retained timeline samples, oldest first.
+    pub samples: Vec<SampleRecord>,
+    /// Samples evicted from the ring.
+    pub samples_dropped: u64,
+    /// Retained log records, oldest first.
+    pub events: Vec<LogRecord>,
+    /// Log records evicted from the ring.
+    pub events_dropped: u64,
+}
+
+impl ObsReport {
+    /// Render the Prometheus text-format snapshot, including the ring drop
+    /// counters as synthetic counters.
+    pub fn to_prometheus(&self) -> String {
+        let mut text = self.metrics.to_prometheus();
+        text.push_str("# TYPE dosas_obs_samples_dropped_total counter\n");
+        text.push_str(&format!(
+            "dosas_obs_samples_dropped_total {}\n",
+            self.samples_dropped
+        ));
+        text.push_str("# TYPE dosas_obs_events_dropped_total counter\n");
+        text.push_str(&format!(
+            "dosas_obs_events_dropped_total {}\n",
+            self.events_dropped
+        ));
+        text
+    }
+
+    /// Merge samples and events into one sequence-ordered timeline.
+    pub fn timeline_records(&self) -> Vec<TimelineRecord> {
+        let mut rows: Vec<TimelineRecord> = self
+            .samples
+            .iter()
+            .cloned()
+            .map(TimelineRecord::Sample)
+            .chain(self.events.iter().cloned().map(TimelineRecord::Event))
+            .collect();
+        rows.sort_by_key(|r| r.seq());
+        rows
+    }
+
+    /// Render the merged timeline as JSONL (one record per line).
+    pub fn timeline_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in self.timeline_records() {
+            out.push_str(&serde_json::to_string(&row).expect("timeline row serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Label;
+
+    #[test]
+    fn observer_merges_samples_and_events_by_seq() {
+        let mut o = Observer::new(ObsConfig::enabled());
+        o.log(
+            SimTime::from_nanos(5),
+            Severity::Info,
+            "control",
+            None,
+            "first".into(),
+        );
+        o.record_sample(SimTime::from_nanos(10), vec![]);
+        o.log(
+            SimTime::from_nanos(10),
+            Severity::Warn,
+            "faults",
+            Some(2),
+            "second".into(),
+        );
+        o.registry_mut().inc("io", "requests", Label::None);
+        let report = o.into_report();
+        let rows = report.timeline_records();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.seq()).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(matches!(rows[0], TimelineRecord::Event(_)));
+        assert!(matches!(rows[1], TimelineRecord::Sample(_)));
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let mut o = Observer::new(ObsConfig::enabled());
+        o.record_sample(SimTime::from_nanos(7), vec![]);
+        o.log(
+            SimTime::from_nanos(9),
+            Severity::Error,
+            "server",
+            Some(0),
+            "boom".into(),
+        );
+        let report = o.into_report();
+        let jsonl = report.timeline_jsonl();
+        let rows: Vec<TimelineRecord> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(rows, report.timeline_records());
+    }
+
+    #[test]
+    fn report_prometheus_includes_drop_counters() {
+        let o = Observer::new(ObsConfig::enabled());
+        let text = o.into_report().to_prometheus();
+        assert!(text.contains("dosas_obs_samples_dropped_total 0"));
+        crate::export::validate_prometheus(&text).unwrap();
+    }
+}

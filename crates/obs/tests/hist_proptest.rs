@@ -1,0 +1,47 @@
+//! Property test for [`obs::Histogram`] quantiles: against arbitrary
+//! observation sets, every estimated quantile lands within one bucket of
+//! the exact nearest-rank quantile. This is the accuracy contract the
+//! fixed-bucket design promises (the estimate is the upper bound of the
+//! bucket holding the nearest-rank sample, so it can be off by at most the
+//! bucket that sample shares a boundary with).
+
+use obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn quantile_is_within_one_bucket_of_exact(
+        // Log-uniform over the default bounds' range plus both tails
+        // (underflow below 1 µs, overflow above 1000 s).
+        exps in proptest::collection::vec(-7.0f64..4.0, 1..400),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut h = Histogram::latency_default();
+        let mut xs: Vec<f64> = exps.iter().map(|e| 10f64.powf(*e)).collect();
+        for &x in &xs {
+            h.observe(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &qs {
+            let rank = ((q * xs.len() as f64).ceil() as usize).max(1);
+            let exact = xs[rank - 1];
+            let est = h.quantile(q).expect("non-empty histogram");
+            let d = (h.bucket_index(est) as i64 - h.bucket_index(exact) as i64).abs();
+            prop_assert!(
+                d <= 1,
+                "q={q}: estimate {est} is {d} buckets from exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(xs in proptest::collection::vec(0.0f64..1e6, 0..200)) {
+        let mut h = Histogram::latency_default();
+        for &x in &xs {
+            h.observe(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let exact: f64 = xs.iter().sum();
+        prop_assert!((h.sum() - exact).abs() <= 1e-9 * exact.abs().max(1.0));
+    }
+}

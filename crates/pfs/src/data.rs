@@ -195,9 +195,25 @@ impl DataServer {
         self.queue.len()
     }
 
+    /// Instantaneous queue depth as tracked by the time-weighted statistic
+    /// (queued + in service, including active requests).
+    pub fn current_depth(&self) -> f64 {
+        self.depth.current()
+    }
+
     /// Time-weighted mean queue depth since simulation start.
     pub fn mean_depth(&self, now: SimTime) -> f64 {
         self.depth.mean(now)
+    }
+
+    /// Cumulative time-weighted queue-depth integral ∫ depth dt since
+    /// simulation start (requests·seconds). Sampled by the observability
+    /// layer so the timeline reconciles exactly with [`mean_depth`]:
+    /// `depth_integral_at(end) / end == mean_depth(end)` for `end > 0`.
+    ///
+    /// [`mean_depth`]: DataServer::mean_depth
+    pub fn depth_integral_at(&self, now: SimTime) -> f64 {
+        self.depth.integral_at(now)
     }
 
     /// Peak queue depth seen.

@@ -18,6 +18,9 @@
 use crate::event::EventQueue;
 use crate::lane::{Lane, LaneQueue, Laned};
 use crate::time::{SimSpan, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// The model: owns all state and reacts to events.
 pub trait World {
@@ -44,6 +47,83 @@ pub trait BatchWorld: World {
     ) {
         for event in batch.drain(..) {
             self.handle(now, event, sched);
+        }
+    }
+}
+
+/// Wall-clock cost of dispatching one event label.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DispatchStat {
+    /// Events dispatched under this label.
+    pub events: u64,
+    /// Total wall-clock seconds spent in `World::handle` for this label.
+    /// Stays zero under the parallel executor, where only whole batches are
+    /// timed (per-event timing inside a concurrent batch would be noise).
+    pub wall_secs: f64,
+}
+
+/// Wall-clock execution profile of a run.
+///
+/// Strictly observational: the profile is collected entirely outside the
+/// event stream (wall clock only, never fed back into the simulation), so
+/// enabling it cannot perturb simulated behaviour. Labels come from a
+/// caller-supplied `fn(&Event) -> &'static str`, typically the subsystem an
+/// event routes to.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ExecProfile {
+    /// Per-label dispatch counts and (serial-mode) wall time.
+    pub dispatch: BTreeMap<&'static str, DispatchStat>,
+    /// Same-timestamp batches executed (parallel executor only).
+    pub batches: u64,
+    /// Events dispatched through batches (parallel executor only).
+    pub batch_events: u64,
+    /// Total wall-clock seconds spent inside `handle_batch`.
+    pub batch_wall_secs: f64,
+    /// Events that missed the lane FIFO fast path (filled by callers from
+    /// [`Scheduler::spilled_count`]; always 0 for the heap backend).
+    pub queue_spilled: u64,
+}
+
+impl ExecProfile {
+    fn record(&mut self, label: &'static str, secs: f64) {
+        let s = self.dispatch.entry(label).or_default();
+        s.events += 1;
+        s.wall_secs += secs;
+    }
+
+    fn count(&mut self, label: &'static str) {
+        self.dispatch.entry(label).or_default().events += 1;
+    }
+
+    fn record_batch(&mut self, events: u64, secs: f64) {
+        self.batches += 1;
+        self.batch_events += events;
+        self.batch_wall_secs += secs;
+    }
+
+    /// Total events across all labels.
+    pub fn total_events(&self) -> u64 {
+        self.dispatch.values().map(|s| s.events).sum()
+    }
+
+    /// Total wall seconds across all labels (serial) — see
+    /// [`ExecProfile::batch_wall_secs`] for the parallel equivalent.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.dispatch.values().map(|s| s.wall_secs).sum()
+    }
+}
+
+/// Profiler state: the labelling function plus the accumulating profile.
+struct Profiler<E> {
+    label_of: fn(&E) -> &'static str,
+    profile: ExecProfile,
+}
+
+impl<E> Profiler<E> {
+    fn new(label_of: fn(&E) -> &'static str) -> Self {
+        Profiler {
+            label_of,
+            profile: ExecProfile::default(),
         }
     }
 }
@@ -143,6 +223,16 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Number of out-of-order pushes that landed in lane spill heaps
+    /// (always 0 for the monolithic heap backend). A cheap health signal:
+    /// high spill rates mean the per-lane FIFO fast path is being defeated.
+    pub fn spilled_count(&self) -> u64 {
+        match &self.queue {
+            Backend::Heap(_) => 0,
+            Backend::Lanes(q) => q.spilled_count(),
+        }
+    }
+
     /// Timestamp of the earliest pending event, if any.
     fn peek_time(&self) -> Option<SimTime> {
         match &self.queue {
@@ -186,6 +276,7 @@ impl<E> Scheduler<E> {
 pub struct Simulation<W: World> {
     pub world: W,
     sched: Scheduler<W::Event>,
+    profiler: Option<Profiler<W::Event>>,
 }
 
 impl<W: World> Simulation<W> {
@@ -193,7 +284,19 @@ impl<W: World> Simulation<W> {
         Simulation {
             world,
             sched: Scheduler::new(),
+            profiler: None,
         }
+    }
+
+    /// Measure wall-clock time per event dispatch, grouped by `label_of`.
+    /// Purely observational — the event stream is untouched.
+    pub fn enable_profiling(&mut self, label_of: fn(&W::Event) -> &'static str) {
+        self.profiler = Some(Profiler::new(label_of));
+    }
+
+    /// Take the accumulated profile (if profiling was enabled).
+    pub fn take_profile(&mut self) -> Option<ExecProfile> {
+        self.profiler.take().map(|p| p.profile)
     }
 
     /// Access the scheduler, e.g. to seed initial events before running.
@@ -209,7 +312,15 @@ impl<W: World> Simulation<W> {
     pub fn step(&mut self) -> bool {
         match self.sched.pop_event() {
             Some((t, ev)) => {
-                self.world.handle(t, ev, &mut self.sched);
+                match &mut self.profiler {
+                    Some(p) => {
+                        let label = (p.label_of)(&ev);
+                        let t0 = Instant::now();
+                        self.world.handle(t, ev, &mut self.sched);
+                        p.profile.record(label, t0.elapsed().as_secs_f64());
+                    }
+                    None => self.world.handle(t, ev, &mut self.sched),
+                }
                 true
             }
             None => false,
@@ -251,6 +362,7 @@ where
     sched: Scheduler<W::Event>,
     pool: rayon::ThreadPool,
     scratch: Vec<W::Event>,
+    profiler: Option<Profiler<W::Event>>,
 }
 
 impl<W: BatchWorld> ParallelSimulation<W>
@@ -273,7 +385,20 @@ where
             sched: Scheduler::with_lanes(<W::Event as Laned>::lane),
             pool,
             scratch: Vec::new(),
+            profiler: None,
         }
+    }
+
+    /// Count event labels and measure wall-clock time per same-timestamp
+    /// batch. Purely observational — the event stream is untouched. Per-label
+    /// wall time is not collected in batch mode (see [`DispatchStat`]).
+    pub fn enable_profiling(&mut self, label_of: fn(&W::Event) -> &'static str) {
+        self.profiler = Some(Profiler::new(label_of));
+    }
+
+    /// Take the accumulated profile (if profiling was enabled).
+    pub fn take_profile(&mut self) -> Option<ExecProfile> {
+        self.profiler.take().map(|p| p.profile)
     }
 
     /// Access the scheduler, e.g. to seed initial events before running.
@@ -296,8 +421,22 @@ where
         batch.clear();
         let stepped = match self.sched.pop_batch(&mut batch) {
             Some(t) => {
-                self.world
-                    .handle_batch(t, &mut batch, &self.pool, &mut self.sched);
+                match &mut self.profiler {
+                    Some(p) => {
+                        for ev in batch.iter() {
+                            p.profile.count((p.label_of)(ev));
+                        }
+                        let n = batch.len() as u64;
+                        let t0 = Instant::now();
+                        self.world
+                            .handle_batch(t, &mut batch, &self.pool, &mut self.sched);
+                        p.profile.record_batch(n, t0.elapsed().as_secs_f64());
+                    }
+                    None => {
+                        self.world
+                            .handle_batch(t, &mut batch, &self.pool, &mut self.sched);
+                    }
+                }
                 debug_assert!(batch.is_empty(), "handle_batch must drain its batch");
                 true
             }
@@ -453,6 +592,54 @@ mod tests {
         });
         assert!(!sim.step());
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn profiling_observes_without_perturbing() {
+        let run = |profile: bool| {
+            let mut sim = Simulation::new(Countdown {
+                remaining: 5,
+                fired_at: vec![],
+            });
+            if profile {
+                sim.enable_profiling(|_| "tick");
+            }
+            sim.scheduler().at(SimTime::ZERO, ());
+            sim.run();
+            let prof = sim.take_profile();
+            (sim.world.fired_at, prof)
+        };
+        let (plain, none) = run(false);
+        let (profiled, prof) = run(true);
+        assert_eq!(
+            plain, profiled,
+            "profiling must not change the event stream"
+        );
+        assert!(none.is_none());
+        let prof = prof.expect("profile collected");
+        assert_eq!(prof.total_events(), 6);
+        assert_eq!(prof.dispatch["tick"].events, 6);
+        assert!(prof.total_wall_secs() >= 0.0);
+    }
+
+    #[test]
+    fn parallel_profiling_counts_batches() {
+        let world = PingWorld {
+            rounds: 10,
+            servers: 4,
+            order: vec![],
+        };
+        let mut sim = ParallelSimulation::with_threads(world, 2);
+        sim.enable_profiling(|_| "ping");
+        for s in 0..4 {
+            sim.scheduler().at(SimTime::ZERO, Ping(s));
+        }
+        sim.run();
+        let prof = sim.take_profile().expect("profile collected");
+        assert_eq!(prof.dispatch["ping"].events, prof.batch_events);
+        assert!(prof.batches > 0);
+        assert_eq!(prof.dispatch["ping"].wall_secs, 0.0);
+        assert_eq!(sim.scheduler().spilled_count(), 0);
     }
 
     #[test]

@@ -157,6 +157,12 @@ impl FaultPlan {
 
     /// Every window boundary, sorted and deduplicated: the times at which a
     /// driver must re-evaluate fault effects.
+    /// Number of fault windows (across all nodes) active at `now` — a cheap
+    /// gauge for observability sampling.
+    pub fn active_count(&self, now: SimTime) -> usize {
+        self.events.iter().filter(|e| e.active_at(now)).count()
+    }
+
     pub fn transition_times(&self) -> Vec<SimTime> {
         let mut times: Vec<SimTime> = self.events.iter().flat_map(|e| [e.start, e.end]).collect();
         times.sort();

@@ -94,10 +94,17 @@ impl<E> Default for LaneBuf<E> {
 }
 
 impl<E> LaneBuf<E> {
-    fn push(&mut self, entry: Entry<E>) {
+    /// Returns true when the entry missed the FIFO fast path.
+    fn push(&mut self, entry: Entry<E>) -> bool {
         match self.fifo.back() {
-            Some(back) if entry.time < back.time => self.spill.push(entry),
-            _ => self.fifo.push_back(entry),
+            Some(back) if entry.time < back.time => {
+                self.spill.push(entry);
+                true
+            }
+            _ => {
+                self.fifo.push_back(entry);
+                false
+            }
         }
     }
 
@@ -132,6 +139,7 @@ pub struct LaneQueue<E> {
     servers: Vec<LaneBuf<E>>,
     seq: u64,
     popped: u64,
+    spilled: u64,
     len: usize,
 }
 
@@ -144,6 +152,7 @@ impl<E> LaneQueue<E> {
             servers: Vec::new(),
             seq: 0,
             popped: 0,
+            spilled: 0,
             len: 0,
         }
     }
@@ -166,7 +175,9 @@ impl<E> LaneQueue<E> {
         self.seq += 1;
         self.len += 1;
         let lane = (self.lane_of)(&event);
-        self.buf_mut(lane).push(Entry { time, seq, event });
+        if self.buf_mut(lane).push(Entry { time, seq, event }) {
+            self.spilled += 1;
+        }
     }
 
     /// Index (global = `usize::MAX` sentinel not used; we scan directly) of
@@ -241,6 +252,13 @@ impl<E> LaneQueue<E> {
     /// Total number of events ever dispatched.
     pub fn dispatched_count(&self) -> u64 {
         self.popped
+    }
+
+    /// Number of pushes that missed the per-lane FIFO fast path and landed
+    /// in a spill heap (an observability health signal: high spill rates
+    /// mean out-of-order scheduling is defeating the O(1) path).
+    pub fn spilled_count(&self) -> u64 {
+        self.spilled
     }
 }
 

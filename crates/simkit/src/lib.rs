@@ -47,7 +47,9 @@ pub mod time;
 
 pub use component::{Component, Routed};
 pub use event::EventQueue;
-pub use executor::{BatchWorld, ParallelSimulation, Scheduler, Simulation, World};
+pub use executor::{
+    BatchWorld, DispatchStat, ExecProfile, ParallelSimulation, Scheduler, Simulation, World,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fifo::FifoServer;
 pub use lane::{Lane, LaneQueue, Laned};

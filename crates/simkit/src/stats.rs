@@ -106,6 +106,13 @@ impl TimeWeighted {
         self.peak
     }
 
+    /// Cumulative time-weighted integral ∫ value dt over `[start, now]`,
+    /// using exactly the float operations [`TimeWeighted::mean`] uses — so a
+    /// sampled integral series reconciles bit-for-bit with end-of-run means.
+    pub fn integral_at(&self, now: SimTime) -> f64 {
+        self.integral + self.value * (now - self.since).as_secs_f64()
+    }
+
     /// Time-weighted mean over `[start, now]`.
     pub fn mean(&self, now: SimTime) -> f64 {
         let total = (now - self.start).as_secs_f64();

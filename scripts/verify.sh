@@ -17,4 +17,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
+# Observability smoke: a small scenario with --obs-out must emit all three
+# artifacts, the Prometheus snapshot must parse, and every timeline line
+# must round-trip through serde (checked by the obs determinism suite; here
+# we only assert the CLI surface works end to end).
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+cargo run -q --release --bin dosas-sim -- \
+    --scheme dosas --n 4 --size-mb 32 --obs-out "$OBS_DIR" >/dev/null
+for f in metrics.prom timeline.jsonl trace.json; do
+    test -s "$OBS_DIR/$f" || { echo "verify: missing obs artifact $f" >&2; exit 1; }
+done
+cargo run -q --release --bin dosas-sim -- --check-obs "$OBS_DIR"
+cargo test -q --test obs_determinism
+
 echo "verify: OK"

@@ -22,6 +22,7 @@ struct Args {
     deterministic: bool,
     json: bool,
     trace: Option<String>,
+    obs_out: Option<String>,
 }
 
 impl Default for Args {
@@ -36,6 +37,7 @@ impl Default for Args {
             deterministic: false,
             json: false,
             trace: None,
+            obs_out: None,
         }
     }
 }
@@ -57,6 +59,12 @@ OPTIONS:
     --deterministic      disable bandwidth/CPU jitter and latencies
     --json               emit one JSON object per scheme
     --trace <path>       write a chrome://tracing timeline (last scheme)
+    --obs-out <dir>      enable observability and write metrics.prom,
+                         timeline.jsonl and trace.json into <dir>
+                         (last scheme; directory is created if absent)
+    --check-obs <dir>    validate a previously written --obs-out directory
+                         (Prometheus snapshot parses, timeline round-trips
+                         through serde) and exit
     -h, --help           this text
 ";
 
@@ -104,6 +112,23 @@ fn parse_args() -> Result<Args, String> {
             "--deterministic" => args.deterministic = true,
             "--json" => args.json = true,
             "--trace" => args.trace = Some(value("--trace")?),
+            "--obs-out" => args.obs_out = Some(value("--obs-out")?),
+            "--check-obs" => {
+                let dir = value("--check-obs")?;
+                match check_obs_dir(&dir) {
+                    Ok((samples, lines)) => {
+                        println!(
+                            "ok: {dir}/metrics.prom ({samples} samples), \
+                             {dir}/timeline.jsonl ({lines} records)"
+                        );
+                        exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        exit(1);
+                    }
+                }
+            }
             "-h" | "--help" => {
                 print!("{HELP}");
                 exit(0);
@@ -183,7 +208,10 @@ fn main() {
         }
         cfg.cluster.storage_nodes = args.storage_nodes;
         cfg.seed = args.seed;
-        cfg.trace = args.trace.is_some();
+        cfg.trace = args.trace.is_some() || args.obs_out.is_some();
+        if args.obs_out.is_some() {
+            cfg.obs = ObsConfig::enabled();
+        }
         let label = scheme_label(scheme);
         let m = Driver::run(cfg, &workload);
         if args.json {
@@ -227,7 +255,68 @@ fn main() {
                 println!("          (timeline written to {path} — open in chrome://tracing)");
             }
         }
+        if let Some(dir) = &args.obs_out {
+            if let Err(e) = write_obs_dir(dir, &m, args.json) {
+                eprintln!("warning: could not write observability output to {dir}: {e}");
+            }
+        }
     }
+}
+
+/// Write the three observability artifacts — `metrics.prom` (Prometheus
+/// text exposition), `timeline.jsonl` (merged samples + events) and
+/// `trace.json` (chrome://tracing) — into `dir`.
+fn write_obs_dir(dir: &str, m: &RunMetrics, quiet: bool) -> std::io::Result<()> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)?;
+    let report = m
+        .obs
+        .as_ref()
+        .expect("obs enabled by --obs-out, so the run carries a report");
+    std::fs::write(dir.join("metrics.prom"), report.to_prometheus())?;
+    std::fs::write(dir.join("timeline.jsonl"), report.timeline_jsonl())?;
+    let trace = m.trace.as_deref().unwrap_or(&[]);
+    std::fs::write(
+        dir.join("trace.json"),
+        dosas::driver::trace::to_chrome_json(trace),
+    )?;
+    if !quiet {
+        println!(
+            "          (observability written to {}/{{metrics.prom,timeline.jsonl,trace.json}})",
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// Validate an `--obs-out` directory: the Prometheus snapshot must pass the
+/// text-exposition checker and every timeline line must round-trip through
+/// serde byte-for-byte. Returns (prometheus sample lines, timeline records).
+fn check_obs_dir(dir: &str) -> Result<(usize, usize), String> {
+    let dir = std::path::Path::new(dir);
+    let prom = std::fs::read_to_string(dir.join("metrics.prom"))
+        .map_err(|e| format!("read metrics.prom: {e}"))?;
+    let samples =
+        dosas_repro::obs::validate_prometheus(&prom).map_err(|e| format!("metrics.prom: {e}"))?;
+    let jsonl = std::fs::read_to_string(dir.join("timeline.jsonl"))
+        .map_err(|e| format!("read timeline.jsonl: {e}"))?;
+    let mut lines = 0usize;
+    for (i, line) in jsonl.lines().enumerate() {
+        let rec: TimelineRecord = serde_json::from_str(line)
+            .map_err(|e| format!("timeline.jsonl line {}: {e}", i + 1))?;
+        let again = serde_json::to_string(&rec).map_err(|e| e.to_string())?;
+        if line != again {
+            return Err(format!(
+                "timeline.jsonl line {} did not round-trip through serde",
+                i + 1
+            ));
+        }
+        lines += 1;
+    }
+    let trace = std::fs::read_to_string(dir.join("trace.json"))
+        .map_err(|e| format!("read trace.json: {e}"))?;
+    serde_json::from_str::<serde_json::Value>(&trace).map_err(|e| format!("trace.json: {e}"))?;
+    Ok((samples, lines))
 }
 
 fn scheme_label(s: &Scheme) -> &'static str {

@@ -35,6 +35,7 @@ pub use cluster;
 pub use dosas;
 pub use kernels;
 pub use mpiio;
+pub use obs;
 pub use pfs;
 pub use simkit;
 
@@ -47,7 +48,8 @@ pub mod prelude {
     };
     pub use kernels::{Kernel, KernelParams, KernelRegistry};
     pub use mpiio::program::{Op, RankProgram};
-    pub use simkit::{FaultKind, FaultPlan, SimSpan, SimTime};
+    pub use obs::{ObsConfig, ObsReport, Severity, TimelineRecord};
+    pub use simkit::{ExecProfile, FaultKind, FaultPlan, SimSpan, SimTime};
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ fn det(scheme: Scheme, fault_plan: FaultPlan) -> DriverConfig {
         data_plane: false,
         trace: false,
         fault_plan,
+        obs: ObsConfig::default(),
     }
 }
 
