@@ -108,34 +108,76 @@ fn bench_tick_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fabric_churn(c: &mut Criterion) {
+    // The incremental-fill headline: a churn-heavy flow schedule (bursts of
+    // same-timestamp cancel+start over disjoint components, a completion
+    // query per tick) under the incremental fill vs the pre-incremental
+    // full-recompute baseline. Construction is re-done per iteration but
+    // settles in one coalesced pass, so churn dominates the measurement.
+    use bench::fabric_churn::{self, FLOW_POINTS};
+    use cluster::FillMode;
+
+    let mut g = c.benchmark_group("fabric_churn");
+    for flows in FLOW_POINTS {
+        for (label, mode) in [
+            ("incremental", FillMode::Incremental),
+            ("full_rescan", FillMode::FullRescan),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, flows), &flows, |b, &n| {
+                b.iter(|| {
+                    let (mut f, mut ids) = fabric_churn::build(n);
+                    f.set_fill_mode(mode);
+                    black_box(fabric_churn::run(&mut f, &mut ids))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_driver_exec_mode(c: &mut Criterion) {
-    // End-to-end: a contended DOSAS run under both run loops (golden tests
+    // End-to-end: contended DOSAS runs under both run loops (golden tests
     // prove the metrics bit-identical; this measures the dispatch cost).
+    // Two workload points: the toy scale where serial wins on batching
+    // overhead, and the large regime the sharded executor targets. Each
+    // point reports events/sec via the throughput rate.
+    use criterion::Throughput;
     use dosas::{Driver, DriverConfig, ExecMode, Scheme, Workload};
     use kernels::KernelParams;
 
-    let workload = Workload::uniform_active(
-        8,
-        1,
-        32 * 1024 * 1024,
-        "gaussian2d",
-        KernelParams::with_width(1024),
-    );
-    let cfg = || DriverConfig::paper(Scheme::dosas_default());
+    let params = || KernelParams::with_width(1024);
+    let points = [
+        (
+            "8r1s",
+            Workload::uniform_active(8, 1, 32 * 1024 * 1024, "gaussian2d", params()),
+            DriverConfig::paper(Scheme::dosas_default()),
+        ),
+        (
+            "512r64s",
+            bench::large_driver_workload(),
+            bench::large_driver_cfg(),
+        ),
+    ];
 
     let mut g = c.benchmark_group("driver_exec_mode");
-    g.bench_function("serial", |b| {
-        b.iter(|| black_box(Driver::run_with(cfg(), &workload, ExecMode::Serial)))
-    });
-    g.bench_function("parallel", |b| {
-        b.iter(|| {
-            black_box(Driver::run_with(
-                cfg(),
-                &workload,
-                ExecMode::Parallel { threads: 0 },
-            ))
-        })
-    });
+    for (label, workload, cfg) in points {
+        // One untimed run pins the per-iteration event count so the
+        // throughput line reads in events/sec.
+        let events = Driver::run_with(cfg.clone(), &workload, ExecMode::Serial).events;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("serial", label), &workload, |b, w| {
+            b.iter(|| black_box(Driver::run_with(cfg.clone(), w, ExecMode::Serial)))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", label), &workload, |b, w| {
+            b.iter(|| {
+                black_box(Driver::run_with(
+                    cfg.clone(),
+                    w,
+                    ExecMode::Parallel { threads: 0 },
+                ))
+            })
+        });
+    }
     g.finish();
 }
 
@@ -146,10 +188,25 @@ fn quick() -> Criterion {
         .sample_size(20)
 }
 
+/// Lighter sampling for `fabric_churn`: one FullRescan schedule at 8192
+/// flows costs seconds, so the default 20-sample floor would dominate the
+/// whole suite's wall time.
+fn churn_quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(3)
+}
+
 criterion_group! {
     name = benches;
     config = quick();
     targets = bench_event_dispatch, bench_share_resource_churn, bench_fabric_recompute,
         bench_tick_dispatch, bench_driver_exec_mode
 }
-criterion_main!(benches);
+criterion_group! {
+    name = churn;
+    config = churn_quick();
+    targets = bench_fabric_churn
+}
+criterion_main!(benches, churn);

@@ -1,18 +1,28 @@
 //! Emits `BENCH_simulator.json` — the committed machine-readable baseline
-//! for the sharded event-lane executor (ISSUE 3 acceptance numbers).
+//! for the simulation engine (ISSUE 3 + ISSUE 5 acceptance numbers).
 //!
-//! Two comparisons, both wall-clock `Instant` timings (best of three):
+//! Sections, all wall-clock `Instant` timings (best of three):
 //!
 //! 1. `tick_dispatch` — the synthetic tick-dominated world of
 //!    [`bench::tickworld`] at 16 / 64 / 256 servers with a fixed event
 //!    total, monolithic-heap serial executor vs the sharded
 //!    `ParallelSimulation`.
-//! 2. `driver` — a full contended DOSAS run under `ExecMode::Serial` vs
-//!    `ExecMode::Parallel`, checked bit-identical before timing.
+//! 2. `driver` — full contended DOSAS runs under `ExecMode::Serial` vs
+//!    `ExecMode::Parallel`, checked bit-identical before timing, at two
+//!    scales: the paper testbed (64 ranks × 1 storage node) and the large
+//!    regime the executor targets (512 ranks × 64 storage nodes). Each
+//!    point records events/sec in both modes.
+//! 3. `fabric_churn` — the churn-heavy flow schedule of
+//!    [`bench::fabric_churn`] under the incremental water-filling fill vs
+//!    the pre-incremental full-recompute baseline (`FillMode::FullRescan`),
+//!    at 64 / 1024 / 8192 flows.
+//! 4. `incremental_fabric` — stale-`NetTick` suppression and fill-reuse
+//!    counters from an observability-enabled standard DOSAS run: the ticks
+//!    the incremental fabric proved redundant and never dispatched.
 //!
 //! Plus a `profile` section: the simkit executor's wall-clock dispatch
 //! breakdown (per-subsystem handler time under the serial executor, batch
-//! statistics and lane-spill counts under the parallel one) for the same
+//! statistics and lane-spill counts under the parallel one) for the paper
 //! driver run, via `Driver::run_profiled`.
 //!
 //! ```text
@@ -22,22 +32,24 @@
 //! Run via `scripts/bench.sh`, which regenerates the committed file at the
 //! repository root.
 
-use bench::executor_scaling;
-use dosas::{Driver, DriverConfig, ExecMode, Scheme, Workload};
+use bench::{executor_scaling, fabric_churn};
+use cluster::FillMode;
+use dosas::{Driver, DriverConfig, ExecMode, RunMetrics, Scheme, Workload};
 use kernels::KernelParams;
+use obs::Label;
 use std::path::PathBuf;
 use std::time::Instant;
 
 const MIB: u64 = 1024 * 1024;
 const TICK_EVENTS: u64 = 200_000;
 
-fn driver_cfg() -> DriverConfig {
+fn paper_cfg() -> DriverConfig {
     let mut cfg = DriverConfig::paper(Scheme::dosas_default());
     cfg.seed = 42;
     cfg
 }
 
-fn driver_workload() -> Workload {
+fn paper_workload() -> Workload {
     Workload::uniform_active(
         64,
         1,
@@ -47,14 +59,62 @@ fn driver_workload() -> Workload {
     )
 }
 
-fn time_driver(mode: ExecMode) -> f64 {
+fn time_driver(cfg: &DriverConfig, workload: &Workload, mode: ExecMode) -> f64 {
     (0..3)
         .map(|_| {
             let t0 = Instant::now();
-            std::hint::black_box(Driver::run_with(driver_cfg(), &driver_workload(), mode));
+            std::hint::black_box(Driver::run_with(cfg.clone(), workload, mode));
             t0.elapsed().as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Time one driver point in both modes, asserting bit-identity first.
+fn driver_point(
+    label: &str,
+    desc: &str,
+    cfg: DriverConfig,
+    workload: Workload,
+) -> serde_json::Value {
+    let serial = Driver::run_with(cfg.clone(), &workload, ExecMode::Serial);
+    let parallel = Driver::run_with(cfg.clone(), &workload, ExecMode::Parallel { threads: 0 });
+    assert_eq!(
+        serde_json::to_string(&serial).unwrap(),
+        serde_json::to_string(&parallel).unwrap(),
+        "serial and parallel driver runs must be bit-identical ({label})"
+    );
+    let serial_secs = time_driver(&cfg, &workload, ExecMode::Serial);
+    let parallel_secs = time_driver(&cfg, &workload, ExecMode::Parallel { threads: 0 });
+    serde_json::json!({
+        "label": label,
+        "workload": desc,
+        "events": serial.events,
+        "events_cancelled": serial.events_cancelled,
+        "serial_secs": serial_secs,
+        "parallel_secs": parallel_secs,
+        "serial_events_per_sec": serial.events as f64 / serial_secs,
+        "parallel_events_per_sec": serial.events as f64 / parallel_secs,
+        "speedup": serial_secs / parallel_secs,
+    })
+}
+
+/// Stale-tick and fill-reuse counters from an obs-enabled standard run.
+fn incremental_fabric_section(metrics: &RunMetrics) -> serde_json::Value {
+    let report = metrics.obs.as_ref().expect("obs-enabled run has a report");
+    let counter = |subsystem, name| report.metrics.counter_value(subsystem, name, Label::None);
+    serde_json::json!({
+        "workload": "standard DOSAS workload (64 ranks x 256 MiB gaussian2d, paper testbed)",
+        "net_ticks_suppressed": counter("fabric", "net_ticks_suppressed"),
+        "net_ticks_deduped": counter("fabric", "net_ticks_deduped"),
+        "net_ticks_avoided": counter("fabric", "net_ticks_avoided"),
+        "events_cancelled": metrics.events_cancelled,
+        "fabric_fills": counter("fabric", "fills"),
+        "fabric_churn_ops": counter("fabric", "churn_ops"),
+        "fabric_flows_refilled": counter("fabric", "flows_refilled"),
+        "fabric_flows_reused": counter("fabric", "flows_reused"),
+        "cpu_share_fills": counter("cpu", "share_fills"),
+        "cpu_share_churn_ops": counter("cpu", "share_churn_ops"),
+    })
 }
 
 fn main() {
@@ -68,27 +128,54 @@ fn main() {
     eprintln!("timing tick_dispatch sweep ({TICK_EVENTS} events/point)...");
     let tick = executor_scaling(TICK_EVENTS, 0);
 
-    eprintln!("timing driver serial vs parallel...");
-    let serial = Driver::run_with(driver_cfg(), &driver_workload(), ExecMode::Serial);
-    let parallel = Driver::run_with(
-        driver_cfg(),
-        &driver_workload(),
-        ExecMode::Parallel { threads: 0 },
-    );
-    assert_eq!(
-        serde_json::to_string(&serial).unwrap(),
-        serde_json::to_string(&parallel).unwrap(),
-        "serial and parallel driver runs must be bit-identical"
-    );
-    let serial_secs = time_driver(ExecMode::Serial);
-    let parallel_secs = time_driver(ExecMode::Parallel { threads: 0 });
+    eprintln!("timing driver serial vs parallel (paper + large points)...");
+    let driver_points = vec![
+        driver_point(
+            "64r1s",
+            "64 ranks x 256 MiB gaussian2d, DOSAS scheme, paper testbed",
+            paper_cfg(),
+            paper_workload(),
+        ),
+        driver_point(
+            "512r64s",
+            "512 ranks x 32 MiB gaussian2d, DOSAS scheme, 64 compute + 64 storage nodes",
+            bench::large_driver_cfg(),
+            bench::large_driver_workload(),
+        ),
+    ];
+
+    eprintln!("timing fabric_churn schedule (incremental vs full rescan)...");
+    let churn_points: Vec<serde_json::Value> = fabric_churn::FLOW_POINTS
+        .iter()
+        .map(|&flows| {
+            let full_secs = fabric_churn::churn_secs(flows, FillMode::FullRescan, 3);
+            let inc_secs = fabric_churn::churn_secs(flows, FillMode::Incremental, 3);
+            let c = fabric_churn::incremental_counters(flows);
+            serde_json::json!({
+                "flows": flows,
+                "full_rescan_secs": full_secs,
+                "incremental_secs": inc_secs,
+                "speedup": full_secs / inc_secs,
+                "churn_ops": c.churn_ops,
+                "fills": c.fills,
+                "flows_refilled": c.flows_refilled,
+                "flows_reused": c.flows_reused,
+            })
+        })
+        .collect();
+
+    eprintln!("counting stale-NetTick suppression on the standard workload...");
+    let mut obs_cfg = paper_cfg();
+    obs_cfg.obs = obs::ObsConfig::enabled();
+    let obs_run = Driver::run_with(obs_cfg, &paper_workload(), ExecMode::Serial);
+    let incremental_fabric = incremental_fabric_section(&obs_run);
 
     eprintln!("profiling dispatch breakdown...");
     let (_, serial_profile) =
-        Driver::run_profiled(driver_cfg(), &driver_workload(), ExecMode::Serial);
+        Driver::run_profiled(paper_cfg(), &paper_workload(), ExecMode::Serial);
     let (_, parallel_profile) = Driver::run_profiled(
-        driver_cfg(),
-        &driver_workload(),
+        paper_cfg(),
+        &paper_workload(),
         ExecMode::Parallel { threads: 0 },
     );
 
@@ -96,12 +183,15 @@ fn main() {
         "total_events_per_point": TICK_EVENTS,
         "points": tick,
     });
-    let driver_section = serde_json::json!({
-        "workload": "64 ranks x 256 MiB gaussian2d, DOSAS scheme, paper testbed",
-        "events": serial.events,
-        "serial_secs": serial_secs,
-        "parallel_secs": parallel_secs,
-        "speedup": serial_secs / parallel_secs,
+    let driver_section = serde_json::json!({ "points": driver_points });
+    let churn_section = serde_json::json!({
+        "schedule": format!(
+            "{} ticks x {} same-tick replace ops over {} disjoint pairs, one completion query per tick",
+            fabric_churn::TICKS,
+            fabric_churn::OPS_PER_TICK,
+            fabric_churn::PAIRS,
+        ),
+        "points": churn_points,
     });
     // Wall-clock dispatch breakdown (simkit executor profiling hooks):
     // per-subsystem event counts and handler time under the serial
@@ -114,10 +204,12 @@ fn main() {
         "parallel": parallel_profile,
     });
     let report = serde_json::json!({
-        "schema": "dosas-bench-baseline/v2",
+        "schema": "dosas-bench-baseline/v3",
         "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "tick_dispatch": tick_section,
         "driver": driver_section,
+        "fabric_churn": churn_section,
+        "incremental_fabric": incremental_fabric,
         "profile": profile_section,
     });
     let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -133,8 +225,27 @@ fn main() {
             p["speedup"].as_f64().unwrap_or(f64::NAN),
         );
     }
+    for p in report["driver"]["points"].as_array().unwrap() {
+        println!(
+            "  driver {}: serial {:.4}s  parallel {:.4}s  ({:.2}x, {:.0} ev/s serial)",
+            p["label"].as_str().unwrap_or("?"),
+            p["serial_secs"].as_f64().unwrap_or(f64::NAN),
+            p["parallel_secs"].as_f64().unwrap_or(f64::NAN),
+            p["speedup"].as_f64().unwrap_or(f64::NAN),
+            p["serial_events_per_sec"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+    for p in report["fabric_churn"]["points"].as_array().unwrap() {
+        println!(
+            "  fabric_churn {:>4} flows: full {:.4}s  incremental {:.4}s  ({:.2}x)",
+            p["flows"],
+            p["full_rescan_secs"].as_f64().unwrap_or(f64::NAN),
+            p["incremental_secs"].as_f64().unwrap_or(f64::NAN),
+            p["speedup"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
     println!(
-        "  driver: serial {serial_secs:.4}s  parallel {parallel_secs:.4}s  ({:.2}x)",
-        serial_secs / parallel_secs
+        "  net_ticks_avoided on standard workload: {}",
+        report["incremental_fabric"]["net_ticks_avoided"]
     );
 }

@@ -39,10 +39,12 @@ impl Cpu {
     /// Degrade (or restore) effective capacity to `factor * cores`, e.g. for
     /// an injected slowdown fault. Running tasks are re-shared at the new
     /// capacity from `now` on; the nominal core count is unchanged.
+    /// `factor == 0.0` models a full stall: tasks run at rate 0 and report
+    /// no upcoming completion until capacity is restored.
     pub fn set_capacity_factor(&mut self, now: SimTime, factor: f64) {
         assert!(
-            factor > 0.0 && factor <= 1.0,
-            "capacity factor {factor} outside (0, 1]"
+            (0.0..=1.0).contains(&factor),
+            "capacity factor {factor} outside [0, 1]"
         );
         if (factor - self.capacity_factor).abs() > f64::EPSILON {
             self.capacity_factor = factor;
@@ -66,8 +68,9 @@ impl Cpu {
         self.res.remove(now, id)
     }
 
-    /// Earliest completion among running tasks.
-    pub fn next_completion(&self) -> Option<SimTime> {
+    /// Earliest completion among running tasks (`None` when idle or fully
+    /// stalled by a zero capacity factor).
+    pub fn next_completion(&mut self) -> Option<SimTime> {
         self.res.next_completion()
     }
 
@@ -82,7 +85,7 @@ impl Cpu {
     }
 
     /// Fraction of total core capacity in use, `[0, 1]`.
-    pub fn utilization(&self) -> f64 {
+    pub fn utilization(&mut self) -> f64 {
         self.res.utilization()
     }
 
@@ -103,8 +106,13 @@ impl Cpu {
     }
 
     /// The instantaneous rate (cores) granted to task `id`.
-    pub fn rate_of(&self, id: TaskId) -> Option<f64> {
+    pub fn rate_of(&mut self, id: TaskId) -> Option<f64> {
         self.res.rate_of(id)
+    }
+
+    /// Coalesced-fill effectiveness counters of the underlying resource.
+    pub fn fill_counters(&self) -> simkit::share::FillCounters {
+        self.res.fill_counters()
     }
 }
 

@@ -28,7 +28,7 @@ pub mod topology;
 pub use config::ClusterConfig;
 pub use cpu::Cpu;
 pub use disk::Disk;
-pub use net::{Fabric, FlowCompletion, FlowId};
+pub use net::{Fabric, FillMode, FlowCompletion, FlowId, NetFillCounters};
 pub use node::{NodeId, NodeRole};
 pub use topology::ClusterState;
 

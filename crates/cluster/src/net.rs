@@ -11,6 +11,28 @@
 //! measured its GigE at 118 MB/s nominal but 111–120 MB/s in practice; the
 //! fabric draws each flow's cap from that range when jitter is configured.
 //!
+//! # Incremental recomputation
+//!
+//! Filling is *lazy and incremental*. Mutators (flow churn, link
+//! degradation) only mark the allocation dirty and record which links were
+//! touched; the actual water-filling pass runs when rates are next observed
+//! or when simulated time moves forward, so N same-timestamp churn
+//! operations cost one pass. The pass itself is restricted to the connected
+//! components (flows transitively coupled through shared links) that contain
+//! a dirty link — flows in untouched components keep their previous rates,
+//! which is exact because progressive filling is separable per component.
+//! A debug assertion cross-checks every incremental fill against a
+//! from-scratch fill of all components.
+//!
+//! Completion queries are O(log n): each fill pushes projected completion
+//! times into a min-heap of `(time, generation, id)` entries; entries
+//! superseded by a newer fill or orphaned by flow removal are lazily
+//! discarded at the heap top.
+//!
+//! [`FillMode::FullRescan`] disables all of this (eager per-mutation global
+//! fills and linear-scan completion queries, the pre-incremental behavior)
+//! so benchmarks can compare against the old cost model.
+//!
 //! Like the other resources, the fabric is driven by the simulation loop via
 //! `next_completion` + `epoch`.
 
@@ -18,7 +40,8 @@ use crate::node::NodeId;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simkit::{SimSpan, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Identifies a flow within the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -32,6 +55,8 @@ struct Flow {
     total: f64,
     rate: f64,
     cap: f64,
+    /// Generation of this flow's live heap entry (`u64::MAX` = none).
+    gen: u64,
 }
 
 /// A finished transfer.
@@ -50,12 +75,40 @@ pub struct CancelledFlow {
     pub progress: f64,
 }
 
+/// How the fabric recomputes rates after churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillMode {
+    /// Coalesce same-timestamp churn into one pass and refill only the
+    /// connected components containing a dirtied link.
+    #[default]
+    Incremental,
+    /// Pre-incremental behavior: every mutation immediately re-derives every
+    /// flow's rate from scratch, and completion queries scan linearly.
+    /// Kept for benchmarking the incremental path against its baseline.
+    FullRescan,
+}
+
+/// Cumulative churn/fill counters (see [`Fabric::fill_counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFillCounters {
+    /// Mutations that invalidated the allocation.
+    pub churn_ops: u64,
+    /// Water-filling passes actually executed; `churn_ops - fills` passes
+    /// were avoided by same-timestamp coalescing.
+    pub fills: u64,
+    /// Flows whose rate was re-derived across all passes.
+    pub flows_refilled: u64,
+    /// Flows whose previous rate was reused because their component was
+    /// untouched.
+    pub flows_reused: u64,
+}
+
 /// The cluster interconnect.
 #[derive(Debug, Clone)]
 pub struct Fabric {
     tx_capacity: Vec<f64>,
     rx_capacity: Vec<f64>,
-    // Per-node degradation in (0, 1] (injected faults); scales both
+    // Per-node degradation in [0, 1] (injected faults); scales both
     // directions of the node's link. Base capacities stay untouched so
     // recovery restores the exact sampled bandwidth.
     link_factor: Vec<f64>,
@@ -68,6 +121,18 @@ pub struct Fabric {
     epoch: u64,
     next_id: u64,
     bytes_delivered: f64,
+    /// True when a mutation has invalidated `rate` fields and the heap.
+    dirty: bool,
+    /// Link ids touched since the last fill (tx n → 2n, rx n → 2n+1,
+    /// switch → 2·nodes). Bounds the incremental pass to their components.
+    dirty_links: BTreeSet<usize>,
+    /// Min-heap of projected completions `(done_at, generation, id)`.
+    /// `done_at` is invariant under [`advance`](Fabric::advance) at constant
+    /// rates, so entries stay valid until a fill supersedes them.
+    heap: BinaryHeap<Reverse<(SimTime, u64, FlowId)>>,
+    next_gen: u64,
+    fill_mode: FillMode,
+    counters: NetFillCounters,
 }
 
 impl Fabric {
@@ -107,6 +172,12 @@ impl Fabric {
             epoch: 0,
             next_id: 0,
             bytes_delivered: 0.0,
+            dirty: false,
+            dirty_links: BTreeSet::new(),
+            heap: BinaryHeap::new(),
+            next_gen: 0,
+            fill_mode: FillMode::default(),
+            counters: NetFillCounters::default(),
         }
     }
 
@@ -129,18 +200,47 @@ impl Fabric {
         self.bytes_delivered
     }
 
+    /// Select the recompute strategy (default [`FillMode::Incremental`]).
+    pub fn set_fill_mode(&mut self, mode: FillMode) {
+        self.fill_mode = mode;
+    }
+
+    /// Cumulative churn/fill counters.
+    pub fn fill_counters(&self) -> NetFillCounters {
+        self.counters
+    }
+
+    /// Link id of node `n`'s transmit side.
+    fn tx_link(n: usize) -> usize {
+        2 * n
+    }
+
+    /// Link id of node `n`'s receive side.
+    fn rx_link(n: usize) -> usize {
+        2 * n + 1
+    }
+
+    /// Link id of the switch core (only meaningful when capped).
+    fn switch_link(&self) -> usize {
+        2 * self.tx_capacity.len()
+    }
+
     /// Degrade (or restore) node `n`'s link bandwidth, both directions, to
     /// `factor` × its sampled capacity (injected NIC fault / congestion).
     /// In-flight flows are re-shared at the new capacities from `now` on.
+    /// `factor == 0.0` models a total outage: flows through `n` stall at
+    /// rate 0 and simply report no upcoming completion.
     pub fn set_link_factor(&mut self, now: SimTime, n: NodeId, factor: f64) {
         assert!(n.0 < self.link_factor.len(), "unknown node {n}");
         assert!(
-            factor > 0.0 && factor <= 1.0,
-            "link factor {factor} outside (0, 1]"
+            (0.0..=1.0).contains(&factor),
+            "link factor {factor} outside [0, 1]"
         );
         if (factor - self.link_factor[n.0]).abs() > f64::EPSILON {
             self.advance(now);
             self.link_factor[n.0] = factor;
+            self.dirty_links.insert(Self::tx_link(n.0));
+            self.dirty_links.insert(Self::rx_link(n.0));
             self.bump();
         }
     }
@@ -156,6 +256,38 @@ impl Fabric {
 
     fn eff_rx(&self, n: usize) -> f64 {
         self.rx_capacity[n] * self.link_factor[n]
+    }
+
+    /// Effective capacity of a link id (`tx`/`rx`/switch).
+    fn eff_link(&self, link: usize) -> f64 {
+        if link == self.switch_link() {
+            self.switch_capacity.unwrap_or(f64::INFINITY)
+        } else if link.is_multiple_of(2) {
+            self.eff_tx(link / 2)
+        } else {
+            self.eff_rx(link / 2)
+        }
+    }
+
+    /// The link ids flow `f` occupies.
+    fn flow_links(&self, f: &Flow) -> [Option<usize>; 3] {
+        [
+            Some(Self::tx_link(f.src.0)),
+            Some(Self::rx_link(f.dst.0)),
+            self.switch_capacity
+                .is_some()
+                .then_some(2 * self.tx_capacity.len()),
+        ]
+    }
+
+    /// Mark every link of `f` dirty (the flow's component must be refilled).
+    fn mark_flow_dirty(&mut self, src: NodeId, dst: NodeId) {
+        self.dirty_links.insert(Self::tx_link(src.0));
+        self.dirty_links.insert(Self::rx_link(dst.0));
+        if self.switch_capacity.is_some() {
+            let sw = self.switch_link();
+            self.dirty_links.insert(sw);
+        }
     }
 
     /// Start a transfer of `bytes` from `src` to `dst`.
@@ -183,8 +315,10 @@ impl Fabric {
                 total: bytes,
                 rate: 0.0,
                 cap,
+                gen: u64::MAX,
             },
         );
+        self.mark_flow_dirty(src, dst);
         self.bump();
         id
     }
@@ -193,6 +327,7 @@ impl Fabric {
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<CancelledFlow> {
         self.advance(now);
         let f = self.flows.remove(&id)?;
+        self.mark_flow_dirty(f.src, f.dst);
         self.bump();
         let progress = if f.total > 0.0 {
             ((f.total - f.remaining) / f.total).clamp(0.0, 1.0)
@@ -206,10 +341,16 @@ impl Fabric {
     }
 
     /// Apply transfer progress up to `now`.
+    ///
+    /// If a pending (coalesced) mutation left the rates stale, they are
+    /// flushed *before* progress is applied — the stale interval
+    /// `[last_update, now)` began at the mutation timestamp, so the freshly
+    /// filled rates are exactly the ones that governed it.
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_update);
         let dt = (now - self.last_update).as_secs_f64();
         if dt > 0.0 {
+            self.ensure_rates();
             for f in self.flows.values_mut() {
                 f.remaining = (f.remaining - f.rate * dt).max(0.0);
             }
@@ -217,8 +358,28 @@ impl Fabric {
         self.last_update = now;
     }
 
-    /// Earliest flow completion at current rates.
-    pub fn next_completion(&self) -> Option<SimTime> {
+    /// Earliest flow completion at current rates. `None` when idle, or when
+    /// every in-flight flow is rate-starved (links forced to 0 by a fault) —
+    /// a starved flow never completes, so it contributes no (infinite)
+    /// completion time.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        self.ensure_rates();
+        if self.fill_mode == FillMode::FullRescan {
+            return self.next_completion_scan();
+        }
+        while let Some(&Reverse((t, gen, id))) = self.heap.peek() {
+            match self.flows.get(&id) {
+                Some(f) if f.gen == gen => return Some(t),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Pre-incremental linear completion scan (FullRescan mode).
+    fn next_completion_scan(&self) -> Option<SimTime> {
         let mut best: Option<f64> = None;
         for f in self.flows.values() {
             if f.rate > 0.0 {
@@ -234,6 +395,7 @@ impl Fabric {
     /// Advance to `now` and collect finished flows.
     pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowCompletion> {
         self.advance(now);
+        self.ensure_rates();
         let done: Vec<FlowId> = self
             .flows
             .iter()
@@ -244,6 +406,7 @@ impl Fabric {
         for id in done {
             let f = self.flows.remove(&id).expect("listed flow exists");
             self.bytes_delivered += f.total;
+            self.mark_flow_dirty(f.src, f.dst);
             out.push(FlowCompletion {
                 id,
                 src: f.src,
@@ -258,7 +421,8 @@ impl Fabric {
     }
 
     /// Current rate of flow `id` (bytes/second).
-    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+    pub fn rate_of(&mut self, id: FlowId) -> Option<f64> {
+        self.ensure_rates();
         self.flows.get(&id).map(|f| f.rate)
     }
 
@@ -267,7 +431,8 @@ impl Fabric {
     /// node can measure about itself without knowing link capacities —
     /// when ≥ 2 flows share the link, the sum equals the link's true
     /// achievable bandwidth.
-    pub fn tx_observation(&self, n: NodeId) -> (f64, usize) {
+    pub fn tx_observation(&mut self, n: NodeId) -> (f64, usize) {
+        self.ensure_rates();
         let mut rate = 0.0;
         let mut count = 0;
         for f in self.flows.values() {
@@ -282,79 +447,189 @@ impl Fabric {
     /// Utilization of node `n`'s transmit link, `[0, 1]`. The `+ 0.0`
     /// normalizes IEEE `-0.0` (which `clamp` passes through, `-0.0` not
     /// being less than `0.0`) so idle links serialize as plain `0.0` in
-    /// observability samples.
-    pub fn tx_utilization(&self, n: NodeId) -> f64 {
+    /// observability samples. A link degraded to zero capacity reports 0.
+    pub fn tx_utilization(&mut self, n: NodeId) -> f64 {
+        self.ensure_rates();
+        let eff = self.eff_tx(n.0);
+        if eff <= 0.0 {
+            return 0.0;
+        }
         let used: f64 = self
             .flows
             .values()
             .filter(|f| f.src == n)
             .map(|f| f.rate)
             .sum();
-        (used / self.eff_tx(n.0)).clamp(0.0, 1.0) + 0.0
+        (used / eff).clamp(0.0, 1.0) + 0.0
     }
 
     /// Utilization of node `n`'s receive link, `[0, 1]` (`-0.0` normalized
     /// like [`Fabric::tx_utilization`]).
-    pub fn rx_utilization(&self, n: NodeId) -> f64 {
+    pub fn rx_utilization(&mut self, n: NodeId) -> f64 {
+        self.ensure_rates();
+        let eff = self.eff_rx(n.0);
+        if eff <= 0.0 {
+            return 0.0;
+        }
         let used: f64 = self
             .flows
             .values()
             .filter(|f| f.dst == n)
             .map(|f| f.rate)
             .sum();
-        (used / self.eff_rx(n.0)).clamp(0.0, 1.0) + 0.0
+        (used / eff).clamp(0.0, 1.0) + 0.0
     }
 
     fn bump(&mut self) {
         self.epoch += 1;
-        self.recompute_rates();
+        self.dirty = true;
+        self.counters.churn_ops += 1;
+        if self.fill_mode == FillMode::FullRescan {
+            // Pre-incremental semantics: pay a full pass on every mutation.
+            self.ensure_rates();
+        }
     }
 
-    /// Progressive filling: grow all unfrozen flows at one common rate until
-    /// a link or cap binds; freeze; repeat.
-    fn recompute_rates(&mut self) {
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        if ids.is_empty() {
+    /// Flush pending coalesced mutations: one water-filling pass over the
+    /// dirtied components (or everything in FullRescan mode). No-op when
+    /// the allocation is current.
+    fn ensure_rates(&mut self) {
+        if !self.dirty {
             return;
         }
-        let n_nodes = self.tx_capacity.len();
-        let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
-        let mut unfrozen: Vec<FlowId> = ids.clone();
+        self.dirty = false;
+        self.counters.fills += 1;
+        if self.fill_mode == FillMode::FullRescan {
+            self.dirty_links.clear();
+            let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+            self.counters.flows_refilled += ids.len() as u64;
+            let rates = self.fill_subset(&ids);
+            for (id, rate) in rates {
+                self.flows.get_mut(&id).expect("filled flow exists").rate = rate;
+            }
+            return;
+        }
 
-        // Iterations bounded by number of constraints (2·nodes + flows + 1).
+        // Union links into components via the current flow set; a component
+        // needs refilling iff it contains a dirtied link.
+        let mut uf = UnionFind::new(self.switch_link() + 1);
+        for f in self.flows.values() {
+            for link in self.flow_links(f).into_iter().flatten() {
+                uf.union(Self::tx_link(f.src.0), link);
+            }
+        }
+        let dirty_roots: BTreeSet<usize> = self.dirty_links.iter().map(|&l| uf.find(l)).collect();
+        self.dirty_links.clear();
+
+        let refill: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| dirty_roots.contains(&uf.find(Self::tx_link(f.src.0))))
+            .map(|(&id, _)| id)
+            .collect();
+        self.counters.flows_refilled += refill.len() as u64;
+        self.counters.flows_reused += (self.flows.len() - refill.len()) as u64;
+
+        let rates = self.fill_subset(&refill);
+        for (id, rate) in rates {
+            self.flows.get_mut(&id).expect("filled flow exists").rate = rate;
+        }
+        self.refresh_heap(&refill);
+
+        // Oracle: the incremental result must be bit-identical to deriving
+        // every component from scratch.
+        #[cfg(debug_assertions)]
+        {
+            let all: Vec<FlowId> = self.flows.keys().copied().collect();
+            let scratch = self.fill_subset(&all);
+            for (id, rate) in scratch {
+                let kept = self.flows[&id].rate;
+                debug_assert_eq!(
+                    kept.to_bits(),
+                    rate.to_bits(),
+                    "incremental fill diverged from scratch fill for {id:?}: \
+                     kept {kept}, scratch {rate}"
+                );
+            }
+        }
+    }
+
+    /// Push fresh completion projections for `refilled` flows; entries of
+    /// untouched flows remain valid because their rates did not change.
+    fn refresh_heap(&mut self, refilled: &[FlowId]) {
+        // Compact when stale entries dominate, keeping pops O(log live).
+        if self.heap.len() > 2 * self.flows.len() + 64 {
+            let flows = &self.flows;
+            let kept: Vec<_> = self
+                .heap
+                .drain()
+                .filter(|Reverse((_, gen, id))| flows.get(id).is_some_and(|f| f.gen == *gen))
+                .collect();
+            self.heap = BinaryHeap::from(kept);
+        }
+        for &id in refilled {
+            let f = self.flows.get_mut(&id).expect("refilled flow exists");
+            let done_at = if f.rate > 0.0 {
+                Some(self.last_update + SimSpan::from_secs_f64(f.remaining / f.rate))
+            } else if f.remaining <= 0.0 {
+                Some(self.last_update)
+            } else {
+                None // starved: never completes at current rates
+            };
+            if let Some(t) = done_at {
+                f.gen = self.next_gen;
+                self.heap.push(Reverse((t, self.next_gen, id)));
+                self.next_gen += 1;
+            } else {
+                f.gen = u64::MAX;
+            }
+        }
+    }
+
+    /// Progressive filling restricted to `ids`: grow all unfrozen flows at
+    /// one common rate until a link or cap binds; freeze; repeat. Correct as
+    /// long as `ids` is a union of whole components — flows outside `ids`
+    /// then share no link with flows inside, so the restricted residuals
+    /// equal the global ones. Pure: returns the rates without applying them.
+    fn fill_subset(&self, ids: &[FlowId]) -> Vec<(FlowId, f64)> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
+        let mut unfrozen: Vec<FlowId> = ids.to_vec();
+
+        // Iterations bounded by number of constraints (links + flows + 1).
         while !unfrozen.is_empty() {
-            // Per-link: residual capacity and unfrozen-flow count.
-            let mut tx_res: Vec<f64> = (0..n_nodes).map(|n| self.eff_tx(n)).collect();
-            let mut rx_res: Vec<f64> = (0..n_nodes).map(|n| self.eff_rx(n)).collect();
-            let mut sw_res = self.switch_capacity.unwrap_or(f64::INFINITY);
-            let mut tx_cnt = vec![0usize; n_nodes];
-            let mut rx_cnt = vec![0usize; n_nodes];
-            let mut sw_cnt = 0usize;
+            // Per-link residual capacity and unfrozen-flow count, over the
+            // links the subset actually touches (id-ordered for determinism).
+            let mut links: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+            for id in frozen.keys().chain(unfrozen.iter()) {
+                let f = &self.flows[id];
+                for link in self.flow_links(f).into_iter().flatten() {
+                    links
+                        .entry(link)
+                        .or_insert_with(|| (self.eff_link(link), 0));
+                }
+            }
             for (id, &rate) in &frozen {
                 let f = &self.flows[id];
-                tx_res[f.src.0] -= rate;
-                rx_res[f.dst.0] -= rate;
-                sw_res -= rate;
+                for link in self.flow_links(f).into_iter().flatten() {
+                    links.get_mut(&link).expect("seeded above").0 -= rate;
+                }
             }
             for id in &unfrozen {
                 let f = &self.flows[id];
-                tx_cnt[f.src.0] += 1;
-                rx_cnt[f.dst.0] += 1;
-                sw_cnt += 1;
+                for link in self.flow_links(f).into_iter().flatten() {
+                    links.get_mut(&link).expect("seeded above").1 += 1;
+                }
             }
 
             // The common growth limit.
             let mut limit = f64::INFINITY;
-            for n in 0..n_nodes {
-                if tx_cnt[n] > 0 {
-                    limit = limit.min((tx_res[n].max(0.0)) / tx_cnt[n] as f64);
+            for &(res, cnt) in links.values() {
+                if cnt > 0 && res.is_finite() {
+                    limit = limit.min(res.max(0.0) / cnt as f64);
                 }
-                if rx_cnt[n] > 0 {
-                    limit = limit.min((rx_res[n].max(0.0)) / rx_cnt[n] as f64);
-                }
-            }
-            if self.switch_capacity.is_some() && sw_cnt > 0 {
-                limit = limit.min((sw_res.max(0.0)) / sw_cnt as f64);
             }
             let min_cap = unfrozen
                 .iter()
@@ -368,11 +643,11 @@ impl Fabric {
             for id in &unfrozen {
                 let f = &self.flows[id];
                 let cap_binds = f.cap <= r + eps;
-                let tx_binds = tx_cnt[f.src.0] as f64 * r >= tx_res[f.src.0].max(0.0) - eps;
-                let rx_binds = rx_cnt[f.dst.0] as f64 * r >= rx_res[f.dst.0].max(0.0) - eps;
-                let sw_binds =
-                    self.switch_capacity.is_some() && sw_cnt as f64 * r >= sw_res.max(0.0) - eps;
-                if cap_binds || tx_binds || rx_binds || sw_binds {
+                let link_binds = self.flow_links(f).into_iter().flatten().any(|link| {
+                    let (res, cnt) = links[&link];
+                    res.is_finite() && cnt as f64 * r >= res.max(0.0) - eps
+                });
+                if cap_binds || link_binds {
                     newly_frozen.push(*id);
                 }
             }
@@ -387,8 +662,36 @@ impl Fabric {
             }
         }
 
-        for (id, rate) in frozen {
-            self.flows.get_mut(&id).expect("frozen flow exists").rate = rate;
+        frozen.into_iter().collect()
+    }
+}
+
+/// Minimal deterministic union-find with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic orientation: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
         }
     }
 }
@@ -532,6 +835,41 @@ mod tests {
     }
 
     #[test]
+    fn zero_link_factor_stalls_without_panicking() {
+        // A net fault can dip a link to exactly 0: flows through it stall
+        // at rate 0, next_completion reports nothing (previously an
+        // infinite span), and restoring the factor resumes the transfer.
+        let mut f = fabric(3, 100.0);
+        let stalled = f.start_flow(SimTime::ZERO, n(0), n(1), 200.0);
+        let healthy = f.start_flow(SimTime::ZERO, n(2), n(1), 100.0);
+        f.set_link_factor(SimTime::from_secs_f64(1.0), n(0), 0.0);
+        assert_eq!(f.rate_of(stalled), Some(0.0));
+        assert_eq!(f.tx_utilization(n(0)), 0.0);
+        // The healthy flow still projects a completion; the stalled one
+        // contributes nothing. healthy: 100 bytes, rx(1) shared... after
+        // the stall rx(1) serves only `healthy` → 50 bytes left at t=1
+        // finish at 1.5s.
+        let t = f.next_completion().unwrap();
+        assert!(
+            (t.as_secs_f64() - 1.5).abs() < 1e-9,
+            "got {}",
+            t.as_secs_f64()
+        );
+        assert_eq!(f.take_completed(t)[0].id, healthy);
+        // Only the stalled flow remains: no completion at all.
+        assert_eq!(f.next_completion(), None);
+        // Nothing progresses while stalled.
+        f.advance(SimTime::from_secs_f64(9.0));
+        // 100 bytes were left at the stall (t=1): 200 - 100·1s/2 flows...
+        // flows split rx(1) before the stall: stalled ran at 50 for 1s.
+        assert!((f.flows[&stalled].remaining - 150.0).abs() < 1e-9);
+        // Restore: 150 bytes at 100 B/s from t=9 → done at 10.5.
+        f.set_link_factor(SimTime::from_secs_f64(9.0), n(0), 1.0);
+        let t = f.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 10.5).abs() < 1e-9);
+    }
+
+    #[test]
     fn zero_byte_flow_completes_immediately() {
         let mut f = fabric(2, 10.0);
         let id = f.start_flow(SimTime::ZERO, n(0), n(1), 0.0);
@@ -568,6 +906,69 @@ mod tests {
         let e1 = f.epoch();
         f.cancel_flow(SimTime::ZERO, id);
         assert_ne!(f.epoch(), e1);
+    }
+
+    #[test]
+    fn coalesced_churn_fills_once() {
+        let mut f = fabric(8, 100.0);
+        let base = f.fill_counters();
+        let a = f.start_flow(SimTime::ZERO, n(0), n(1), 100.0);
+        let _b = f.start_flow(SimTime::ZERO, n(0), n(2), 100.0);
+        let _c = f.start_flow(SimTime::ZERO, n(3), n(4), 100.0);
+        f.cancel_flow(SimTime::ZERO, a);
+        let mid = f.fill_counters();
+        assert_eq!(mid.churn_ops - base.churn_ops, 4);
+        assert_eq!(mid.fills, base.fills, "no fill before first observation");
+        let _ = f.next_completion();
+        let after = f.fill_counters();
+        assert_eq!(after.fills, mid.fills + 1, "batch flushed in one pass");
+        // Second observation with no churn is free.
+        let _ = f.next_completion();
+        assert_eq!(f.fill_counters().fills, after.fills);
+    }
+
+    #[test]
+    fn untouched_components_reuse_rates() {
+        let mut f = fabric(8, 100.0);
+        // Component 1: flows around nodes 0-2. Component 2: nodes 4-6.
+        let a = f.start_flow(SimTime::ZERO, n(0), n(1), 1e6);
+        let b = f.start_flow(SimTime::ZERO, n(4), n(5), 1e6);
+        let _ = f.next_completion(); // flush: both components filled
+        let c0 = f.fill_counters();
+        // Churn only in component 2.
+        let c = f.start_flow(SimTime::ZERO, n(4), n(6), 1e6);
+        let _ = f.next_completion();
+        let c1 = f.fill_counters();
+        // a's component was untouched: one reused flow, two refilled.
+        assert_eq!(c1.flows_reused - c0.flows_reused, 1);
+        assert_eq!(c1.flows_refilled - c0.flows_refilled, 2);
+        assert_eq!(f.rate_of(a), Some(100.0));
+        assert!((f.rate_of(b).unwrap() - 50.0).abs() < 1e-9);
+        assert!((f.rate_of(c).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_rescan_mode_matches_incremental_rates() {
+        let mut inc = fabric(6, 100.0);
+        let mut full = fabric(6, 100.0);
+        full.set_fill_mode(FillMode::FullRescan);
+        let pairs = [(0, 1), (0, 2), (3, 2), (4, 5), (3, 5)];
+        let mut ids = Vec::new();
+        for &(s, d) in &pairs {
+            let a = inc.start_flow(SimTime::ZERO, n(s), n(d), 1e6);
+            let b = full.start_flow(SimTime::ZERO, n(s), n(d), 1e6);
+            ids.push((a, b));
+        }
+        for &(a, b) in &ids {
+            assert_eq!(
+                inc.rate_of(a).unwrap().to_bits(),
+                full.rate_of(b).unwrap().to_bits()
+            );
+        }
+        assert_eq!(inc.next_completion(), full.next_completion());
+        // FullRescan paid one pass per mutation; incremental paid one total.
+        assert_eq!(full.fill_counters().fills, pairs.len() as u64);
+        assert_eq!(inc.fill_counters().fills, 1);
     }
 }
 
@@ -639,6 +1040,77 @@ mod proptests {
             let expect = nflows as f64 * bytes / bw;
             prop_assert!((t.as_secs_f64() - expect).abs() < 1e-6 * expect.max(1.0));
             prop_assert_eq!(f.take_completed(t).len(), nflows);
+        });
+    }
+
+    /// Oracle for the incremental dirty-set fill: under random batched
+    /// add/cancel/degrade churn, rates, completion projections, and
+    /// residual bytes must stay bit-identical to a FullRescan fabric that
+    /// eagerly re-derives everything from scratch after every mutation.
+    #[test]
+    fn incremental_fill_matches_full_rescan() {
+        // Op encoding: (kind, src, dst, bytes, factor-ish, victim).
+        // kind 0 => start_flow; 1 => cancel; 2 => set_link_factor.
+        let op = || {
+            (
+                0u8..3,
+                0usize..8,
+                0usize..8,
+                1.0f64..1e6,
+                0.0f64..1.0,
+                0usize..64,
+            )
+        };
+        proptest!(|(batches in collection::vec(
+                        (collection::vec(op(), 1..10), 0.0f64..0.2),
+                        1..10))| {
+            let mut inc = Fabric::new(8, 100.0, None, SimSpan::ZERO, None,
+                RngFactory::new(11).stream("inc"));
+            let mut full = Fabric::new(8, 100.0, None, SimSpan::ZERO, None,
+                RngFactory::new(11).stream("inc"));
+            full.set_fill_mode(FillMode::FullRescan);
+            let mut now = SimTime::ZERO;
+            let mut live: Vec<(FlowId, FlowId)> = Vec::new();
+            for (ops, dt) in batches {
+                now += SimSpan::from_secs_f64(dt);
+                for (kind, s, d, bytes, factor, victim) in ops {
+                    match kind {
+                        0 if s != d => {
+                            let a = inc.start_flow(now, NodeId(s), NodeId(d), bytes);
+                            let b = full.start_flow(now, NodeId(s), NodeId(d), bytes);
+                            live.push((a, b));
+                        }
+                        1 if !live.is_empty() => {
+                            let (a, b) = live.remove(victim % live.len());
+                            let ca = inc.cancel_flow(now, a);
+                            let cb = full.cancel_flow(now, b);
+                            prop_assert_eq!(ca, cb);
+                        }
+                        2 => {
+                            // Quantize to dodge near-tie eps divergence
+                            // between global and per-component fills.
+                            let f = (factor * 4.0).round() / 4.0;
+                            inc.set_link_factor(now, NodeId(s), f);
+                            full.set_link_factor(now, NodeId(s), f);
+                        }
+                        _ => {}
+                    }
+                }
+                // Coalesced batch flushed here; FullRescan filled eagerly.
+                prop_assert_eq!(inc.next_completion(), full.next_completion());
+                // Harvest completions identically on both sides.
+                let da = inc.take_completed(now);
+                let db = full.take_completed(now);
+                prop_assert_eq!(da.len(), db.len());
+                live.retain(|&(a, _)| inc.rate_of(a).is_some());
+                live.retain(|&(_, b)| full.rate_of(b).is_some());
+                for &(a, b) in &live {
+                    let (ra, rb) = (inc.rate_of(a).unwrap(), full.rate_of(b).unwrap());
+                    prop_assert_eq!(ra.to_bits(), rb.to_bits(), "rate diverged");
+                    let (ma, mb) = (inc.flows[&a].remaining, full.flows[&b].remaining);
+                    prop_assert_eq!(ma.to_bits(), mb.to_bits(), "remaining diverged");
+                }
+            }
         });
     }
 }

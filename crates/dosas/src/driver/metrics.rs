@@ -67,10 +67,13 @@ pub struct RunMetrics {
     pub trace: Option<Vec<crate::driver::trace::TraceEvent>>,
     /// Simulation events dispatched (engine throughput accounting).
     pub events: u64,
-    /// Simulation events ever scheduled. `events_scheduled - events` is the
-    /// queue residue: zero for run-to-drain, the still-pending backlog for
-    /// deadline-bounded runs.
+    /// Simulation events ever scheduled. `events_scheduled - events -
+    /// events_cancelled` is the queue residue: zero for run-to-drain, the
+    /// still-pending backlog for deadline-bounded runs.
     pub events_scheduled: u64,
+    /// Events revoked before dispatch (superseded `NetTick`s the
+    /// incremental fabric proved stale at reschedule time).
+    pub events_cancelled: u64,
     /// Observability report (metrics registry, event log, timeline samples)
     /// when `DriverConfig::obs` was enabled. Excluded from the serialized
     /// form so golden snapshots stay stable; export it explicitly via
@@ -174,6 +177,7 @@ mod tests {
             trace: None,
             events: 0,
             events_scheduled: 0,
+            events_cancelled: 0,
             obs: None,
         };
         assert!((m.mean_latency_secs() - 3.0).abs() < 1e-9);

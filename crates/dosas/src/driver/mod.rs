@@ -305,6 +305,9 @@ impl Driver {
                 next_req: 0,
                 next_app: 0,
                 results: BTreeMap::new(),
+                net_armed: None,
+                net_ticks_deduped: 0,
+                net_ticks_suppressed: 0,
             },
             server: Servers {
                 servers,
@@ -361,8 +364,15 @@ impl Driver {
                 let end = sim.run();
                 let events = sim.scheduler().dispatched_count();
                 let scheduled = sim.scheduler().scheduled_count();
-                sim.world
-                    .collect_metrics(scheme_name, total_bytes, end, events, scheduled)
+                let cancelled = sim.scheduler().cancelled_count();
+                sim.world.collect_metrics(
+                    scheme_name,
+                    total_bytes,
+                    end,
+                    events,
+                    scheduled,
+                    cancelled,
+                )
             }
             ExecMode::Parallel { threads } => {
                 let mut sim = ParallelSimulation::with_threads(driver, threads);
@@ -370,8 +380,15 @@ impl Driver {
                 let end = sim.run();
                 let events = sim.scheduler().dispatched_count();
                 let scheduled = sim.scheduler().scheduled_count();
-                sim.world
-                    .collect_metrics(scheme_name, total_bytes, end, events, scheduled)
+                let cancelled = sim.scheduler().cancelled_count();
+                sim.world.collect_metrics(
+                    scheme_name,
+                    total_bytes,
+                    end,
+                    events,
+                    scheduled,
+                    cancelled,
+                )
             }
         }
     }
@@ -426,11 +443,17 @@ impl Driver {
                 let end = sim.run();
                 let events = sim.scheduler().dispatched_count();
                 let scheduled = sim.scheduler().scheduled_count();
+                let cancelled = sim.scheduler().cancelled_count();
                 let mut profile = sim.take_profile().expect("profiling enabled");
                 profile.queue_spilled = sim.scheduler().spilled_count();
-                let metrics =
-                    sim.world
-                        .collect_metrics(scheme_name, total_bytes, end, events, scheduled);
+                let metrics = sim.world.collect_metrics(
+                    scheme_name,
+                    total_bytes,
+                    end,
+                    events,
+                    scheduled,
+                    cancelled,
+                );
                 (metrics, profile)
             }
             ExecMode::Parallel { threads } => {
@@ -440,11 +463,17 @@ impl Driver {
                 let end = sim.run();
                 let events = sim.scheduler().dispatched_count();
                 let scheduled = sim.scheduler().scheduled_count();
+                let cancelled = sim.scheduler().cancelled_count();
                 let mut profile = sim.take_profile().expect("profiling enabled");
                 profile.queue_spilled = sim.scheduler().spilled_count();
-                let metrics =
-                    sim.world
-                        .collect_metrics(scheme_name, total_bytes, end, events, scheduled);
+                let metrics = sim.world.collect_metrics(
+                    scheme_name,
+                    total_bytes,
+                    end,
+                    events,
+                    scheduled,
+                    cancelled,
+                );
                 (metrics, profile)
             }
         }

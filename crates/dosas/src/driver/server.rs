@@ -140,14 +140,14 @@ impl Component<Driver> for ServerComponent {
 impl Driver {
     // ----- resource tick scheduling (epoch pattern) -----
 
-    pub(super) fn schedule_disk(&self, ordinal: usize, sched: &mut Scheduler<Ev>) {
+    pub(super) fn schedule_disk(&mut self, ordinal: usize, sched: &mut Scheduler<Ev>) {
         if let Some(t) = self.cluster.disks[ordinal].next_event() {
             let epoch = self.cluster.disks[ordinal].epoch();
             sched.at(t.max(sched.now()), Ev::DiskTick { ordinal, epoch });
         }
     }
 
-    pub(super) fn schedule_cpu(&self, node: usize, sched: &mut Scheduler<Ev>) {
+    pub(super) fn schedule_cpu(&mut self, node: usize, sched: &mut Scheduler<Ev>) {
         if let Some(t) = self.cluster.cpus[node].next_completion() {
             let epoch = self.cluster.cpus[node].epoch();
             sched.at(t.max(sched.now()), Ev::CpuTick { node, epoch });

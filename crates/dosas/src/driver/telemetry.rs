@@ -139,10 +139,18 @@ impl Driver {
         if self.telemetry.obs.is_none() {
             return;
         }
-        let rows: Vec<ServerSample> = self
-            .cluster
-            .storage_ids()
-            .map(|node| {
+        // Fabric utilization needs `&mut` (it may flush a pending coalesced
+        // fill), so compute it for every node before borrowing the rest of
+        // the world for the row closure.
+        let storage: Vec<_> = self.cluster.storage_ids().collect();
+        let tx_utils: Vec<f64> = storage
+            .iter()
+            .map(|&node| self.cluster.fabric.tx_utilization(node))
+            .collect();
+        let rows: Vec<ServerSample> = storage
+            .iter()
+            .zip(tx_utils)
+            .map(|(&node, net_tx_util)| {
                 let ds = &self.server.servers[&node];
                 let kernels_running = self
                     .server
@@ -164,7 +172,7 @@ impl Driver {
                     kernels_running,
                     probe_age_secs,
                     demoted_total: self.server.runtimes[&node].demoted_total(),
-                    net_tx_util: self.cluster.fabric.tx_utilization(node),
+                    net_tx_util,
                 }
             })
             .collect();
@@ -192,6 +200,7 @@ impl Driver {
         end: SimTime,
         events: u64,
         events_scheduled: u64,
+        events_cancelled: u64,
     ) -> RunMetrics {
         let mut w = self;
         assert_eq!(
@@ -260,6 +269,41 @@ impl Driver {
             r.set_gauge("driver", "mean_queue_depth", Label::None, mean_queue_depth);
             r.add("driver", "events_dispatched", Label::None, events);
             r.add("driver", "events_scheduled", Label::None, events_scheduled);
+            r.add("driver", "events_cancelled", Label::None, events_cancelled);
+            // Incremental-fabric effectiveness: NetTicks that never hit the
+            // dispatch loop, and how much of each water-filling pass was
+            // reused. `ticks_avoided` is the headline "work not done" count.
+            let nfc = w.cluster.fabric.fill_counters();
+            r.add(
+                "fabric",
+                "net_ticks_suppressed",
+                Label::None,
+                w.io.net_ticks_suppressed,
+            );
+            r.add(
+                "fabric",
+                "net_ticks_deduped",
+                Label::None,
+                w.io.net_ticks_deduped,
+            );
+            r.add(
+                "fabric",
+                "net_ticks_avoided",
+                Label::None,
+                w.io.net_ticks_suppressed + w.io.net_ticks_deduped,
+            );
+            r.add("fabric", "fills", Label::None, nfc.fills);
+            r.add("fabric", "churn_ops", Label::None, nfc.churn_ops);
+            r.add("fabric", "flows_refilled", Label::None, nfc.flows_refilled);
+            r.add("fabric", "flows_reused", Label::None, nfc.flows_reused);
+            let (cpu_fills, cpu_churn) = w
+                .cluster
+                .cpus
+                .iter()
+                .map(|c| c.fill_counters())
+                .fold((0, 0), |(f, ch), c| (f + c.fills, ch + c.churn_ops));
+            r.add("cpu", "share_fills", Label::None, cpu_fills);
+            r.add("cpu", "share_churn_ops", Label::None, cpu_churn);
         }
         let obs = w.telemetry.obs.take().map(Observer::into_report);
 
@@ -289,6 +333,7 @@ impl Driver {
             },
             events,
             events_scheduled,
+            events_cancelled,
             obs,
         }
     }

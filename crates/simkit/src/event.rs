@@ -5,7 +5,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 struct Entry<E> {
     time: SimTime,
@@ -36,8 +36,14 @@ impl<E> Ord for Entry<E> {
 /// A time-ordered queue of simulation events.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Seqs of cancelled-but-still-enqueued entries (tombstones): dropped
+    /// at the head instead of eagerly dug out of the heap. The contract is
+    /// that only *pending* seqs are ever cancelled, so every tombstone is
+    /// guaranteed to still be in `heap`.
+    dead: HashSet<u64>,
     seq: u64,
     popped: u64,
+    cancelled: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -50,46 +56,78 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            dead: HashSet::new(),
             seq: 0,
             popped: 0,
+            cancelled: 0,
         }
     }
 
-    /// Schedule `event` at absolute time `time`.
-    pub fn push(&mut self, time: SimTime, event: E) {
+    /// Schedule `event` at absolute time `time`. Returns the entry's seq,
+    /// usable with [`EventQueue::cancel`] while the entry is pending.
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
+        seq
     }
 
-    /// Remove and return the earliest event.
+    /// Cancel the pending entry with the given seq: it will never be
+    /// dispatched and does not count toward `dispatched_count`. The caller
+    /// must guarantee the entry is still pending (not yet popped).
+    pub fn cancel(&mut self, seq: u64) {
+        self.dead.insert(seq);
+        self.cancelled += 1;
+    }
+
+    /// Drop cancelled entries sitting at the heap's head.
+    fn purge_dead(&mut self) {
+        while !self.dead.is_empty() {
+            match self.heap.peek() {
+                Some(head) if self.dead.contains(&head.seq) => {
+                    let e = self.heap.pop().expect("peeked entry");
+                    self.dead.remove(&e.seq);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Remove and return the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.purge_dead();
         let e = self.heap.pop()?;
         self.popped += 1;
         Some((e.time, e.event))
     }
 
-    /// Timestamp of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    /// Timestamp of the earliest pending live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_dead();
         self.heap.peek().map(|e| e.time)
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.dead.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Total number of events ever scheduled.
+    /// Total number of events ever scheduled (including later-cancelled).
     pub fn scheduled_count(&self) -> u64 {
         self.seq
     }
 
-    /// Total number of events ever dispatched.
+    /// Total number of events ever dispatched (cancelled entries excluded).
     pub fn dispatched_count(&self) -> u64 {
         self.popped
+    }
+
+    /// Total number of events ever cancelled.
+    pub fn cancelled_count(&self) -> u64 {
+        self.cancelled
     }
 }
 
@@ -142,6 +180,24 @@ mod tests {
         q.pop();
         assert_eq!(q.scheduled_count(), 2);
         assert_eq!(q.dispatched_count(), 1);
+    }
+
+    #[test]
+    fn cancelled_entries_never_pop() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        let _b = q.push(t(2), "b");
+        let c = q.push(t(3), "c");
+        q.cancel(a);
+        q.cancel(c);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), "b")));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_count(), 3);
+        assert_eq!(q.dispatched_count(), 1);
+        assert_eq!(q.cancelled_count(), 2);
     }
 
     #[test]

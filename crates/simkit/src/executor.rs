@@ -135,6 +135,11 @@ enum Backend<E> {
     Lanes(LaneQueue<E>),
 }
 
+/// Handle to one scheduled event, returned by [`Scheduler::at_cancellable`]
+/// and consumed by [`Scheduler::cancel`]. Wraps the event's global seq.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle(u64);
+
 /// The clock plus the pending-event queue, handed to the world on every event.
 pub struct Scheduler<E> {
     now: SimTime,
@@ -173,14 +178,37 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` is in the past: causality violations are model bugs.
     pub fn at(&mut self, at: SimTime, event: E) {
+        let _ = self.at_cancellable(at, event);
+    }
+
+    /// Schedule `event` at absolute time `at` and return a handle that can
+    /// revoke it while it is still pending.
+    ///
+    /// Panics if `at` is in the past: causality violations are model bugs.
+    pub fn at_cancellable(&mut self, at: SimTime, event: E) -> EventHandle {
         assert!(
             at >= self.now,
             "cannot schedule into the past ({at} < {})",
             self.now
         );
-        match &mut self.queue {
+        let seq = match &mut self.queue {
             Backend::Heap(q) => q.push(at, event),
             Backend::Lanes(q) => q.push(at, event),
+        };
+        EventHandle(seq)
+    }
+
+    /// Revoke a pending event: it is tombstoned in place and will never be
+    /// dispatched (nor counted by [`Scheduler::dispatched_count`]).
+    ///
+    /// The caller must guarantee the handle's event is still pending —
+    /// cancelling an already-dispatched handle corrupts the queue's length
+    /// accounting. Holders of a handle therefore clear it the moment the
+    /// event fires.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        match &mut self.queue {
+            Backend::Heap(q) => q.cancel(handle.0),
+            Backend::Lanes(q) => q.cancel(handle.0),
         }
     }
 
@@ -233,9 +261,17 @@ impl<E> Scheduler<E> {
         }
     }
 
-    /// Timestamp of the earliest pending event, if any.
-    fn peek_time(&self) -> Option<SimTime> {
+    /// Total number of events ever cancelled.
+    pub fn cancelled_count(&self) -> u64 {
         match &self.queue {
+            Backend::Heap(q) => q.cancelled_count(),
+            Backend::Lanes(q) => q.cancelled_count(),
+        }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.queue {
             Backend::Heap(q) => q.peek_time(),
             Backend::Lanes(q) => q.peek_time(),
         }
@@ -640,6 +676,28 @@ mod tests {
         assert!(prof.batches > 0);
         assert_eq!(prof.dispatch["ping"].wall_secs, 0.0);
         assert_eq!(sim.scheduler().spilled_count(), 0);
+    }
+
+    #[test]
+    fn cancelled_event_is_not_dispatched() {
+        struct Rec(Vec<&'static str>);
+        impl World for Rec {
+            type Event = &'static str;
+            fn handle(&mut self, _t: SimTime, ev: &'static str, _s: &mut Scheduler<&'static str>) {
+                self.0.push(ev);
+            }
+        }
+        let mut sim = Simulation::new(Rec(vec![]));
+        let h = sim
+            .scheduler()
+            .at_cancellable(SimTime::from_nanos(10), "doomed");
+        sim.scheduler().at(SimTime::from_nanos(20), "kept");
+        sim.scheduler().cancel(h);
+        sim.run();
+        assert_eq!(sim.world.0, vec!["kept"]);
+        assert_eq!(sim.scheduler().scheduled_count(), 2);
+        assert_eq!(sim.scheduler().dispatched_count(), 1);
+        assert_eq!(sim.scheduler().cancelled_count(), 1);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use crate::{SimSpan, SimTime};
 use rand::Rng;
 
-/// What goes wrong. Factors are multiplicative in `(0, 1]`; `1.0` is a no-op.
+/// What goes wrong. Factors are multiplicative in `[0, 1]`; `1.0` is a
+/// no-op and `0.0` a full stall for the window.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultKind {
     /// Node CPU capacity is multiplied by `factor` (background load spike,
@@ -69,8 +70,8 @@ impl FaultPlan {
     ) -> Self {
         if let FaultKind::CpuSlowdown { factor } | FaultKind::NetBandwidthDip { factor } = &kind {
             assert!(
-                *factor > 0.0 && *factor <= 1.0,
-                "fault factor {factor} outside (0, 1]"
+                (0.0..=1.0).contains(factor),
+                "fault factor {factor} outside [0, 1]"
             );
         }
         assert!(duration > SimSpan::ZERO, "fault window must be non-empty");
@@ -320,7 +321,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside (0, 1]")]
+    #[should_panic(expected = "outside [0, 1]")]
     fn rejects_bad_factor() {
         let _ = FaultPlan::new().inject(
             0,
@@ -328,5 +329,25 @@ mod tests {
             secs(0.0),
             span(1.0),
         );
+    }
+
+    #[test]
+    fn zero_factor_models_a_full_stall() {
+        let plan = FaultPlan::new()
+            .inject(
+                0,
+                FaultKind::CpuSlowdown { factor: 0.0 },
+                secs(1.0),
+                span(2.0),
+            )
+            .inject(
+                0,
+                FaultKind::NetBandwidthDip { factor: 0.0 },
+                secs(1.0),
+                span(2.0),
+            );
+        assert_eq!(plan.cpu_factor(secs(2.0), 0), 0.0);
+        assert_eq!(plan.net_factor(secs(2.0), 0), 0.0);
+        assert_eq!(plan.cpu_factor(secs(4.0), 0), 1.0);
     }
 }

@@ -24,7 +24,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 /// Which lane an event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -125,6 +125,28 @@ impl<E> LaneBuf<E> {
             (None, _) => self.spill.pop(),
         }
     }
+
+    /// Drop cancelled entries from this lane's head until both the FIFO
+    /// front and the spill top are live, so `head_key` never reports a
+    /// tombstone. Removed seqs are taken out of `dead`; the removal count
+    /// is returned so the queue can fix its length.
+    fn purge_dead(&mut self, dead: &mut HashSet<u64>) -> usize {
+        let mut removed = 0;
+        while !dead.is_empty() {
+            if self.fifo.front().is_some_and(|e| dead.contains(&e.seq)) {
+                let e = self.fifo.pop_front().expect("checked front");
+                dead.remove(&e.seq);
+                removed += 1;
+            } else if self.spill.peek().is_some_and(|e| dead.contains(&e.seq)) {
+                let e = self.spill.pop().expect("checked top");
+                dead.remove(&e.seq);
+                removed += 1;
+            } else {
+                break;
+            }
+        }
+        removed
+    }
 }
 
 /// A time-ordered event queue sharded into per-server lanes.
@@ -137,8 +159,13 @@ pub struct LaneQueue<E> {
     lane_of: fn(&E) -> Lane,
     global: LaneBuf<E>,
     servers: Vec<LaneBuf<E>>,
+    /// Cancelled-but-still-enqueued seqs (tombstones), purged lazily from
+    /// lane heads. Contract: only pending seqs are ever cancelled, so every
+    /// tombstone is still in some lane.
+    dead: HashSet<u64>,
     seq: u64,
     popped: u64,
+    cancelled: u64,
     spilled: u64,
     len: usize,
 }
@@ -150,8 +177,10 @@ impl<E> LaneQueue<E> {
             lane_of,
             global: LaneBuf::default(),
             servers: Vec::new(),
+            dead: HashSet::new(),
             seq: 0,
             popped: 0,
+            cancelled: 0,
             spilled: 0,
             len: 0,
         }
@@ -169,8 +198,9 @@ impl<E> LaneQueue<E> {
         }
     }
 
-    /// Schedule `event` at absolute time `time`.
-    pub fn push(&mut self, time: SimTime, event: E) {
+    /// Schedule `event` at absolute time `time`. Returns the entry's seq,
+    /// usable with [`LaneQueue::cancel`] while the entry is pending.
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
@@ -178,11 +208,36 @@ impl<E> LaneQueue<E> {
         if self.buf_mut(lane).push(Entry { time, seq, event }) {
             self.spilled += 1;
         }
+        seq
+    }
+
+    /// Cancel the pending entry with the given seq: it will never be
+    /// dispatched and does not count toward `dispatched_count`. The caller
+    /// must guarantee the entry is still pending (not yet popped).
+    pub fn cancel(&mut self, seq: u64) {
+        self.dead.insert(seq);
+        self.cancelled += 1;
+    }
+
+    /// Purge tombstones from every lane head so head keys are live.
+    fn purge_dead(&mut self) {
+        if self.dead.is_empty() {
+            return;
+        }
+        let mut removed = self.global.purge_dead(&mut self.dead);
+        for lane in self.servers.iter_mut() {
+            if self.dead.is_empty() {
+                break;
+            }
+            removed += lane.purge_dead(&mut self.dead);
+        }
+        self.len -= removed;
     }
 
     /// Index (global = `usize::MAX` sentinel not used; we scan directly) of
     /// the lane holding the minimum (time, seq) key, if any.
-    fn min_lane(&self) -> Option<(Option<usize>, (SimTime, u64))> {
+    fn min_lane(&mut self) -> Option<(Option<usize>, (SimTime, u64))> {
+        self.purge_dead();
         let mut best: Option<(Option<usize>, (SimTime, u64))> =
             self.global.head_key().map(|k| (None, k));
         for (i, lane) in self.servers.iter().enumerate() {
@@ -219,7 +274,13 @@ impl<E> LaneQueue<E> {
         let mut batch: Vec<(u64, E)> = Vec::new();
         let lanes = std::iter::once(&mut self.global).chain(self.servers.iter_mut());
         for lane in lanes {
-            while lane.head_key().is_some_and(|(lt, _)| lt == t) {
+            loop {
+                // A tombstone may sit between same-timestamp live entries,
+                // so re-purge after every pop, not just at the lane head.
+                self.len -= lane.purge_dead(&mut self.dead);
+                if lane.head_key().is_none_or(|(lt, _)| lt != t) {
+                    break;
+                }
                 let e = lane.pop_min().expect("head checked non-empty");
                 batch.push((e.seq, e.event));
             }
@@ -231,27 +292,34 @@ impl<E> LaneQueue<E> {
         Some(t)
     }
 
-    /// Timestamp of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
+    /// Timestamp of the earliest pending live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
         self.min_lane().map(|(_, (t, _))| t)
     }
 
     pub fn len(&self) -> usize {
-        self.len
+        // `len` counts physical entries; tombstones still buried in lanes
+        // are in `dead` and must not show as pending.
+        self.len - self.dead.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
-    /// Total number of events ever scheduled.
+    /// Total number of events ever scheduled (including later-cancelled).
     pub fn scheduled_count(&self) -> u64 {
         self.seq
     }
 
-    /// Total number of events ever dispatched.
+    /// Total number of events ever dispatched (cancelled entries excluded).
     pub fn dispatched_count(&self) -> u64 {
         self.popped
+    }
+
+    /// Total number of events ever cancelled.
+    pub fn cancelled_count(&self) -> u64 {
+        self.cancelled
     }
 
     /// Number of pushes that missed the per-lane FIFO fast path and landed
@@ -338,6 +406,29 @@ mod tests {
         assert_eq!(out, vec![(2, 1)]);
         assert!(q.is_empty());
         assert_eq!(q.pop_batch(&mut out), None);
+    }
+
+    #[test]
+    fn cancelled_entries_never_pop() {
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        let a = q.push(t(1), (0, 1));
+        let _b = q.push(t(1), (1, 0));
+        let c = q.push(t(1), (2, 1)); // buried behind `a` in server lane 0
+        let _d = q.push(t(2), (3, 1));
+        q.cancel(a);
+        q.cancel(c);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(1)));
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), Some(t(1)));
+        assert_eq!(out, vec![(1, 0)]);
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out), Some(t(2)));
+        assert_eq!(out, vec![(3, 1)]);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_count(), 4);
+        assert_eq!(q.dispatched_count(), 2);
+        assert_eq!(q.cancelled_count(), 2);
     }
 
     #[test]

@@ -32,7 +32,9 @@
 //! * Resources never schedule events themselves. They expose
 //!   "next interesting time" queries plus an *epoch*; the world schedules a
 //!   tick carrying the epoch and ignores the tick if the epoch moved on.
-//!   This avoids priority-queue deletion entirely.
+//!   Worlds that track their pending tick can additionally revoke a
+//!   superseded one via [`Scheduler::cancel`] (lazy tombstones in both
+//!   queue backends), so stale ticks need not be dispatched at all.
 
 pub mod component;
 pub mod event;
@@ -48,7 +50,8 @@ pub mod time;
 pub use component::{Component, Routed};
 pub use event::EventQueue;
 pub use executor::{
-    BatchWorld, DispatchStat, ExecProfile, ParallelSimulation, Scheduler, Simulation, World,
+    BatchWorld, DispatchStat, EventHandle, ExecProfile, ParallelSimulation, Scheduler, Simulation,
+    World,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fifo::FifoServer;

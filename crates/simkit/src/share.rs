@@ -9,13 +9,26 @@
 //!   = whatever the flow's other bottleneck allows.
 //!
 //! Rates are recomputed by water-filling whenever the task set or the
-//! capacity changes. The caller schedules a completion tick for
+//! capacity changes — but *lazily*: mutators only mark the allocation dirty,
+//! and the single water-filling pass runs when rates are next observed
+//! ([`next_completion`](ShareResource::next_completion),
+//! [`rate_of`](ShareResource::rate_of), …) or when simulated time moves
+//! forward. N same-timestamp churn operations therefore cost one fill, and
+//! because the fill is a pure function of the task set, the coalesced result
+//! is bit-identical to eager per-operation recomputation.
+//!
+//! Completion queries are O(log n): every fill pushes projected completion
+//! times into a min-heap of `(time, generation, id)` entries; stale entries
+//! (task gone, or superseded by a newer fill) are lazily discarded on peek.
+//!
+//! The caller schedules a completion tick for
 //! [`next_completion`](ShareResource::next_completion) carrying the current
 //! [`epoch`](ShareResource::epoch); if the epoch moved on by the time the tick
 //! fires, the tick is stale and must be ignored.
 
 use crate::time::{SimSpan, SimTime};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Identifies a task within one `ShareResource`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -27,6 +40,9 @@ struct Task {
     total: f64,
     cap: f64,
     rate: f64,
+    /// Generation of this task's live heap entry; entries carrying an older
+    /// generation are stale and dropped when encountered at the heap top.
+    gen: u64,
 }
 
 /// A task removed before completion, with how much work it had left.
@@ -36,6 +52,17 @@ pub struct RemovedTask {
     pub remaining: f64,
     /// Fraction of the original work already performed, in `[0, 1]`.
     pub progress: f64,
+}
+
+/// Cumulative allocation-churn counters (see
+/// [`fill_counters`](ShareResource::fill_counters)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillCounters {
+    /// Mutations that invalidated the allocation (add/remove/capacity/…).
+    pub churn_ops: u64,
+    /// Water-filling passes actually executed. `churn_ops - fills` is the
+    /// number of recomputes avoided by same-timestamp coalescing.
+    pub fills: u64,
 }
 
 /// Max-min fair shared resource. Work and capacity units are arbitrary but
@@ -49,6 +76,14 @@ pub struct ShareResource {
     next_id: u64,
     /// Total work ever completed (for utilization accounting).
     completed_work: f64,
+    /// True when a mutation has invalidated `rate` fields and the heap.
+    dirty: bool,
+    /// Min-heap of projected completions `(done_at, generation, id)`.
+    /// Entries are pushed at fill time; `done_at` is invariant under
+    /// [`advance`] at constant rates, so no re-projection is needed.
+    heap: BinaryHeap<Reverse<(SimTime, u64, TaskId)>>,
+    next_gen: u64,
+    counters: FillCounters,
 }
 
 impl ShareResource {
@@ -65,6 +100,10 @@ impl ShareResource {
             epoch: 0,
             next_id: 0,
             completed_work: 0.0,
+            dirty: false,
+            heap: BinaryHeap::new(),
+            next_gen: 0,
+            counters: FillCounters::default(),
         }
     }
 
@@ -73,8 +112,15 @@ impl ShareResource {
     }
 
     /// Change total capacity (e.g. cores taken away for other duties).
+    /// A capacity of exactly `0.0` is allowed — an injected fault can stall
+    /// the resource completely; every task then runs at rate 0 and
+    /// [`next_completion`] reports no upcoming completion rather than an
+    /// infinite span.
     pub fn set_capacity(&mut self, now: SimTime, capacity: f64) {
-        assert!(capacity.is_finite() && capacity > 0.0);
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be finite and >= 0, got {capacity}"
+        );
         self.advance(now);
         self.capacity = capacity;
         self.bump();
@@ -110,6 +156,7 @@ impl ShareResource {
                 total: work,
                 cap,
                 rate: 0.0,
+                gen: u64::MAX,
             },
         );
         self.bump();
@@ -134,10 +181,16 @@ impl ShareResource {
     }
 
     /// Apply progress at the current rates up to `now`.
+    ///
+    /// If a pending (coalesced) mutation left the rates stale, they are
+    /// flushed *before* progress is applied — the stale interval
+    /// `[last_update, now)` still began at the mutation timestamp, so the
+    /// freshly filled rates are exactly the ones that governed it.
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_update, "advance must move forward");
         let dt = (now - self.last_update).as_secs_f64();
         if dt > 0.0 {
+            self.ensure_rates();
             for task in self.tasks.values_mut() {
                 let done = task.rate * dt;
                 task.remaining = (task.remaining - done).max(0.0);
@@ -147,27 +200,27 @@ impl ShareResource {
     }
 
     /// The earliest time any current task completes, given current rates.
-    /// `None` if the resource is idle.
-    pub fn next_completion(&self) -> Option<SimTime> {
-        let mut best: Option<f64> = None;
-        for task in self.tasks.values() {
-            if task.rate > 0.0 {
-                let dt = task.remaining / task.rate;
-                best = Some(match best {
-                    Some(b) => b.min(dt),
-                    None => dt,
-                });
-            } else if task.remaining <= 0.0 {
-                best = Some(0.0);
+    /// `None` if the resource is idle, or if every task is rate-starved
+    /// (capacity forced to 0 by a fault) — a starved task never completes,
+    /// so it contributes no (infinite) completion time.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        self.ensure_rates();
+        while let Some(&Reverse((t, gen, id))) = self.heap.peek() {
+            match self.tasks.get(&id) {
+                Some(task) if task.gen == gen => return Some(t),
+                _ => {
+                    self.heap.pop();
+                }
             }
         }
-        best.map(|dt| self.last_update + SimSpan::from_secs_f64(dt))
+        None
     }
 
     /// Advance to `now`, then remove and return every finished task
     /// (work would complete within half a clock tick).
     pub fn take_completed(&mut self, now: SimTime) -> Vec<TaskId> {
         self.advance(now);
+        self.ensure_rates();
         let done: Vec<TaskId> = self
             .tasks
             .iter()
@@ -202,12 +255,18 @@ impl ShareResource {
     }
 
     /// Current service rate of `id`, if live.
-    pub fn rate_of(&self, id: TaskId) -> Option<f64> {
+    pub fn rate_of(&mut self, id: TaskId) -> Option<f64> {
+        self.ensure_rates();
         self.tasks.get(&id).map(|t| t.rate)
     }
 
     /// Sum of current rates divided by capacity, in `[0, 1]`.
-    pub fn utilization(&self) -> f64 {
+    /// A zero-capacity (fault-stalled) resource reports 0.
+    pub fn utilization(&mut self) -> f64 {
+        self.ensure_rates();
+        if self.capacity <= 0.0 {
+            return 0.0;
+        }
         let used: f64 = self.tasks.values().map(|t| t.rate).sum();
         (used / self.capacity).clamp(0.0, 1.0)
     }
@@ -217,9 +276,25 @@ impl ShareResource {
         self.completed_work
     }
 
+    /// Cumulative churn/fill counters; `churn_ops - fills` recomputes were
+    /// avoided by coalescing.
+    pub fn fill_counters(&self) -> FillCounters {
+        self.counters
+    }
+
     fn bump(&mut self) {
         self.epoch += 1;
-        self.recompute_rates();
+        self.dirty = true;
+        self.counters.churn_ops += 1;
+    }
+
+    /// Flush a pending coalesced mutation: one water-filling pass plus a
+    /// heap refresh. No-op when the allocation is current.
+    fn ensure_rates(&mut self) {
+        if self.dirty {
+            self.dirty = false;
+            self.recompute_rates();
+        }
     }
 
     /// Max-min fair water-filling with per-task caps.
@@ -227,7 +302,12 @@ impl ShareResource {
     /// Visiting tasks in ascending cap order, each takes
     /// `min(cap, remaining_capacity / remaining_tasks)`; a task that cannot
     /// use its fair share donates the surplus to the rest.
+    ///
+    /// After assigning rates, every task's projected completion is pushed
+    /// into the heap under a fresh generation. Tasks with `rate == 0` and
+    /// work left get no entry — they will never complete at current rates.
     fn recompute_rates(&mut self) {
+        self.counters.fills += 1;
         let n = self.tasks.len();
         if n == 0 {
             return;
@@ -247,6 +327,28 @@ impl ShareResource {
             task.rate = rate;
             left -= rate;
             remaining_tasks -= 1;
+        }
+        // Refresh completion projections. Every fill reassigns every rate,
+        // so all prior entries are superseded — drop them wholesale instead
+        // of leaving them for lazy deletion. Projected absolute times are
+        // invariant under `advance` at constant rates, so the fresh entries
+        // stay valid until the next fill.
+        self.heap.clear();
+        for (&id, task) in self.tasks.iter_mut() {
+            let done_at = if task.rate > 0.0 {
+                Some(self.last_update + SimSpan::from_secs_f64(task.remaining / task.rate))
+            } else if task.remaining <= 0.0 {
+                Some(self.last_update)
+            } else {
+                None // starved: never completes at current rates
+            };
+            if let Some(t) = done_at {
+                task.gen = self.next_gen;
+                self.heap.push(Reverse((t, self.next_gen, id)));
+                self.next_gen += 1;
+            } else {
+                task.gen = u64::MAX;
+            }
         }
     }
 }
@@ -370,6 +472,62 @@ mod tests {
         let mut r = ShareResource::new(10.0);
         r.add(SimTime::ZERO, 1.0, 0.0);
     }
+
+    #[test]
+    fn zero_capacity_stalls_without_panicking() {
+        // A fault can force capacity to exactly 0: rates drop to 0, no
+        // completion is projected (previously an infinite span), and
+        // restoring capacity resumes the residual work.
+        let mut r = ShareResource::new(10.0);
+        let id = r.add(SimTime::ZERO, 10.0, 10.0);
+        r.set_capacity(secs(0.5), 0.0); // 5 units done so far
+        assert_eq!(r.rate_of(id), Some(0.0));
+        assert_eq!(r.next_completion(), None);
+        assert_eq!(r.utilization(), 0.0);
+        // Nothing progresses while stalled.
+        r.advance(secs(5.0));
+        assert!((r.remaining(id).unwrap() - 5.0).abs() < 1e-9);
+        // Restore: 5 residual units at rate 10 finish 0.5 s later.
+        r.set_capacity(secs(5.0), 10.0);
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 5.5).abs() < 1e-9);
+        assert_eq!(r.take_completed(t), vec![id]);
+    }
+
+    #[test]
+    fn coalesced_mutations_fill_once() {
+        let mut r = ShareResource::new(100.0);
+        let base = r.fill_counters();
+        let a = r.add(SimTime::ZERO, 10.0, 1000.0);
+        let b = r.add(SimTime::ZERO, 10.0, 1000.0);
+        let _c = r.add(SimTime::ZERO, 10.0, 1000.0);
+        r.remove(SimTime::ZERO, b);
+        // Four mutations, zero observations: no fill has run yet.
+        let mid = r.fill_counters();
+        assert_eq!(mid.churn_ops - base.churn_ops, 4);
+        assert_eq!(mid.fills, base.fills);
+        // First observation flushes exactly one pass.
+        assert_eq!(r.rate_of(a), Some(50.0));
+        let after = r.fill_counters();
+        assert_eq!(after.fills, mid.fills + 1);
+        // A second observation with no churn costs nothing.
+        let _ = r.next_completion();
+        assert_eq!(r.fill_counters().fills, after.fills);
+    }
+
+    #[test]
+    fn heap_skips_stale_entries_after_churn() {
+        let mut r = ShareResource::new(100.0);
+        let a = r.add(SimTime::ZERO, 100.0, 1000.0);
+        let _ = r.next_completion(); // entry for a at t=1
+        let b = r.add(SimTime::ZERO, 10.0, 1000.0);
+        let _ = r.next_completion(); // entries for a (t=2) and b (t=0.2)
+        r.remove(SimTime::ZERO, b);
+        // b's entries are stale; a is alone again and finishes at t=1.
+        let t = r.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(r.rate_of(a), Some(100.0));
+    }
 }
 
 #[cfg(test)]
@@ -440,6 +598,65 @@ mod proptests {
             let t = r.next_completion().unwrap();
             prop_assert!((t.as_secs_f64() - expect).abs() < 1e-6);
             prop_assert_eq!(r.take_completed(t), vec![id2]);
+        });
+    }
+
+    /// Oracle: a lazily coalesced op batch must produce bit-identical rates
+    /// and completion projections to a mirror resource that is forced to
+    /// flush (observe rates) after every single operation.
+    #[test]
+    fn coalesced_fill_matches_eager_fill() {
+        // Op encoding: (kind, work, cap-or-capacity, victim-index).
+        // kind 0 => Add{work, cap}; 1 => Remove(victim); 2 => SetCapacity.
+        let op = || (0u8..3, 0.1f64..100.0, 0.0f64..300.0, 0usize..64);
+        proptest!(|(batches in collection::vec(
+                        (collection::vec(op(), 1..8), 0.0f64..0.5),
+                        1..12))| {
+            let mut lazy = ShareResource::new(100.0);
+            let mut eager = ShareResource::new(100.0);
+            let mut now = SimTime::ZERO;
+            let mut lazy_ids: Vec<TaskId> = Vec::new();
+            let mut eager_ids: Vec<TaskId> = Vec::new();
+            for (ops, dt) in batches {
+                now += SimSpan::from_secs_f64(dt);
+                for (kind, work, c, victim) in ops {
+                    match kind {
+                        0 => {
+                            let cap = c.max(0.1); // per-task cap must stay > 0
+                            lazy_ids.push(lazy.add(now, work, cap));
+                            eager_ids.push(eager.add(now, work, cap));
+                        }
+                        1 => {
+                            if !lazy_ids.is_empty() {
+                                let i = victim % lazy_ids.len();
+                                lazy.remove(now, lazy_ids.remove(i));
+                                eager.remove(now, eager_ids.remove(i));
+                            }
+                        }
+                        _ => {
+                            lazy.set_capacity(now, c);
+                            eager.set_capacity(now, c);
+                        }
+                    }
+                    // Force the eager mirror to fill after every op.
+                    for &id in &eager_ids {
+                        let _ = eager.rate_of(id);
+                    }
+                }
+                // End of coalesced batch: both sides observed once.
+                prop_assert_eq!(
+                    lazy.next_completion(), eager.next_completion(),
+                    "completion projections diverged"
+                );
+                for (&l, &e) in lazy_ids.iter().zip(eager_ids.iter()) {
+                    let lr = lazy.rate_of(l).unwrap();
+                    let er = eager.rate_of(e).unwrap();
+                    prop_assert_eq!(lr.to_bits(), er.to_bits(), "rates diverged");
+                    let lrem = lazy.remaining(l).unwrap();
+                    let erem = eager.remaining(e).unwrap();
+                    prop_assert_eq!(lrem.to_bits(), erem.to_bits(), "remaining diverged");
+                }
+            }
         });
     }
 }

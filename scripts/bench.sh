@@ -3,6 +3,12 @@
 # regenerates the committed machine-readable executor baseline
 # (BENCH_simulator.json at the repo root). Run from the repo root.
 #
+# The simulator suite includes the `fabric_churn` group (incremental vs
+# full-rescan water-filling under flow churn at 64 / 1024 / 8192 flows) and
+# the two-point `driver_exec_mode` group (paper-testbed and 512-rank /
+# 64-server scales, events/sec in both); bench_baseline emits the same
+# comparisons into BENCH_simulator.json (schema v3).
+#
 #   scripts/bench.sh            # everything (criterion suites are slow)
 #   scripts/bench.sh baseline   # just refresh BENCH_simulator.json
 #   scripts/bench.sh criterion  # just the criterion suites

@@ -13,6 +13,12 @@ cargo test -q --test failure_scenarios
 # (DESIGN.md §8): metrics are bit-identical to serial at any thread count.
 DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test failure_scenarios
 DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test golden_metrics
+# Incremental-fabric guarantees (DESIGN.md §10): the coalesced/dirty-set
+# fill must be bit-identical to the from-scratch fill in both substrates,
+# and zero-rate fault windows must not wedge completion tracking.
+cargo test -q -p simkit --lib coalesced_fill_matches_eager_fill
+cargo test -q -p cluster --lib incremental_fill_matches_full_rescan
+cargo test -q --test failure_scenarios zero_rate_stall_window_completes_after_recovery
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

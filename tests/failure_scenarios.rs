@@ -361,3 +361,64 @@ fn expired_faults_restore_exact_capacity() {
     );
     assert_eq!(clean.runtime, faulted.runtime);
 }
+
+// ---------------------------------------------------------------------------
+// Scenario 8: full stall (factor 0)
+// ---------------------------------------------------------------------------
+
+/// A zero-factor window stalls the storage node's CPU *and* NIC outright.
+/// While every task/flow runs at rate 0 the resources must report no
+/// upcoming completion (a naive `remaining / rate` would be infinite and
+/// panic inside `SimSpan::from_secs_f64`); when the window closes, capacity
+/// is restored and every request still completes.
+#[test]
+fn zero_rate_stall_window_completes_after_recovery() {
+    let w = gaussians(4);
+    let plan = FaultPlan::new()
+        .inject(
+            STORAGE_NODE,
+            FaultKind::CpuSlowdown { factor: 0.0 },
+            secs(0.2),
+            span(1.0),
+        )
+        .inject(
+            STORAGE_NODE,
+            FaultKind::NetBandwidthDip { factor: 0.0 },
+            secs(0.2),
+            span(1.0),
+        );
+    let clean = run_deterministic(&det(Scheme::dosas_default(), FaultPlan::new()), &w);
+    let m = run_deterministic(&det(Scheme::dosas_default(), plan), &w);
+
+    assert_all_complete(&m, 4);
+    assert!(
+        m.makespan_secs > clean.makespan_secs,
+        "a 1 s full stall must cost wall-clock time: {} vs {}",
+        m.makespan_secs,
+        clean.makespan_secs
+    );
+    // The stall also exercises the no-completion NetTick cancellation path
+    // in both executors; the run must stay bit-identical across modes.
+    let p = Driver::run_with(
+        det(Scheme::dosas_default(), {
+            FaultPlan::new()
+                .inject(
+                    STORAGE_NODE,
+                    FaultKind::CpuSlowdown { factor: 0.0 },
+                    secs(0.2),
+                    span(1.0),
+                )
+                .inject(
+                    STORAGE_NODE,
+                    FaultKind::NetBandwidthDip { factor: 0.0 },
+                    secs(0.2),
+                    span(1.0),
+                )
+        }),
+        &w,
+        ExecMode::Parallel { threads: 2 },
+    );
+    assert_eq!(m.makespan_secs.to_bits(), p.makespan_secs.to_bits());
+    assert_eq!(m.events, p.events);
+    assert_eq!(m.events_cancelled, p.events_cancelled);
+}
