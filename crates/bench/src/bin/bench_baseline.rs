@@ -19,6 +19,10 @@
 //! 4. `incremental_fabric` — stale-`NetTick` suppression and fill-reuse
 //!    counters from an observability-enabled standard DOSAS run: the ticks
 //!    the incremental fabric proved redundant and never dispatched.
+//! 5. `scenarios` — the multi-tenant scenario suite of
+//!    [`bench::scenarios`] (storm, straggler, join/leave, heterogeneous,
+//!    SLO, soak): events/sec per scenario plus the fairness outcome, so
+//!    the cost of the failure-rich multi-tenant regime is tracked.
 //!
 //! Plus a `profile` section: the simkit executor's wall-clock dispatch
 //! breakdown (per-subsystem handler time under the serial executor, batch
@@ -98,6 +102,43 @@ fn driver_point(
     })
 }
 
+/// Time the multi-tenant scenario suite: every scenario from
+/// [`bench::scenarios`] run serially (bit-identity against the parallel
+/// executor is already pinned by `tests/tenant_scenarios.rs` golden
+/// snapshots), recording events/sec plus the per-tenant fairness outcome.
+fn scenario_section() -> serde_json::Value {
+    let points: Vec<serde_json::Value> = bench::scenarios::all()
+        .iter()
+        .map(|s| {
+            let m = Driver::run_with(s.cfg.clone(), &s.workload, ExecMode::Serial);
+            let secs = (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(Driver::run_with(
+                        s.cfg.clone(),
+                        &s.workload,
+                        ExecMode::Serial,
+                    ));
+                    t0.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min);
+            let t = m.tenants.as_ref().expect("scenarios are tenanted");
+            serde_json::json!({
+                "name": s.name,
+                "summary": s.summary,
+                "events": m.events,
+                "secs": secs,
+                "events_per_sec": m.events as f64 / secs,
+                "makespan_secs": m.makespan_secs,
+                "jain_fairness": t.jain_fairness,
+                "tenants": t.per_tenant.len(),
+                "slos_met": t.all_slos_met(),
+            })
+        })
+        .collect();
+    serde_json::json!({ "points": points })
+}
+
 /// Stale-tick and fill-reuse counters from an obs-enabled standard run.
 fn incremental_fabric_section(metrics: &RunMetrics) -> serde_json::Value {
     let report = metrics.obs.as_ref().expect("obs-enabled run has a report");
@@ -164,6 +205,9 @@ fn main() {
         })
         .collect();
 
+    eprintln!("timing the multi-tenant scenario suite...");
+    let scenario_points = scenario_section();
+
     eprintln!("counting stale-NetTick suppression on the standard workload...");
     let mut obs_cfg = paper_cfg();
     obs_cfg.obs = obs::ObsConfig::enabled();
@@ -204,12 +248,13 @@ fn main() {
         "parallel": parallel_profile,
     });
     let report = serde_json::json!({
-        "schema": "dosas-bench-baseline/v3",
+        "schema": "dosas-bench-baseline/v4",
         "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "tick_dispatch": tick_section,
         "driver": driver_section,
         "fabric_churn": churn_section,
         "incremental_fabric": incremental_fabric,
+        "scenarios": scenario_points,
         "profile": profile_section,
     });
     let mut json = serde_json::to_string_pretty(&report).expect("report serializes");

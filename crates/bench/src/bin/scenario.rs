@@ -1,0 +1,116 @@
+//! Run one scenario from the multi-tenant scenario library by name.
+//!
+//! ```text
+//! cargo run -p bench --bin scenario -- --list
+//! cargo run -p bench --bin scenario -- <name> [--stream <file>] [--obs-out <dir>] [--summary]
+//! ```
+//!
+//! Prints the full serialized `RunMetrics` to stdout (the same JSON the
+//! golden snapshots pin down); `--summary` prints a short per-tenant table
+//! to stderr instead of the full JSON. `--stream <file>` points the obs
+//! timeline at a JSONL file on disk (the soak scenario's mode of
+//! operation); `--obs-out <dir>` streams `timeline.jsonl` into `dir` the
+//! same way and adds `metrics.prom` + `trace.json` at the end, producing a
+//! directory `dosas-sim --check-obs` accepts. The executor is
+//! environment-selected as everywhere else: `DOSAS_EXEC=parallel` runs the
+//! sharded executor.
+
+use bench::scenarios;
+
+fn usage() -> ! {
+    eprintln!("usage: scenario --list | <name> [--stream <file>] [--obs-out <dir>] [--summary]");
+    eprintln!("scenarios:");
+    for s in scenarios::all() {
+        eprintln!("  {:16} {}", s.name, s.summary);
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name: Option<String> = None;
+    let mut stream: Option<String> = None;
+    let mut obs_out: Option<String> = None;
+    let mut summary_only = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => {
+                for s in scenarios::all() {
+                    println!("{:16} {}", s.name, s.summary);
+                }
+                return;
+            }
+            "--stream" => stream = Some(it.next().unwrap_or_else(|| usage())),
+            "--obs-out" => obs_out = Some(it.next().unwrap_or_else(|| usage())),
+            "--summary" => summary_only = true,
+            _ if name.is_none() => name = Some(a),
+            _ => usage(),
+        }
+    }
+    let Some(name) = name else { usage() };
+    let Some(mut s) = scenarios::by_name(&name) else {
+        eprintln!("unknown scenario {name:?}");
+        usage();
+    };
+    if let Some(path) = stream {
+        s.cfg.obs.enabled = true;
+        s.cfg.obs.stream_path = Some(path);
+    }
+    if let Some(dir) = &obs_out {
+        std::fs::create_dir_all(dir).expect("create --obs-out directory");
+        s.cfg.obs.enabled = true;
+        s.cfg.obs.stream_path = Some(format!("{dir}/timeline.jsonl"));
+        s.cfg.trace = true;
+    }
+    let m = s.run();
+    if let Some(dir) = &obs_out {
+        let report = m.obs.as_ref().expect("obs enabled by --obs-out");
+        std::fs::write(format!("{dir}/metrics.prom"), report.to_prometheus())
+            .expect("write metrics.prom");
+        let trace = m.trace.as_deref().unwrap_or(&[]);
+        std::fs::write(
+            format!("{dir}/trace.json"),
+            dosas::driver::trace::to_chrome_json(trace),
+        )
+        .expect("write trace.json");
+    }
+
+    if let Some(t) = &m.tenants {
+        eprintln!(
+            "{}: makespan {:.3} s, jain fairness {:.4}",
+            s.name, m.makespan_secs, t.jain_fairness
+        );
+        for p in &t.per_tenant {
+            eprintln!(
+                "  tenant {}: {} reqs, {:.1} MiB, {:.2} MiB/s, p95 latency {:.3} s",
+                p.tenant,
+                p.requests,
+                p.bytes / bench::MIB,
+                p.achieved_bandwidth / bench::MIB,
+                p.p95_latency_secs
+            );
+        }
+        for v in &t.slos {
+            eprintln!(
+                "  slo tenant {}: {}{}",
+                v.tenant,
+                if v.met { "met" } else { "VIOLATED" },
+                if v.violations.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", v.violations.join("; "))
+                }
+            );
+        }
+    }
+    if let Some(obs) = &m.obs {
+        eprintln!("  obs: {} records streamed", obs.records_streamed);
+    }
+    if !summary_only {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&m).expect("RunMetrics serializes")
+        );
+    }
+}

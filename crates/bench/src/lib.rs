@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod fabric_churn;
 pub mod plot;
 pub mod report;
+pub mod scenarios;
 pub mod tickworld;
 
 pub use experiments::*;

@@ -112,6 +112,10 @@ pub struct Fabric {
     // directions of the node's link. Base capacities stay untouched so
     // recovery restores the exact sampled bandwidth.
     link_factor: Vec<f64>,
+    // Cluster membership: an offline node's links carry nothing (elastic
+    // leave/join). Kept separate from `link_factor` so a fault-degraded
+    // factor survives a leave/rejoin cycle unchanged.
+    online: Vec<bool>,
     switch_capacity: Option<f64>,
     latency: SimSpan,
     jitter: Option<(f64, f64)>,
@@ -163,6 +167,7 @@ impl Fabric {
             tx_capacity,
             rx_capacity,
             link_factor: vec![1.0; nodes],
+            online: vec![true; nodes],
             switch_capacity,
             latency,
             jitter,
@@ -250,11 +255,39 @@ impl Fabric {
         self.link_factor[n.0]
     }
 
+    /// Elastic membership: take node `n` out of (or back into) the cluster.
+    /// Offline links carry nothing — in-flight flows through `n` stall at
+    /// rate 0 (exactly like a zero link factor) and resume, re-shared, when
+    /// the node rejoins. Goes through the same dirty-link incremental path
+    /// as [`set_link_factor`], so churn cost is bounded by the node's
+    /// flow components.
+    pub fn set_node_online(&mut self, now: SimTime, n: NodeId, online: bool) {
+        assert!(n.0 < self.online.len(), "unknown node {n}");
+        if self.online[n.0] != online {
+            self.advance(now);
+            self.online[n.0] = online;
+            self.dirty_links.insert(Self::tx_link(n.0));
+            self.dirty_links.insert(Self::rx_link(n.0));
+            self.bump();
+        }
+    }
+
+    /// Is node `n` currently part of the cluster?
+    pub fn node_online(&self, n: NodeId) -> bool {
+        self.online[n.0]
+    }
+
     fn eff_tx(&self, n: usize) -> f64 {
+        if !self.online[n] {
+            return 0.0;
+        }
         self.tx_capacity[n] * self.link_factor[n]
     }
 
     fn eff_rx(&self, n: usize) -> f64 {
+        if !self.online[n] {
+            return 0.0;
+        }
         self.rx_capacity[n] * self.link_factor[n]
     }
 
@@ -867,6 +900,42 @@ mod tests {
         f.set_link_factor(SimTime::from_secs_f64(9.0), n(0), 1.0);
         let t = f.next_completion().unwrap();
         assert!((t.as_secs_f64() - 10.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_leave_mid_transfer_does_not_strand_heap_entries() {
+        // Elastic membership: a node leaving mid-transfer must behave like a
+        // total outage — its flows stall (no phantom completion left in the
+        // epoch-tagged heap), unrelated flows re-share the freed links, and
+        // a rejoin resumes the transfer with exact byte accounting.
+        let mut f = fabric(3, 100.0);
+        let leaving = f.start_flow(SimTime::ZERO, n(0), n(1), 200.0);
+        let healthy = f.start_flow(SimTime::ZERO, n(2), n(1), 100.0);
+        assert!(f.node_online(n(0)));
+        f.set_node_online(SimTime::from_secs_f64(1.0), n(0), false);
+        assert!(!f.node_online(n(0)));
+        assert_eq!(f.rate_of(leaving), Some(0.0));
+        assert_eq!(f.tx_utilization(n(0)), 0.0);
+        // The stale pre-leave completion projection for `leaving` must not
+        // surface: only `healthy` (50 bytes left at t=1, now at full rx
+        // rate) completes, at t=1.5.
+        let t = f.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(f.take_completed(t)[0].id, healthy);
+        assert_eq!(f.next_completion(), None, "offline flow projects nothing");
+        // A leave does not disturb the fault-injected degradation factor.
+        assert!((f.link_factor(n(0)) - 1.0).abs() < 1e-12);
+        // Rejoin at t=4: 150 bytes remain (leaving ran at 50 B/s for 1s),
+        // now alone on its links → done at 5.5.
+        f.set_node_online(SimTime::from_secs_f64(4.0), n(0), true);
+        let t = f.next_completion().unwrap();
+        assert!(
+            (t.as_secs_f64() - 5.5).abs() < 1e-9,
+            "got {}",
+            t.as_secs_f64()
+        );
+        assert_eq!(f.take_completed(t)[0].id, leaving);
+        assert!((f.bytes_delivered() - 300.0).abs() < 1e-9);
     }
 
     #[test]

@@ -196,6 +196,51 @@ impl Default for ProbeConfig {
     }
 }
 
+/// A per-tenant service-level objective, verified at the end of a run.
+///
+/// SLOs are declarative: the driver does not act on them mid-run (DOSAS's
+/// contention control is tenant-blind, as in the paper); they are checked
+/// against the per-tenant aggregates in `RunMetrics::tenants` and exported
+/// through the obs registry so scenario tests and dashboards can assert
+/// them. Unset bounds are unconstrained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSlo {
+    /// Tenant this objective applies to (an index into `Workload::tenants`).
+    pub tenant: usize,
+    /// Minimum acceptable achieved bandwidth, bytes/second over the run.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub min_bandwidth: Option<f64>,
+    /// Maximum acceptable p95 request latency, seconds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_p95_latency_secs: Option<f64>,
+}
+
+impl TenantSlo {
+    /// An objective with no bounds (always met) — a starting point for
+    /// builder-style tightening.
+    pub fn for_tenant(tenant: usize) -> Self {
+        TenantSlo {
+            tenant,
+            min_bandwidth: None,
+            max_p95_latency_secs: None,
+        }
+    }
+
+    /// Require at least `bytes_per_sec` achieved bandwidth.
+    pub fn min_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec.is_finite() && bytes_per_sec >= 0.0);
+        self.min_bandwidth = Some(bytes_per_sec);
+        self
+    }
+
+    /// Require p95 request latency at or below `secs`.
+    pub fn max_p95_latency_secs(mut self, secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0);
+        self.max_p95_latency_secs = Some(secs);
+        self
+    }
+}
+
 impl Default for DosasConfig {
     fn default() -> Self {
         DosasConfig {

@@ -66,6 +66,14 @@ impl Driver {
                     .fabric
                     .set_link_factor(now, NodeId(node), net_f);
             }
+            // Membership is tracked separately from link factors so a
+            // fault-degraded factor survives a leave/rejoin cycle.
+            let online = !plan.offline(now, node);
+            if online != self.cluster.fabric.node_online(NodeId(node)) {
+                self.cluster
+                    .fabric
+                    .set_node_online(now, NodeId(node), online);
+            }
         }
         // Disk stalls opening at exactly this boundary become blocking
         // zero-byte requests; their completions are filtered in

@@ -505,9 +505,19 @@ impl Driver {
             obs::Label::None,
             (now - app.issued_at).as_secs_f64(),
         );
+        if let Some(t) = app.tenant {
+            self.obs_inc("io_path", "app_ios_completed", obs::Label::Tenant(t));
+            self.obs_observe(
+                "io_path",
+                "app_latency_seconds",
+                obs::Label::Tenant(t),
+                (now - app.issued_at).as_secs_f64(),
+            );
+        }
         self.telemetry.records.push(super::metrics::AppIoRecord {
             app: app_id.0,
             rank: app.rank,
+            tenant: app.tenant,
             bytes: app.total_bytes,
             op: app
                 .op

@@ -70,6 +70,7 @@ impl Driver {
             app_id,
             AppIo {
                 rank,
+                tenant: self.ranks.states[rank].tenant,
                 op: op_name.clone(),
                 params: params.clone(),
                 client_op,

@@ -59,6 +59,8 @@ pub(in super::super) enum Piece {
 /// One application-level I/O, assembled from its per-server parts.
 pub(in super::super) struct AppIo {
     pub(in super::super) rank: usize,
+    /// Issuing rank's tenant (`None` in untenanted workloads).
+    pub(in super::super) tenant: Option<usize>,
     pub(in super::super) op: Option<String>,
     pub(in super::super) params: KernelParams,
     pub(in super::super) client_op: Option<(String, KernelParams)>,

@@ -12,6 +12,10 @@ use std::collections::BTreeMap;
 pub struct AppIoRecord {
     pub app: u64,
     pub rank: usize,
+    /// Tenant of the issuing rank; omitted from the serialized form for
+    /// untenanted workloads so existing golden snapshots are unchanged.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub tenant: Option<usize>,
     pub bytes: f64,
     pub op: Option<String>,
     pub issued_at: SimTime,
@@ -22,6 +26,135 @@ pub struct AppIoRecord {
 impl AppIoRecord {
     pub fn latency_secs(&self) -> f64 {
         (self.completed_at - self.issued_at).as_secs_f64()
+    }
+}
+
+/// Per-tenant aggregates over one run (ordered by tenant id).
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantStats {
+    pub tenant: usize,
+    /// App I/Os the tenant completed.
+    pub requests: u64,
+    /// Bytes the tenant completed.
+    pub bytes: f64,
+    /// `bytes / makespan` — the tenant's share of the run's aggregate
+    /// bandwidth (per-tenant shares sum to `achieved_bandwidth` exactly,
+    /// because every completed byte belongs to exactly one tenant).
+    pub achieved_bandwidth: f64,
+    pub mean_latency_secs: f64,
+    pub p95_latency_secs: f64,
+}
+
+/// End-of-run verdict for one declared [`TenantSlo`](crate::config::TenantSlo).
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantSloOutcome {
+    pub tenant: usize,
+    pub met: bool,
+    /// One line per violated bound (empty when met).
+    pub violations: Vec<String>,
+}
+
+/// Multi-tenant summary attached to [`RunMetrics`] for tenanted workloads.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    pub per_tenant: Vec<TenantStats>,
+    /// Jain fairness index `(Σx)² / (n·Σx²)` over per-tenant achieved
+    /// bandwidth: 1.0 = perfectly even shares, → 1/n as one tenant
+    /// monopolizes. Defined as 1.0 when nothing moved.
+    pub jain_fairness: f64,
+    pub slos: Vec<TenantSloOutcome>,
+}
+
+impl TenantReport {
+    /// Aggregate `records` per tenant and verify `slos`. `None` when no
+    /// record carries a tenant label (untenanted run).
+    pub fn compute(
+        records: &[AppIoRecord],
+        makespan_secs: f64,
+        slos: &[crate::config::TenantSlo],
+    ) -> Option<TenantReport> {
+        let n = records.iter().filter_map(|r| r.tenant).max()? + 1;
+        let mut per_tenant: Vec<TenantStats> = (0..n)
+            .map(|t| TenantStats {
+                tenant: t,
+                requests: 0,
+                bytes: 0.0,
+                achieved_bandwidth: 0.0,
+                mean_latency_secs: 0.0,
+                p95_latency_secs: 0.0,
+            })
+            .collect();
+        let mut latencies: Vec<simkit::stats::Quantiles> = (0..n)
+            .map(|_| simkit::stats::Quantiles::default())
+            .collect();
+        let mut latency_sum = vec![0.0f64; n];
+        for r in records {
+            let Some(t) = r.tenant else { continue };
+            per_tenant[t].requests += 1;
+            per_tenant[t].bytes += r.bytes;
+            latency_sum[t] += r.latency_secs();
+            latencies[t].record(r.latency_secs());
+        }
+        for (t, s) in per_tenant.iter_mut().enumerate() {
+            s.achieved_bandwidth = if makespan_secs > 0.0 {
+                s.bytes / makespan_secs
+            } else {
+                0.0
+            };
+            s.mean_latency_secs = if s.requests > 0 {
+                latency_sum[t] / s.requests as f64
+            } else {
+                0.0
+            };
+            s.p95_latency_secs = latencies[t].quantile(0.95).unwrap_or(0.0);
+        }
+        let sum: f64 = per_tenant.iter().map(|s| s.achieved_bandwidth).sum();
+        let sum_sq: f64 = per_tenant
+            .iter()
+            .map(|s| s.achieved_bandwidth * s.achieved_bandwidth)
+            .sum();
+        let jain_fairness = if sum_sq > 0.0 {
+            (sum * sum) / (n as f64 * sum_sq)
+        } else {
+            1.0
+        };
+        let slos = slos
+            .iter()
+            .map(|slo| {
+                let mut violations = Vec::new();
+                let stats = per_tenant.get(slo.tenant);
+                let bw = stats.map_or(0.0, |s| s.achieved_bandwidth);
+                let p95 = stats.map_or(0.0, |s| s.p95_latency_secs);
+                if let Some(min) = slo.min_bandwidth {
+                    if bw < min {
+                        violations.push(format!(
+                            "achieved bandwidth {bw:.3} B/s below SLO minimum {min:.3} B/s"
+                        ));
+                    }
+                }
+                if let Some(max) = slo.max_p95_latency_secs {
+                    if p95 > max {
+                        violations
+                            .push(format!("p95 latency {p95:.6}s above SLO maximum {max:.6}s"));
+                    }
+                }
+                TenantSloOutcome {
+                    tenant: slo.tenant,
+                    met: violations.is_empty(),
+                    violations,
+                }
+            })
+            .collect();
+        Some(TenantReport {
+            per_tenant,
+            jain_fairness,
+            slos,
+        })
+    }
+
+    /// Were all declared SLOs met?
+    pub fn all_slos_met(&self) -> bool {
+        self.slos.iter().all(|s| s.met)
     }
 }
 
@@ -59,6 +192,11 @@ pub struct RunMetrics {
     /// Final per-storage-node bandwidth estimates (bytes/s), when the
     /// online estimator was enabled.
     pub estimated_bandwidth: BTreeMap<usize, f64>,
+    /// Per-tenant aggregates, fairness and SLO verdicts; present only for
+    /// tenanted workloads (omitted from the serialized form otherwise, so
+    /// single-tenant golden snapshots are unchanged).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub tenants: Option<TenantReport>,
     /// Final kernel results per app I/O (data-plane runs only).
     #[serde(skip)]
     pub results: BTreeMap<u64, Vec<u8>>,
@@ -137,6 +275,7 @@ mod tests {
         let r = AppIoRecord {
             app: 0,
             rank: 0,
+            tenant: None,
             bytes: 1.0,
             op: None,
             issued_at: SimTime::from_secs_f64(1.0),
@@ -151,6 +290,7 @@ mod tests {
         let mk = |lat: f64, site| AppIoRecord {
             app: 0,
             rank: 0,
+            tenant: None,
             bytes: 1.0,
             op: Some("sum".into()),
             issued_at: SimTime::ZERO,
@@ -173,6 +313,7 @@ mod tests {
             peak_queue_depth: 0.0,
             policy_log: vec![],
             estimated_bandwidth: BTreeMap::new(),
+            tenants: None,
             results: BTreeMap::new(),
             trace: None,
             events: 0,
@@ -187,5 +328,47 @@ mod tests {
         assert_eq!(p50, 3.0);
         assert_eq!(p95, 4.0);
         assert_eq!(p99, 4.0);
+    }
+
+    #[test]
+    fn tenant_report_aggregates_and_checks_slos() {
+        use crate::config::TenantSlo;
+        let mk = |tenant: usize, bytes: f64, lat: f64| AppIoRecord {
+            app: 0,
+            rank: 0,
+            tenant: Some(tenant),
+            bytes,
+            op: Some("sum".into()),
+            issued_at: SimTime::ZERO,
+            completed_at: SimTime::from_secs_f64(lat),
+            site: ExecutionSite::Storage,
+        };
+        // Tenant 0: 300 bytes over 4s; tenant 1: 100 bytes.
+        let records = vec![mk(0, 200.0, 1.0), mk(0, 100.0, 3.0), mk(1, 100.0, 4.0)];
+        let slos = vec![
+            TenantSlo::for_tenant(0)
+                .min_bandwidth(50.0)
+                .max_p95_latency_secs(3.5),
+            TenantSlo::for_tenant(1).min_bandwidth(50.0),
+        ];
+        let rep = TenantReport::compute(&records, 4.0, &slos).unwrap();
+        assert_eq!(rep.per_tenant.len(), 2);
+        assert!((rep.per_tenant[0].achieved_bandwidth - 75.0).abs() < 1e-9);
+        assert!((rep.per_tenant[1].achieved_bandwidth - 25.0).abs() < 1e-9);
+        assert!((rep.per_tenant[0].mean_latency_secs - 2.0).abs() < 1e-9);
+        // Shares conserve the aggregate.
+        let sum: f64 = rep.per_tenant.iter().map(|t| t.achieved_bandwidth).sum();
+        assert!((sum - 400.0 / 4.0).abs() < 1e-9);
+        // Jain for shares (75, 25): 100² / (2 · (75² + 25²)) = 0.8.
+        assert!((rep.jain_fairness - 0.8).abs() < 1e-9);
+        assert!(rep.slos[0].met, "{:?}", rep.slos[0].violations);
+        assert!(!rep.slos[1].met, "25 B/s misses the 50 B/s floor");
+        assert!(!rep.all_slos_met());
+        // Untenanted records yield no report.
+        let plain = vec![AppIoRecord {
+            tenant: None,
+            ..mk(0, 1.0, 1.0)
+        }];
+        assert!(TenantReport::compute(&plain, 1.0, &[]).is_none());
     }
 }

@@ -43,7 +43,9 @@ mod ranks;
 mod server;
 mod telemetry;
 
-pub use metrics::{AppIoRecord, PolicyLogEntry, RunMetrics};
+pub use metrics::{
+    AppIoRecord, PolicyLogEntry, RunMetrics, TenantReport, TenantSloOutcome, TenantStats,
+};
 pub use trace::TraceEvent;
 
 use crate::asc::ActiveStorageClient;
@@ -89,6 +91,10 @@ pub struct DriverConfig {
     /// timeline sampling (see [`obs`]). Disabled by default; when disabled
     /// the driver allocates no observer state and formats no messages.
     pub obs: obs::ObsConfig,
+    /// Per-tenant service-level objectives, verified against the end-of-run
+    /// tenant aggregates (no mid-run enforcement). Only meaningful when the
+    /// workload carries tenant labels.
+    pub slos: Vec<crate::config::TenantSlo>,
 }
 
 impl DriverConfig {
@@ -103,6 +109,7 @@ impl DriverConfig {
             trace: false,
             fault_plan: FaultPlan::default(),
             obs: obs::ObsConfig::default(),
+            slos: Vec::new(),
         }
     }
 }
@@ -285,7 +292,11 @@ impl Driver {
             )
         });
 
-        let ranks = Ranks::new(&workload.programs, cfg.cluster.compute_nodes);
+        let ranks = Ranks::new(
+            &workload.programs,
+            &workload.tenants,
+            cfg.cluster.compute_nodes,
+        );
 
         Driver {
             dosas,

@@ -23,6 +23,9 @@ pub(super) struct RankState {
     pub(super) pc: usize,
     pub(super) finished: Option<SimTime>,
     pub(super) at_barrier: bool,
+    /// Tenant the rank belongs to (`None` in untenanted workloads); stamped
+    /// onto every application I/O the rank issues.
+    pub(super) tenant: Option<usize>,
 }
 
 /// Which collective is being executed.
@@ -111,7 +114,14 @@ impl Ranks {
     /// Place one rank per core, round-robin over compute nodes (the
     /// paper's one-process-per-core placement; nodes were pre-expanded by
     /// [`Driver::new`]).
-    pub(super) fn new(programs: &[RankProgram], compute_nodes: usize) -> Self {
+    pub(super) fn new(programs: &[RankProgram], tenants: &[usize], compute_nodes: usize) -> Self {
+        assert!(
+            tenants.is_empty() || tenants.len() == programs.len(),
+            "tenant labels must be absent or cover every rank \
+             ({} labels for {} programs)",
+            tenants.len(),
+            programs.len()
+        );
         Ranks {
             states: programs
                 .iter()
@@ -122,6 +132,7 @@ impl Ranks {
                     pc: 0,
                     finished: None,
                     at_barrier: false,
+                    tenant: tenants.get(i).copied(),
                 })
                 .collect(),
             barrier_count: 0,
@@ -403,7 +414,7 @@ mod tests {
     #[test]
     fn placement_follows_round_robin() {
         let programs = vec![RankProgram { ops: vec![] }; 5];
-        let ranks = Ranks::new(&programs, 2);
+        let ranks = Ranks::new(&programs, &[], 2);
         assert_eq!(
             ranks.placement(),
             nodes(&[0, 1, 0, 1, 0]),

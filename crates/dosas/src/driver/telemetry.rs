@@ -14,7 +14,7 @@
 //! runtimes, fabric) and only *writes* observer state, which no simulated
 //! path reads back, so enabling observability never changes scheme results.
 
-use super::metrics::{AppIoRecord, PolicyLogEntry, RunMetrics};
+use super::metrics::{AppIoRecord, PolicyLogEntry, RunMetrics, TenantReport};
 use super::trace::TraceEvent;
 use super::{Driver, Ev, Subsystem};
 use crate::estimator::CeStats;
@@ -253,6 +253,10 @@ impl Driver {
         };
         let min_bw_samples = w.dosas.as_ref().map_or(3, |d| d.probe.min_bw_samples);
 
+        // Per-tenant aggregates, fairness, and SLO verdicts (tenanted
+        // workloads only — `compute` returns None otherwise).
+        let tenants = TenantReport::compute(&w.telemetry.records, makespan_secs, &w.cfg.slos);
+
         // Close out the observability run: one last sample at the final sim
         // time plus end-of-run summary gauges, then freeze the report.
         if w.telemetry.obs.is_some() {
@@ -304,6 +308,30 @@ impl Driver {
                 .fold((0, 0), |(f, ch), c| (f + c.fills, ch + c.churn_ops));
             r.add("cpu", "share_fills", Label::None, cpu_fills);
             r.add("cpu", "share_churn_ops", Label::None, cpu_churn);
+            // Per-tenant SLO/fairness surface: achieved bandwidth, p95
+            // latency and SLO verdicts per tenant, Jain index globally.
+            if let Some(rep) = &tenants {
+                r.set_gauge("tenant", "jain_fairness", Label::None, rep.jain_fairness);
+                for s in &rep.per_tenant {
+                    let label = Label::Tenant(s.tenant);
+                    r.set_gauge(
+                        "tenant",
+                        "achieved_bandwidth_bytes_per_sec",
+                        label,
+                        s.achieved_bandwidth,
+                    );
+                    r.set_gauge("tenant", "bytes_completed", label, s.bytes);
+                    r.set_gauge("tenant", "p95_latency_secs", label, s.p95_latency_secs);
+                }
+                for outcome in &rep.slos {
+                    r.set_gauge(
+                        "tenant",
+                        "slo_met",
+                        Label::Tenant(outcome.tenant),
+                        if outcome.met { 1.0 } else { 0.0 },
+                    );
+                }
+            }
         }
         let obs = w.telemetry.obs.take().map(Observer::into_report);
 
@@ -325,6 +353,7 @@ impl Driver {
                 .filter(|(_, (_, n))| *n >= min_bw_samples)
                 .map(|(node, (bw, _))| (node.0, *bw))
                 .collect(),
+            tenants,
             results: w.io.results,
             trace: if w.cfg.trace {
                 Some(w.telemetry.trace)

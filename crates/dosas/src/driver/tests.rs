@@ -22,6 +22,7 @@ fn det_config(scheme: Scheme) -> DriverConfig {
         data_plane: false,
         trace: false,
         fault_plan: FaultPlan::default(),
+        slos: Vec::new(),
         obs: obs::ObsConfig::default(),
     }
 }

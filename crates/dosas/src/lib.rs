@@ -46,9 +46,10 @@ pub mod runtime;
 pub mod schedule;
 pub mod workload;
 
-pub use config::{DosasConfig, OpRates, ProbeConfig, Scheme};
+pub use config::{DosasConfig, OpRates, ProbeConfig, Scheme, TenantSlo};
 pub use cost::{CostModel, Item, RequestSpec, ResultModel};
 pub use driver::{Driver, DriverConfig, ExecMode, RunMetrics};
+pub use driver::{TenantReport, TenantSloOutcome, TenantStats};
 pub use estimator::{
     CeStats, CeSupervisor, ContentionEstimator, Decision, Policy, ProbeVerdict, SystemProbe,
 };

@@ -40,6 +40,11 @@ pub struct FileSpec {
 pub struct Workload {
     pub files: Vec<FileSpec>,
     pub programs: Vec<RankProgram>,
+    /// Tenant id of each rank (parallel to `programs`). Empty means the
+    /// workload is untenanted — single-tenant runs carry no per-tenant
+    /// metrics and their serialized form is unchanged.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tenants: Vec<usize>,
 }
 
 impl Workload {
@@ -72,7 +77,11 @@ impl Workload {
                 )
             })
             .collect();
-        Workload { files, programs }
+        Workload {
+            files,
+            programs,
+            tenants: vec![],
+        }
     }
 
     /// Like [`Workload::uniform_active`] but the second half of the
@@ -126,7 +135,11 @@ impl Workload {
                 programs.push(program);
             }
         }
-        Workload { files, programs }
+        Workload {
+            files,
+            programs,
+            tenants: vec![],
+        }
     }
 
     /// A striped variant of the uniform workload (ablation A2): one shared
@@ -151,6 +164,49 @@ impl Workload {
         Workload {
             files: vec![file],
             programs,
+            tenants: vec![],
+        }
+    }
+
+    /// A multi-tenant mix: tenant `t` contributes `ranks` active reads of
+    /// `bytes` bytes with operation `op`, its rank `r` targeting storage
+    /// node `(t + r) % storage_nodes` (tenants interleave over servers, so
+    /// they genuinely contend). Rank order is tenant-major; `tenants` is
+    /// populated so per-tenant metrics flow through the run.
+    #[allow(clippy::type_complexity)]
+    pub fn multi_tenant(
+        mixes: &[(String, KernelParams, u64, usize)], // (op, params, bytes, ranks)
+        storage_nodes: usize,
+    ) -> Self {
+        assert!(storage_nodes > 0 && !mixes.is_empty());
+        let mut files: Vec<FileSpec> = Vec::new();
+        let mut programs = Vec::new();
+        let mut tenants = Vec::new();
+        for (t, (op, params, bytes, ranks)) in mixes.iter().enumerate() {
+            for r in 0..*ranks {
+                let server = (t + r) % storage_nodes;
+                let path = format!("/data/tenant{t}-server{server}.dat");
+                if !files.iter().any(|f| f.path == path) {
+                    files.push(FileSpec {
+                        path: path.clone(),
+                        bytes: *bytes,
+                        layout: LayoutSpec::OneServer(server),
+                        content: None,
+                    });
+                }
+                programs.push(RankProgram::single_read_ex(
+                    &path,
+                    *bytes,
+                    op,
+                    params.clone(),
+                ));
+                tenants.push(t);
+            }
+        }
+        Workload {
+            files,
+            programs,
+            tenants,
         }
     }
 
@@ -161,6 +217,27 @@ impl Workload {
 
     pub fn rank_count(&self) -> usize {
         self.programs.len()
+    }
+
+    /// Tenant of `rank`, `None` when the workload is untenanted.
+    pub fn tenant_of(&self, rank: usize) -> Option<usize> {
+        self.tenants.get(rank).copied()
+    }
+
+    /// Number of distinct tenants (0 for an untenanted workload).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Bytes each tenant will request: index = tenant id.
+    pub fn tenant_request_bytes(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.tenant_count()];
+        for (rank, program) in self.programs.iter().enumerate() {
+            if let Some(t) = self.tenant_of(rank) {
+                out[t] += program.total_request_bytes();
+            }
+        }
+        out
     }
 }
 
@@ -185,7 +262,11 @@ pub fn plain_reads(processes: usize, storage_nodes: usize, bytes: u64) -> Worklo
             })
         })
         .collect();
-    Workload { files, programs }
+    Workload {
+        files,
+        programs,
+        tenants: vec![],
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +353,40 @@ mod tests {
     fn serde_roundtrip() {
         let w = Workload::uniform_active(1, 1, 8, "sum", KernelParams::default());
         let json = serde_json::to_string(&w).unwrap();
+        assert!(
+            !json.contains("tenants"),
+            "untenanted workloads serialize as before"
+        );
         assert_eq!(serde_json::from_str::<Workload>(&json).unwrap(), w);
+    }
+
+    #[test]
+    fn multi_tenant_interleaves_and_labels() {
+        let mixes = vec![
+            ("sum".to_string(), KernelParams::default(), 100, 2),
+            ("stats".to_string(), KernelParams::default(), 300, 3),
+        ];
+        let w = Workload::multi_tenant(&mixes, 2);
+        assert_eq!(w.rank_count(), 5);
+        assert_eq!(w.tenants, vec![0, 0, 1, 1, 1]);
+        assert_eq!(w.tenant_count(), 2);
+        assert_eq!(w.tenant_of(0), Some(0));
+        assert_eq!(w.tenant_of(4), Some(1));
+        assert_eq!(w.tenant_of(5), None);
+        assert_eq!(w.tenant_request_bytes(), vec![200, 900]);
+        // Tenants land on distinct starting servers so they contend rather
+        // than partition.
+        assert!(w.files.iter().any(|f| f.path.contains("tenant0-server0")));
+        assert!(w.files.iter().any(|f| f.path.contains("tenant1-server1")));
+        let json = serde_json::to_string(&w).unwrap();
+        assert_eq!(serde_json::from_str::<Workload>(&json).unwrap(), w);
+    }
+
+    #[test]
+    fn untenanted_workloads_report_no_tenants() {
+        let w = Workload::uniform_active(2, 1, 8, "sum", KernelParams::default());
+        assert_eq!(w.tenant_count(), 0);
+        assert_eq!(w.tenant_of(0), None);
+        assert!(w.tenant_request_bytes().is_empty());
     }
 }

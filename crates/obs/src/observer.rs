@@ -14,6 +14,9 @@ use crate::registry::Registry;
 use crate::series::{SampleRecord, SampleRing, ServerSample};
 use serde::{Deserialize, Serialize};
 use simkit::{SimSpan, SimTime};
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::sync::{Arc, Mutex};
 
 /// Observability configuration, embedded in `DriverConfig`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,6 +29,15 @@ pub struct ObsConfig {
     pub sample_capacity: usize,
     /// Capacity of the structured event log ring.
     pub event_log_capacity: usize,
+    /// When set, every timeline record (sample or event) is appended to this
+    /// file as one JSONL line *at record time* and the in-memory rings stay
+    /// empty — a long-horizon soak run keeps O(1) observability memory
+    /// instead of ring-buffering and dropping. The line format is exactly
+    /// [`ObsReport::timeline_jsonl`]'s, so the streamed file validates and
+    /// round-trips identically. (A `String` rather than a `PathBuf` because
+    /// the vendored serde has no filesystem-type impls.)
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stream_path: Option<String>,
 }
 
 impl Default for ObsConfig {
@@ -35,6 +47,7 @@ impl Default for ObsConfig {
             sample_period: SimSpan::from_millis(10),
             sample_capacity: 65_536,
             event_log_capacity: 8_192,
+            stream_path: None,
         }
     }
 }
@@ -47,6 +60,14 @@ impl ObsConfig {
             ..ObsConfig::default()
         }
     }
+
+    /// Enabled, with the timeline streamed to `path` instead of retained.
+    pub fn streaming(path: impl Into<String>) -> Self {
+        ObsConfig {
+            stream_path: Some(path.into()),
+            ..ObsConfig::enabled()
+        }
+    }
 }
 
 /// Live observability state for one simulation run.
@@ -57,20 +78,47 @@ pub struct Observer {
     log: EventLog,
     samples: SampleRing,
     seq: u64,
+    /// Open streaming sink when [`ObsConfig::stream_path`] is set. Shared
+    /// behind `Arc` only so the observer stays `Clone`; the simulation never
+    /// writes from more than one place.
+    sink: Option<Arc<Mutex<BufWriter<File>>>>,
+    streamed: u64,
 }
 
 impl Observer {
-    /// Build an observer for the given configuration.
+    /// Build an observer for the given configuration. Panics if the
+    /// streaming sink file cannot be created — a soak run that silently
+    /// drops its timeline is worse than one that refuses to start.
     pub fn new(cfg: ObsConfig) -> Self {
         let log = EventLog::new(cfg.event_log_capacity);
         let samples = SampleRing::new(cfg.sample_capacity);
+        let sink = cfg.stream_path.as_ref().map(|p| {
+            let f = File::create(p)
+                .unwrap_or_else(|e| panic!("cannot create obs stream file {p:?}: {e}"));
+            Arc::new(Mutex::new(BufWriter::new(f)))
+        });
         Observer {
             cfg,
             registry: Registry::new(),
             log,
             samples,
             seq: 0,
+            sink,
+            streamed: 0,
         }
+    }
+
+    /// Write one timeline row to the streaming sink. Returns false (leaving
+    /// ring retention to the caller) when streaming is off.
+    fn stream(&mut self, row: &TimelineRecord) -> bool {
+        let Some(sink) = &self.sink else {
+            return false;
+        };
+        let line = serde_json::to_string(row).expect("timeline row serializes");
+        let mut w = sink.lock().expect("obs stream sink poisoned");
+        writeln!(w, "{line}").expect("obs stream write failed");
+        self.streamed += 1;
+        true
     }
 
     /// The configuration this observer was built with.
@@ -99,30 +147,58 @@ impl Observer {
     ) {
         let seq = self.seq;
         self.seq += 1;
-        self.log.push(LogRecord {
+        let rec = LogRecord {
             seq,
             t,
             severity,
             subsystem: subsystem.to_string(),
             node,
             message,
-        });
+        };
+        let row = TimelineRecord::Event(rec);
+        if self.stream(&row) {
+            return;
+        }
+        let TimelineRecord::Event(rec) = row else {
+            unreachable!()
+        };
+        self.log.push(rec);
     }
 
     /// Append a timeline sample (per-server rows ordered by node ordinal).
     pub fn record_sample(&mut self, t: SimTime, servers: Vec<ServerSample>) {
         let seq = self.seq;
         self.seq += 1;
-        self.samples.push(SampleRecord { seq, t, servers });
+        let row = TimelineRecord::Sample(SampleRecord { seq, t, servers });
+        if self.stream(&row) {
+            return;
+        }
+        let TimelineRecord::Sample(rec) = row else {
+            unreachable!()
+        };
+        self.samples.push(rec);
     }
 
-    /// Number of samples recorded so far (including any later evicted).
+    /// Number of samples recorded so far (including any later evicted, but
+    /// not those written to a streaming sink).
     pub fn samples_len(&self) -> usize {
         self.samples.len()
     }
 
-    /// Freeze into an immutable end-of-run report.
+    /// Timeline rows written to the streaming sink so far.
+    pub fn records_streamed(&self) -> u64 {
+        self.streamed
+    }
+
+    /// Freeze into an immutable end-of-run report, flushing any streaming
+    /// sink so the JSONL file is complete when the run returns.
     pub fn into_report(self) -> ObsReport {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("obs stream sink poisoned")
+                .flush()
+                .expect("obs stream flush failed");
+        }
         let (events, events_dropped) = self.log.into_parts();
         let (samples, samples_dropped) = self.samples.into_parts();
         ObsReport {
@@ -131,6 +207,7 @@ impl Observer {
             samples_dropped,
             events,
             events_dropped,
+            records_streamed: self.streamed,
         }
     }
 }
@@ -175,6 +252,9 @@ pub struct ObsReport {
     pub events: Vec<LogRecord>,
     /// Log records evicted from the ring.
     pub events_dropped: u64,
+    /// Timeline rows written to the streaming sink instead of the rings
+    /// (zero unless [`ObsConfig::stream_path`] was set).
+    pub records_streamed: u64,
 }
 
 impl ObsReport {
@@ -191,6 +271,11 @@ impl ObsReport {
         text.push_str(&format!(
             "dosas_obs_events_dropped_total {}\n",
             self.events_dropped
+        ));
+        text.push_str("# TYPE dosas_obs_records_streamed_total counter\n");
+        text.push_str(&format!(
+            "dosas_obs_records_streamed_total {}\n",
+            self.records_streamed
         ));
         text
     }
@@ -279,6 +364,42 @@ mod tests {
         let o = Observer::new(ObsConfig::enabled());
         let text = o.into_report().to_prometheus();
         assert!(text.contains("dosas_obs_samples_dropped_total 0"));
+        assert!(text.contains("dosas_obs_records_streamed_total 0"));
         crate::export::validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn streaming_sink_replaces_the_rings() {
+        let dir = std::env::temp_dir().join(format!("obs-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timeline.jsonl");
+        let mut o = Observer::new(ObsConfig::streaming(path.to_str().unwrap()));
+        o.record_sample(SimTime::from_nanos(7), vec![]);
+        o.log(
+            SimTime::from_nanos(9),
+            Severity::Info,
+            "control",
+            Some(1),
+            "streamed".into(),
+        );
+        assert_eq!(o.samples_len(), 0, "rings stay empty while streaming");
+        assert_eq!(o.records_streamed(), 2);
+        let report = o.into_report();
+        assert_eq!(report.records_streamed, 2);
+        assert!(report.samples.is_empty() && report.events.is_empty());
+        // The streamed file is the timeline: same line format, seq-ordered.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows: Vec<TimelineRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].seq(), 0);
+        assert!(matches!(rows[0], TimelineRecord::Sample(_)));
+        assert!(matches!(rows[1], TimelineRecord::Event(_)));
+        for (line, row) in text.lines().zip(&rows) {
+            assert_eq!(line, serde_json::to_string(row).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,10 +15,12 @@ use crate::hist::Histogram;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
-/// A metric label: nothing, a node ordinal, or a static string.
+/// A metric label: nothing, a node ordinal, a static string, or a tenant id.
 ///
 /// Copyable and allocation-free so call sites can pass labels unconditionally
-/// even when observability is disabled.
+/// even when observability is disabled. New variants go at the end: `Ord`
+/// on this enum orders registry keys, and the Prometheus snapshot's line
+/// order is part of the deterministic surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
 pub enum Label {
     /// Unlabelled (a single global series).
@@ -27,6 +29,8 @@ pub enum Label {
     Node(usize),
     /// Keyed by a static string (scheme name, fault kind, ...).
     Str(&'static str),
+    /// Keyed by a tenant id (multi-tenant SLO/fairness series).
+    Tenant(usize),
 }
 
 impl Label {
@@ -36,6 +40,7 @@ impl Label {
             Label::None => String::new(),
             Label::Node(n) => format!("{{node=\"{n}\"}}"),
             Label::Str(s) => format!("{{label=\"{s}\"}}"),
+            Label::Tenant(t) => format!("{{tenant=\"{t}\"}}"),
         }
     }
 
@@ -45,6 +50,7 @@ impl Label {
             Label::None => format!("{{{extra}}}"),
             Label::Node(n) => format!("{{node=\"{n}\",{extra}}}"),
             Label::Str(s) => format!("{{label=\"{s}\",{extra}}}"),
+            Label::Tenant(t) => format!("{{tenant=\"{t}\",{extra}}}"),
         }
     }
 }

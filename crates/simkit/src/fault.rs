@@ -32,6 +32,11 @@ pub enum FaultKind {
     /// Checkpoint shipments (interrupted-kernel state) from this node fail
     /// after consuming their transfer time.
     CheckpointShipFailure,
+    /// The node leaves the cluster for the window: CPU capacity drops to
+    /// zero, its disk stalls, its network links carry nothing, and probes of
+    /// it are lost. A window ending at `t` models a (re)join at `t`, so an
+    /// elastic pool that grows at `t_join` is a leave over `[0, t_join)`.
+    NodeLeave,
 }
 
 /// One fault: `kind` afflicts `node` during `[start, end)`.
@@ -84,6 +89,24 @@ impl FaultPlan {
         self
     }
 
+    /// Membership convenience: `node` is absent during `[start, start +
+    /// duration)`. Sugar for `inject(node, FaultKind::NodeLeave, ...)`.
+    pub fn node_leave(self, node: usize, start: SimTime, duration: SimSpan) -> Self {
+        self.inject(node, FaultKind::NodeLeave, start, duration)
+    }
+
+    /// Membership convenience: `node` joins the cluster at `join` — i.e. it
+    /// is absent over `[0, join)`.
+    pub fn node_join(self, node: usize, join: SimTime) -> Self {
+        assert!(join > SimTime::ZERO, "a join at t=0 is a no-op");
+        self.inject(
+            node,
+            FaultKind::NodeLeave,
+            SimTime::ZERO,
+            join - SimTime::ZERO,
+        )
+    }
+
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
@@ -105,9 +128,17 @@ impl FaultPlan {
         self.active(now, node)
             .filter_map(|e| match e.kind {
                 FaultKind::CpuSlowdown { factor } => Some(factor),
+                FaultKind::NodeLeave => Some(0.0),
                 _ => None,
             })
             .product()
+    }
+
+    /// Is `node` out of the cluster at `now` (an active [`FaultKind::NodeLeave`]
+    /// window)? Membership is the owner's concern — this only reports the plan.
+    pub fn offline(&self, now: SimTime, node: usize) -> bool {
+        self.active(now, node)
+            .any(|e| e.kind == FaultKind::NodeLeave)
     }
 
     /// Combined NIC bandwidth factor for `node` at `now`.
@@ -120,10 +151,11 @@ impl FaultPlan {
             .product()
     }
 
-    /// Is a probe of `node` sent at `now` lost?
+    /// Is a probe of `node` sent at `now` lost? (An offline node answers
+    /// nothing, so a leave window also loses probes.)
     pub fn probe_lost(&self, now: SimTime, node: usize) -> bool {
         self.active(now, node)
-            .any(|e| e.kind == FaultKind::ProbeLoss)
+            .any(|e| matches!(e.kind, FaultKind::ProbeLoss | FaultKind::NodeLeave))
     }
 
     /// Extra latency on a probe of `node` sent at `now` (max of active
@@ -144,7 +176,8 @@ impl FaultPlan {
     }
 
     /// Disk-stall windows on `node` that begin exactly in `[from, to)` —
-    /// used by drivers to inject the blocking request once per window.
+    /// used by drivers to inject the blocking request once per window. A
+    /// node-leave window stalls the disk too: an absent node serves nothing.
     pub fn disk_stalls_starting(
         &self,
         from: SimTime,
@@ -152,7 +185,10 @@ impl FaultPlan {
         node: usize,
     ) -> impl Iterator<Item = &FaultEvent> {
         self.events.iter().filter(move |e| {
-            e.node == node && e.kind == FaultKind::DiskStall && from <= e.start && e.start < to
+            e.node == node
+                && matches!(e.kind, FaultKind::DiskStall | FaultKind::NodeLeave)
+                && from <= e.start
+                && e.start < to
         })
     }
 
@@ -329,6 +365,34 @@ mod tests {
             secs(0.0),
             span(1.0),
         );
+    }
+
+    #[test]
+    fn node_leave_is_total_absence() {
+        let plan = FaultPlan::new().node_leave(4, secs(1.0), span(2.0));
+        assert!(!plan.offline(secs(0.5), 4));
+        assert!(plan.offline(secs(1.0), 4));
+        assert!(plan.offline(secs(2.999), 4));
+        assert!(!plan.offline(secs(3.0), 4), "rejoin at window end");
+        assert!(!plan.offline(secs(1.5), 5), "other nodes unaffected");
+        // Absence implies: no CPU, lost probes, a stalled disk.
+        assert_eq!(plan.cpu_factor(secs(1.5), 4), 0.0);
+        assert!(plan.probe_lost(secs(1.5), 4));
+        assert_eq!(
+            plan.disk_stalls_starting(secs(0.0), secs(2.0), 4).count(),
+            1
+        );
+        // Net links are handled by fabric membership, not the dip factor.
+        assert_eq!(plan.net_factor(secs(1.5), 4), 1.0);
+    }
+
+    #[test]
+    fn node_join_is_a_leave_from_time_zero() {
+        let plan = FaultPlan::new().node_join(2, secs(4.0));
+        assert!(plan.offline(secs(0.0), 2));
+        assert!(plan.offline(secs(3.999), 2));
+        assert!(!plan.offline(secs(4.0), 2));
+        assert_eq!(plan.transition_times(), vec![secs(0.0), secs(4.0)]);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 # full-rescan water-filling under flow churn at 64 / 1024 / 8192 flows) and
 # the two-point `driver_exec_mode` group (paper-testbed and 512-rank /
 # 64-server scales, events/sec in both); bench_baseline emits the same
-# comparisons into BENCH_simulator.json (schema v3).
+# comparisons into BENCH_simulator.json (schema v4, including the
+# multi-tenant scenario suite of crates/bench/src/scenarios.rs).
 #
 #   scripts/bench.sh            # everything (criterion suites are slow)
 #   scripts/bench.sh baseline   # just refresh BENCH_simulator.json

@@ -1,18 +1,40 @@
 #!/usr/bin/env bash
-# Repo verify path: tier-1 build/tests plus the failure-scenario harness,
-# a warning-free clippy pass, formatting, and a warning-free doc build.
-# Run from the repo root.
+# Repo verify path: tier-1 build/tests plus the failure-scenario and
+# multi-tenant scenario harnesses, a warning-free clippy pass, formatting,
+# and a warning-free doc build. Run from the repo root.
+#
+#   scripts/verify.sh           # the full gate
+#   scripts/verify.sh --quick   # tier-1 only (release build + root tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+  echo "verify: OK (quick — tier-1 only)"
+  exit 0
+fi
+
 cargo test -q --workspace
 cargo test -q --test failure_scenarios
+# Pinned proptest counterexamples must stay checked in and keep passing:
+# proptest replays every seed in the regressions file before generating new
+# cases, so running the suite re-verifies each past failure on every gate.
+test -s tests/property_driver.proptest-regressions || {
+  echo "verify: tests/property_driver.proptest-regressions missing or empty" >&2
+  exit 1
+}
+cargo test -q --test property_driver
+cargo test -q --test property_tenants
 # The same determinism suites must hold under the sharded parallel executor
 # (DESIGN.md §8): metrics are bit-identical to serial at any thread count.
 DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test failure_scenarios
 DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test golden_metrics
+# Multi-tenant scenario suite (DESIGN.md §11): every scenario's golden
+# snapshot holds serially and byte-identically under the parallel executor.
+cargo test -q --test tenant_scenarios
+DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test tenant_scenarios
 # Incremental-fabric guarantees (DESIGN.md §10): the coalesced/dirty-set
 # fill must be bit-identical to the from-scratch fill in both substrates,
 # and zero-rate fault windows must not wedge completion tracking.
@@ -28,13 +50,23 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 # must round-trip through serde (checked by the obs determinism suite; here
 # we only assert the CLI surface works end to end).
 OBS_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR"' EXIT
+SOAK_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR" "$SOAK_DIR"' EXIT
 cargo run -q --release --bin dosas-sim -- \
     --scheme dosas --n 4 --size-mb 32 --obs-out "$OBS_DIR" >/dev/null
 for f in metrics.prom timeline.jsonl trace.json; do
     test -s "$OBS_DIR/$f" || { echo "verify: missing obs artifact $f" >&2; exit 1; }
 done
 cargo run -q --release --bin dosas-sim -- --check-obs "$OBS_DIR"
+# Soak smoke: the long-horizon scenario streams its timeline to disk at
+# record time (O(1) memory); the streamed JSONL must pass the same
+# validator as the ring-buffered path.
+cargo run -q --release -p bench --bin scenario -- soak --summary --obs-out "$SOAK_DIR"
+test -s "$SOAK_DIR/timeline.jsonl" || {
+  echo "verify: soak streamed no timeline records" >&2
+  exit 1
+}
+cargo run -q --release --bin dosas-sim -- --check-obs "$SOAK_DIR"
 cargo test -q --test obs_determinism
 
 echo "verify: OK"

@@ -44,7 +44,8 @@ pub mod prelude {
     pub use cluster::{ClusterConfig, NodeId};
     pub use dosas::{
         CostModel, DosasConfig, Driver, DriverConfig, ExecMode, OpRates, ProbeConfig, RequestSpec,
-        RunMetrics, Scheme, SolverKind, Workload,
+        RunMetrics, Scheme, SolverKind, TenantReport, TenantSlo, TenantSloOutcome, TenantStats,
+        Workload,
     };
     pub use kernels::{Kernel, KernelParams, KernelRegistry};
     pub use mpiio::program::{Op, RankProgram};

@@ -12,6 +12,7 @@ fn det(scheme: Scheme) -> DriverConfig {
         data_plane: false,
         trace: false,
         fault_plan: FaultPlan::default(),
+        slos: Vec::new(),
         obs: ObsConfig::default(),
     }
 }

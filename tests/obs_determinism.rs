@@ -38,6 +38,7 @@ fn obs_cfg(scheme: Scheme) -> DriverConfig {
             SimTime::from_secs_f64(1.0),
             SimSpan::from_secs_f64(2.0),
         ),
+        slos: Vec::new(),
         obs: ObsConfig::default(),
     };
     cfg.obs = ObsConfig::enabled();
@@ -127,6 +128,7 @@ fn empty_workload_yields_finite_metrics() {
     let w = Workload {
         files: vec![],
         programs: vec![],
+        tenants: vec![],
     };
     for scheme in [Scheme::Traditional, Scheme::dosas_default()] {
         let m = Driver::run(obs_cfg(scheme), &w);

@@ -32,6 +32,7 @@ fn contended_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
             SimTime::from_secs_f64(1.0),
             SimSpan::from_secs_f64(2.0),
         ),
+        slos: Vec::new(),
         obs: ObsConfig::default(),
     }
 }

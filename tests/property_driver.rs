@@ -87,7 +87,11 @@ fn build(spec: &WorkloadSpec) -> (DriverConfig, Workload) {
             p
         })
         .collect();
-    let workload = Workload { files, programs };
+    let workload = Workload {
+        files,
+        programs,
+        tenants: vec![],
+    };
     let mut cfg = DriverConfig::paper(scheme(spec.scheme_sel));
     cfg.cluster.storage_nodes = spec.storage_nodes;
     cfg.seed = spec.seed;

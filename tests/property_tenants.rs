@@ -1,0 +1,113 @@
+//! Property tests on two-tenant fairness accounting: for arbitrary
+//! two-tenant mixes, per-tenant bandwidth shares must partition the run's
+//! aggregate bandwidth exactly (within 1e-9 relative), and no tenant may
+//! be credited more than it demanded.
+
+use dosas_repro::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct MixSpec {
+    /// Per tenant: (op selector, size MB 1..=32, ranks 1..=4).
+    tenants: [(u8, u64, usize); 2],
+    storage_nodes: usize,
+    seed: u64,
+}
+
+fn arb_spec() -> impl Strategy<Value = MixSpec> {
+    (
+        (0u8..3, 1u64..=32, 1usize..=4),
+        (0u8..3, 1u64..=32, 1usize..=4),
+        1usize..=3,
+        0u64..1000,
+    )
+        .prop_map(|(a, b, storage_nodes, seed)| MixSpec {
+            tenants: [a, b],
+            storage_nodes,
+            seed,
+        })
+}
+
+fn op_name(sel: u8) -> &'static str {
+    match sel % 3 {
+        0 => "sum",
+        1 => "gaussian2d",
+        _ => "stats",
+    }
+}
+
+fn params(op: &str) -> KernelParams {
+    if op == "gaussian2d" {
+        KernelParams::with_width(1024)
+    } else {
+        KernelParams::default()
+    }
+}
+
+fn build(spec: &MixSpec) -> (DriverConfig, Workload) {
+    let mixes: Vec<(String, KernelParams, u64, usize)> = spec
+        .tenants
+        .iter()
+        .map(|&(op_sel, mb, ranks)| {
+            let op = op_name(op_sel);
+            (op.to_string(), params(op), mb << 20, ranks)
+        })
+        .collect();
+    let workload = Workload::multi_tenant(&mixes, spec.storage_nodes);
+    let mut cfg = DriverConfig::paper(Scheme::dosas_default());
+    cfg.cluster.storage_nodes = spec.storage_nodes;
+    cfg.seed = spec.seed;
+    (cfg, workload)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: every completed byte belongs to exactly one tenant, so
+    /// the two tenants' bandwidth shares sum to the aggregate to within
+    /// 1e-9 relative — and neither share exceeds what that tenant demanded.
+    #[test]
+    fn tenant_shares_partition_aggregate_bandwidth(spec in arb_spec()) {
+        let (cfg, workload) = build(&spec);
+        let demand = workload.tenant_request_bytes();
+        let m = Driver::run(cfg, &workload);
+
+        prop_assert_eq!(m.records.len(), workload.rank_count());
+        let t = m.tenants.as_ref().expect("tenanted run yields a report");
+        prop_assert_eq!(t.per_tenant.len(), 2);
+
+        let share_sum: f64 = t.per_tenant.iter().map(|p| p.achieved_bandwidth).sum();
+        prop_assert!(
+            (share_sum - m.achieved_bandwidth).abs() <= 1e-9 * m.achieved_bandwidth,
+            "shares {} must sum to aggregate {}",
+            share_sum,
+            m.achieved_bandwidth
+        );
+
+        for p in &t.per_tenant {
+            // A tenant is never credited beyond its demand: completed bytes
+            // are bounded by requested bytes, hence its bandwidth share by
+            // demand / makespan.
+            prop_assert!(
+                p.bytes <= demand[p.tenant] as f64 * (1.0 + 1e-9),
+                "tenant {} credited {} B over demand {} B",
+                p.tenant,
+                p.bytes,
+                demand[p.tenant]
+            );
+            prop_assert!(
+                p.achieved_bandwidth <= demand[p.tenant] as f64 / m.makespan_secs
+                    * (1.0 + 1e-9)
+            );
+            prop_assert!(p.requests > 0, "both tenants placed at least one rank");
+            prop_assert!(p.p95_latency_secs >= 0.0);
+        }
+
+        // Jain index over two active tenants lives in (1/2, 1].
+        prop_assert!(
+            t.jain_fairness > 0.5 - 1e-12 && t.jain_fairness <= 1.0 + 1e-12,
+            "two-tenant Jain index out of range: {}",
+            t.jain_fairness
+        );
+    }
+}
