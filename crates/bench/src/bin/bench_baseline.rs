@@ -23,6 +23,11 @@
 //!    [`bench::scenarios`] (storm, straggler, join/leave, heterogeneous,
 //!    SLO, soak): events/sec per scenario plus the fairness outcome, so
 //!    the cost of the failure-rich multi-tenant regime is tracked.
+//! 6. `policies` — the policy arena of [`bench::policy_matrix`]: every
+//!    contention-control policy (`ce`, `restripe`, `token-bucket`, `pi`)
+//!    run against every scenario, recording makespan, bandwidth, Jain
+//!    fairness, SLO verdicts, demotions/interrupts and rate-cap activity
+//!    per cell.
 //!
 //! Plus a `profile` section: the simkit executor's wall-clock dispatch
 //! breakdown (per-subsystem handler time under the serial executor, batch
@@ -208,6 +213,13 @@ fn main() {
     eprintln!("timing the multi-tenant scenario suite...");
     let scenario_points = scenario_section();
 
+    eprintln!("running the policy arena (every policy x every scenario)...");
+    let policy_cells = bench::policy_matrix::run_matrix();
+    let policy_section = serde_json::json!({
+        "policies": dosas::policy::PolicyConfig::all_names(),
+        "cells": policy_cells,
+    });
+
     eprintln!("counting stale-NetTick suppression on the standard workload...");
     let mut obs_cfg = paper_cfg();
     obs_cfg.obs = obs::ObsConfig::enabled();
@@ -248,13 +260,14 @@ fn main() {
         "parallel": parallel_profile,
     });
     let report = serde_json::json!({
-        "schema": "dosas-bench-baseline/v4",
+        "schema": "dosas-bench-baseline/v5",
         "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "tick_dispatch": tick_section,
         "driver": driver_section,
         "fabric_churn": churn_section,
         "incremental_fabric": incremental_fabric,
         "scenarios": scenario_points,
+        "policies": policy_section,
         "profile": profile_section,
     });
     let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -292,5 +305,11 @@ fn main() {
     println!(
         "  net_ticks_avoided on standard workload: {}",
         report["incremental_fabric"]["net_ticks_avoided"]
+    );
+    println!(
+        "  policy arena: {} cells ({} policies x {} scenarios)",
+        report["policies"]["cells"].as_array().unwrap().len(),
+        report["policies"]["policies"].as_array().unwrap().len(),
+        bench::scenarios::all().len(),
     );
 }

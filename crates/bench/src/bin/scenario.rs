@@ -2,33 +2,44 @@
 //!
 //! ```text
 //! cargo run -p bench --bin scenario -- --list
-//! cargo run -p bench --bin scenario -- <name> [--stream <file>] [--obs-out <dir>] [--summary]
+//! cargo run -p bench --bin scenario -- <name> [--policy <name>] [--matrix]
+//!                                             [--stream <file>] [--obs-out <dir>] [--summary]
 //! ```
 //!
 //! Prints the full serialized `RunMetrics` to stdout (the same JSON the
 //! golden snapshots pin down); `--summary` prints a short per-tenant table
-//! to stderr instead of the full JSON. `--stream <file>` points the obs
-//! timeline at a JSONL file on disk (the soak scenario's mode of
-//! operation); `--obs-out <dir>` streams `timeline.jsonl` into `dir` the
-//! same way and adds `metrics.prom` + `trace.json` at the end, producing a
-//! directory `dosas-sim --check-obs` accepts. The executor is
-//! environment-selected as everywhere else: `DOSAS_EXEC=parallel` runs the
-//! sharded executor.
+//! to stderr instead of the full JSON. `--policy <name>` re-bases the
+//! scenario onto a different contention-control policy (see `--list` for
+//! the arena); `--matrix` runs *every* policy against the named scenario
+//! and prints the comparison table instead of `RunMetrics`. `--stream
+//! <file>` points the obs timeline at a JSONL file on disk (the soak
+//! scenario's mode of operation); `--obs-out <dir>` streams
+//! `timeline.jsonl` into `dir` the same way and adds `metrics.prom` +
+//! `trace.json` at the end, producing a directory `dosas-sim --check-obs`
+//! accepts. The executor is environment-selected as everywhere else:
+//! `DOSAS_EXEC=parallel` runs the sharded executor.
 
-use bench::scenarios;
+use bench::{policy_matrix, scenarios};
+use dosas::policy::PolicyConfig;
 
 fn usage() -> ! {
-    eprintln!("usage: scenario --list | <name> [--stream <file>] [--obs-out <dir>] [--summary]");
+    eprintln!(
+        "usage: scenario --list | <name> [--policy <name>] [--matrix] \
+         [--stream <file>] [--obs-out <dir>] [--summary]"
+    );
     eprintln!("scenarios:");
     for s in scenarios::all() {
         eprintln!("  {:16} {}", s.name, s.summary);
     }
+    eprintln!("policies: {}", PolicyConfig::all_names().join(", "));
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut name: Option<String> = None;
+    let mut policy: Option<String> = None;
+    let mut matrix = false;
     let mut stream: Option<String> = None;
     let mut obs_out: Option<String> = None;
     let mut summary_only = false;
@@ -39,8 +50,11 @@ fn main() {
                 for s in scenarios::all() {
                     println!("{:16} {}", s.name, s.summary);
                 }
+                println!("policies: {}", PolicyConfig::all_names().join(", "));
                 return;
             }
+            "--policy" => policy = Some(it.next().unwrap_or_else(|| usage())),
+            "--matrix" => matrix = true,
             "--stream" => stream = Some(it.next().unwrap_or_else(|| usage())),
             "--obs-out" => obs_out = Some(it.next().unwrap_or_else(|| usage())),
             "--summary" => summary_only = true,
@@ -53,6 +67,21 @@ fn main() {
         eprintln!("unknown scenario {name:?}");
         usage();
     };
+    if matrix {
+        let cells: Vec<_> = policy_matrix::policies()
+            .iter()
+            .map(|p| policy_matrix::run_cell(&s, p))
+            .collect();
+        print!("{}", policy_matrix::matrix_table(&cells));
+        return;
+    }
+    if let Some(p) = &policy {
+        let Some(p) = PolicyConfig::by_name(p) else {
+            eprintln!("unknown policy {p:?}");
+            usage();
+        };
+        s.cfg = policy_matrix::with_policy(&s.cfg, p);
+    }
     if let Some(path) = stream {
         s.cfg.obs.enabled = true;
         s.cfg.obs.stream_path = Some(path);

@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod fabric_churn;
 pub mod plot;
+pub mod policy_matrix;
 pub mod report;
 pub mod scenarios;
 pub mod tickworld;

@@ -55,8 +55,20 @@ struct Flow {
     total: f64,
     rate: f64,
     cap: f64,
+    /// Externally imposed rate ceiling (bytes/second), `f64::INFINITY`
+    /// when uncapped. Set by contention-control policies via
+    /// [`Fabric::set_flow_cap`]; composes with the jitter-sampled
+    /// connection `cap` by taking the minimum.
+    policy_cap: f64,
     /// Generation of this flow's live heap entry (`u64::MAX` = none).
     gen: u64,
+}
+
+impl Flow {
+    /// The binding per-flow ceiling: connection cap ∧ policy cap.
+    fn eff_cap(&self) -> f64 {
+        self.cap.min(self.policy_cap)
+    }
 }
 
 /// A finished transfer.
@@ -348,12 +360,44 @@ impl Fabric {
                 total: bytes,
                 rate: 0.0,
                 cap,
+                policy_cap: f64::INFINITY,
                 gen: u64::MAX,
             },
         );
         self.mark_flow_dirty(src, dst);
         self.bump();
         id
+    }
+
+    /// Impose (or, with `f64::INFINITY`, lift) an external rate cap on an
+    /// in-flight flow — the contention-policy hook. The cap composes with
+    /// the jitter-sampled connection cap via min and re-shares the flow's
+    /// component from `now` on, through the same advance → dirty → bump
+    /// path as every other mutation. Returns `false` when the flow no
+    /// longer exists (completed or cancelled), which callers may ignore.
+    pub fn set_flow_cap(&mut self, now: SimTime, id: FlowId, cap: f64) -> bool {
+        assert!(
+            cap > 0.0,
+            "flow caps must be positive ({cap}); a zero cap would stall forever"
+        );
+        let Some(f) = self.flows.get(&id) else {
+            return false;
+        };
+        if f.policy_cap == cap {
+            return true;
+        }
+        self.advance(now);
+        let f = self.flows.get_mut(&id).expect("flow checked above");
+        f.policy_cap = cap;
+        let (src, dst) = (f.src, f.dst);
+        self.mark_flow_dirty(src, dst);
+        self.bump();
+        true
+    }
+
+    /// Current external rate cap of flow `id` (`f64::INFINITY` = uncapped).
+    pub fn flow_cap(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.policy_cap)
     }
 
     /// Cancel an in-flight transfer (e.g. its request was re-planned).
@@ -666,7 +710,7 @@ impl Fabric {
             }
             let min_cap = unfrozen
                 .iter()
-                .map(|id| self.flows[id].cap)
+                .map(|id| self.flows[id].eff_cap())
                 .fold(f64::INFINITY, f64::min);
             let r = limit.min(min_cap);
 
@@ -675,7 +719,7 @@ impl Fabric {
             let mut newly_frozen = Vec::new();
             for id in &unfrozen {
                 let f = &self.flows[id];
-                let cap_binds = f.cap <= r + eps;
+                let cap_binds = f.eff_cap() <= r + eps;
                 let link_binds = self.flow_links(f).into_iter().flatten().any(|link| {
                     let (res, cnt) = links[&link];
                     res.is_finite() && cnt as f64 * r >= res.max(0.0) - eps
@@ -689,7 +733,7 @@ impl Fabric {
                 newly_frozen = unfrozen.clone();
             }
             for id in newly_frozen {
-                let rate = self.flows[&id].cap.min(r);
+                let rate = self.flows[&id].eff_cap().min(r);
                 frozen.insert(id, rate);
                 unfrozen.retain(|x| *x != id);
             }
@@ -772,6 +816,28 @@ mod tests {
         assert!((f.rate_of(a).unwrap() - 50.0).abs() < 1e-9);
         assert!((f.rate_of(b).unwrap() - 50.0).abs() < 1e-9);
         assert!((f.tx_utilization(n(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_cap_binds_and_releases_bandwidth() {
+        // Two flows share tx(0): 50/50. Capping one at 20 frees 80 for the
+        // other (max-min over the residual); lifting the cap restores the
+        // even split from that instant on.
+        let mut f = fabric(3, 100.0);
+        let a = f.start_flow(SimTime::ZERO, n(0), n(1), 1000.0);
+        let b = f.start_flow(SimTime::ZERO, n(0), n(2), 1000.0);
+        assert!(f.set_flow_cap(SimTime::ZERO, a, 20.0));
+        assert!((f.rate_of(a).unwrap() - 20.0).abs() < 1e-9);
+        assert!((f.rate_of(b).unwrap() - 80.0).abs() < 1e-9);
+        assert_eq!(f.flow_cap(a), Some(20.0));
+        assert!(f.set_flow_cap(SimTime::from_secs_f64(1.0), a, f64::INFINITY));
+        assert!((f.rate_of(a).unwrap() - 50.0).abs() < 1e-9);
+        assert!((f.rate_of(b).unwrap() - 50.0).abs() < 1e-9);
+        // Capping a vanished flow reports false instead of panicking.
+        let t = f.next_completion().unwrap();
+        let done = f.take_completed(t);
+        assert_eq!(done.len(), 1);
+        assert!(!f.set_flow_cap(t, done[0].id, 10.0));
     }
 
     #[test]

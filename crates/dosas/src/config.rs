@@ -1,7 +1,7 @@
 //! Operation rates and scheme configuration.
 
 use crate::cost::ResultModel;
-use crate::schedule::SolverKind;
+use crate::policy::PolicyConfig;
 use serde::{Deserialize, Serialize};
 use simkit::SimSpan;
 use std::collections::BTreeMap;
@@ -97,6 +97,15 @@ impl Scheme {
         Scheme::Dosas(DosasConfig::default())
     }
 
+    /// DOSAS with a non-default contention-control policy (see
+    /// [`crate::policy`]); everything else stays at the defaults.
+    pub fn dosas_with_policy(policy: PolicyConfig) -> Self {
+        Scheme::Dosas(DosasConfig {
+            policy,
+            ..Default::default()
+        })
+    }
+
     /// DOSAS with fractional (partial-offload) scheduling — the
     /// future-work extension; see [`crate::schedule::fractional`].
     pub fn dosas_partial() -> Self {
@@ -119,9 +128,11 @@ impl Scheme {
 /// Tunables of the DOSAS scheduler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DosasConfig {
-    /// Which solver the Contention Estimator runs (paper: 2^k enumeration;
-    /// default here: the exact O(k log k) threshold solver).
-    pub solver: SolverKind,
+    /// Which contention-control policy drives offload/demotion and rate-cap
+    /// decisions (see [`crate::policy`]). Default: the paper's Contention
+    /// Estimator solving Eq. 8 with the exact O(k log k) threshold solver
+    /// (the paper itself enumerates all 2^k assignments).
+    pub policy: PolicyConfig,
     /// How often the CE re-probes the system and refreshes the policy.
     pub probe_period: SimSpan,
     /// Whether the runtime may interrupt kernels that are already running
@@ -244,7 +255,7 @@ impl TenantSlo {
 impl Default for DosasConfig {
     fn default() -> Self {
         DosasConfig {
-            solver: SolverKind::Threshold,
+            policy: PolicyConfig::default(),
             probe_period: SimSpan::from_millis(100),
             allow_interrupt: true,
             decide_on_arrival: true,
@@ -291,11 +302,17 @@ mod tests {
 
     #[test]
     fn dosas_defaults() {
+        use crate::schedule::SolverKind;
         let c = DosasConfig::default();
         assert!(c.allow_interrupt);
         assert!(c.decide_on_arrival);
         assert!(!c.partial_offload);
-        assert_eq!(c.solver, SolverKind::Threshold);
+        assert_eq!(
+            c.policy,
+            PolicyConfig::Ce {
+                solver: SolverKind::Threshold
+            }
+        );
     }
 
     #[test]

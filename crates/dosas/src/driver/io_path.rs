@@ -65,6 +65,13 @@ pub(super) struct IoPath {
     /// revoked from the queue once a recompute moved the earliest
     /// completion.
     pub(super) net_ticks_suppressed: u64,
+    /// Per-rank policy rate caps, bytes/s (absent = uncapped). Written by
+    /// the control subsystem's rate-cap directives; read at flow launch so
+    /// every new request flow of a capped rank starts capped.
+    pub(super) rank_caps: BTreeMap<usize, f64>,
+    /// Rate-cap directives that changed a rank's cap (policy activity
+    /// accounting, surfaced via `RunMetrics::policy`).
+    pub(super) rate_caps_applied: u64,
 }
 
 /// Routed-event entry point for the subsystem.
@@ -188,6 +195,13 @@ impl Driver {
         let flow = self.cluster.fabric.start_flow(now, src, dst, bytes);
         self.io.flow_req.insert(flow, id);
         self.io.reqs.get_mut(&id).expect("req").t_flow_start = now;
+        // A policy rate cap on the issuing rank applies from the first byte.
+        if !self.io.rank_caps.is_empty() {
+            let rank = self.io.apps[&self.io.reqs[&id].app].rank;
+            if let Some(&cap) = self.io.rank_caps.get(&rank) {
+                self.cluster.fabric.set_flow_cap(now, flow, cap);
+            }
+        }
         self.schedule_net(sched);
         flow
     }
@@ -323,6 +337,11 @@ impl Driver {
 
     fn on_deliver(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
         let server = self.io.reqs[&id].server;
+        // Per-server latency telemetry for contention policies (pure state,
+        // no events — scheme behavior under the default policy is
+        // untouched).
+        let observed = (now - self.io.reqs[&id].t_arrive).as_secs_f64();
+        self.note_delivery_telemetry(server, observed);
         {
             let (start, track, write) = {
                 let r = &self.io.reqs[&id];
@@ -470,6 +489,9 @@ impl Driver {
     /// Assemble the final result, record metrics, resume the rank.
     pub(super) fn finish_app(&mut self, app_id: AppIoId, now: SimTime, sched: &mut Scheduler<Ev>) {
         let mut app = self.io.apps.remove(&app_id).expect("app");
+        self.control
+            .telemetry
+            .note_app_complete(app.tenant, app.total_bytes);
         if app.client_bytes > 0.0 {
             let node = self.ranks.states[app.rank].node.0;
             let start = app.t_client_start;

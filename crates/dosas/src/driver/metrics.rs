@@ -158,6 +158,16 @@ impl TenantReport {
     }
 }
 
+/// Contention-policy activity over one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyStats {
+    /// The policy's stable name (see [`crate::policy::PolicyConfig`]).
+    pub name: String,
+    /// Rate-cap directives that changed some rank's cap (sets, updates and
+    /// lifts all count; directives restating the current cap do not).
+    pub rate_caps_applied: u64,
+}
+
 /// One Contention Estimator policy generation.
 #[derive(Debug, Clone, Serialize)]
 pub struct PolicyLogEntry {
@@ -197,6 +207,12 @@ pub struct RunMetrics {
     /// single-tenant golden snapshots are unchanged).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub tenants: Option<TenantReport>,
+    /// Which contention-control policy drove the run and how much it
+    /// rate-capped. Present only for non-default policies — the default CE
+    /// (and non-DOSAS schemes) serialize without it, so pre-existing golden
+    /// snapshots are unchanged.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub policy: Option<PolicyStats>,
     /// Final kernel results per app I/O (data-plane runs only).
     #[serde(skip)]
     pub results: BTreeMap<u64, Vec<u8>>,
@@ -314,6 +330,7 @@ mod tests {
             policy_log: vec![],
             estimated_bandwidth: BTreeMap::new(),
             tenants: None,
+            policy: None,
             results: BTreeMap::new(),
             trace: None,
             events: 0,

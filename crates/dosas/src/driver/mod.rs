@@ -44,13 +44,15 @@ mod server;
 mod telemetry;
 
 pub use metrics::{
-    AppIoRecord, PolicyLogEntry, RunMetrics, TenantReport, TenantSloOutcome, TenantStats,
+    AppIoRecord, PolicyLogEntry, PolicyStats, RunMetrics, TenantReport, TenantSloOutcome,
+    TenantStats,
 };
 pub use trace::TraceEvent;
 
 use crate::asc::ActiveStorageClient;
 use crate::config::{DosasConfig, OpRates, Scheme};
-use crate::estimator::{CeSupervisor, ContentionEstimator};
+use crate::estimator::CeSupervisor;
+use crate::policy::PolicyContext;
 use crate::runtime::ActiveIoRuntime;
 use crate::workload::{LayoutSpec, Workload};
 use cluster::{ClusterConfig, ClusterState, NodeId};
@@ -281,16 +283,22 @@ impl Driver {
             None => BTreeMap::new(),
         };
         let fifo_kernels = dosas.as_ref().is_some_and(|d| d.kernel_fifo);
-        let estimator = dosas.as_ref().map(|d| {
-            ContentionEstimator::new(
-                d.solver,
-                cfg.rates.clone(),
-                cfg.cluster.storage_kernel_cores() as f64,
-                1.0,
-                cfg.cluster.nic_bandwidth,
-                cfg.cluster.storage_memory,
-            )
+        let rank_tenants: Vec<Option<usize>> = (0..workload.rank_count())
+            .map(|r| workload.tenants.get(r).copied())
+            .collect();
+        let policy = dosas.as_ref().map(|d| {
+            d.policy.build(&PolicyContext {
+                rates: &cfg.rates,
+                kernel_cores: cfg.cluster.storage_kernel_cores() as f64,
+                client_cores: 1.0,
+                nominal_bw: cfg.cluster.nic_bandwidth,
+                memory_capacity: cfg.cluster.storage_memory,
+                partial_offload: d.partial_offload,
+                slos: &cfg.slos,
+                rank_tenants: &rank_tenants,
+            })
         });
+        let policy_name = policy.as_ref().map_or("none", |p| p.name());
 
         let ranks = Ranks::new(
             &workload.programs,
@@ -319,6 +327,8 @@ impl Driver {
                 net_armed: None,
                 net_ticks_deduped: 0,
                 net_ticks_suppressed: 0,
+                rank_caps: BTreeMap::new(),
+                rate_caps_applied: 0,
             },
             server: Servers {
                 servers,
@@ -329,11 +339,13 @@ impl Driver {
                 staged: StagedTicks::default(),
             },
             control: Control {
-                estimator,
+                policy,
+                policy_name,
                 supervisors,
                 pending_policies: BTreeMap::new(),
                 next_policy_token: 0,
                 bw_estimate: BTreeMap::new(),
+                telemetry: crate::policy::PolicyTelemetry::default(),
             },
             faults: Faults::default(),
             telemetry: Telemetry::new(&cfg.obs),

@@ -257,6 +257,17 @@ impl Driver {
         // workloads only — `compute` returns None otherwise).
         let tenants = TenantReport::compute(&w.telemetry.records, makespan_secs, &w.cfg.slos);
 
+        // Policy activity surface, for non-default policies only: the
+        // default CE serializes without it so pre-refactor goldens hold.
+        let policy = w.dosas.as_ref().and_then(|d| {
+            (!matches!(d.policy, crate::policy::PolicyConfig::Ce { .. })).then(|| {
+                super::metrics::PolicyStats {
+                    name: d.policy.name().to_string(),
+                    rate_caps_applied: w.io.rate_caps_applied,
+                }
+            })
+        });
+
         // Close out the observability run: one last sample at the final sim
         // time plus end-of-run summary gauges, then freeze the report.
         if w.telemetry.obs.is_some() {
@@ -354,6 +365,7 @@ impl Driver {
                 .map(|(node, (bw, _))| (node.0, *bw))
                 .collect(),
             tenants,
+            policy,
             results: w.io.results,
             trace: if w.cfg.trace {
                 Some(w.telemetry.trace)

@@ -27,6 +27,10 @@
 //!   the paper's literal 2^k matrix enumeration plus exact scalable solvers.
 //! * [`estimator`] — the Contention Estimator: probes system state and emits
 //!   a scheduling [`estimator::Policy`].
+//! * [`policy`] — the pluggable contention-control layer: the
+//!   [`policy::ContentionPolicy`] trait, the CE as its reference
+//!   implementation, and competitor policies from the literature
+//!   (straggler re-striping, per-tenant token buckets, a PI governor).
 //! * [`runtime`] — the Active I/O Runtime's per-request server-side state
 //!   machine (admit / demote / interrupt transitions).
 //! * [`asc`] — the Active Storage Client: request registration and
@@ -42,6 +46,7 @@ pub mod config;
 pub mod cost;
 pub mod driver;
 pub mod estimator;
+pub mod policy;
 pub mod runtime;
 pub mod schedule;
 pub mod workload;
@@ -52,6 +57,9 @@ pub use driver::{Driver, DriverConfig, ExecMode, RunMetrics};
 pub use driver::{TenantReport, TenantSloOutcome, TenantStats};
 pub use estimator::{
     CeStats, CeSupervisor, ContentionEstimator, Decision, Policy, ProbeVerdict, SystemProbe,
+};
+pub use policy::{
+    ContentionPolicy, PolicyConfig, PolicyInput, PolicyOutput, PolicyTelemetry, RateCap,
 };
 pub use schedule::{Assignment, SolverKind};
 pub use workload::Workload;

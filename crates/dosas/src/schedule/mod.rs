@@ -213,6 +213,29 @@ mod cross_solver_tests {
             prop_assert!(g.time <= all_n + 1e-9);
         }
 
+        /// Policy-arena pin (ISSUE 7): the solver family behind the
+        /// refactored `policy::CePolicy` stays in exact agreement up to
+        /// k = 16 — `threshold` and `bnb` match the 2^16 brute force on
+        /// optimal cost, and `greedy` is feasible but never better than
+        /// optimal.
+        #[test]
+        fn solvers_cross_check_to_k16(items in arb_items(16)) {
+            let brute = exhaustive::solve(&items);
+            prop_assert!(
+                (assignment_time(&items, &brute.active) - brute.time).abs() < 1e-9,
+                "exhaustive reported time disagrees with its assignment");
+            for kind in [SolverKind::Threshold, SolverKind::BranchAndBound] {
+                let got = solve(kind, &items);
+                prop_assert!((got.time - brute.time).abs() < 1e-9,
+                    "{} found {} but optimum is {}", kind.name(), got.time, brute.time);
+            }
+            let g = greedy::solve(&items);
+            prop_assert!((assignment_time(&items, &g.active) - g.time).abs() < 1e-9,
+                "greedy reported time disagrees with its assignment");
+            prop_assert!(g.time >= brute.time - 1e-9,
+                "greedy {} beat the optimum {}", g.time, brute.time);
+        }
+
         /// Homogeneous batches (the paper's experimental setting) have
         /// all-or-nothing optima.
         #[test]

@@ -31,6 +31,10 @@ pub enum Label {
     Str(&'static str),
     /// Keyed by a tenant id (multi-tenant SLO/fairness series).
     Tenant(usize),
+    /// Keyed by a contention-control policy name (decision counters of the
+    /// policy arena). Appended at the enum end: registry iteration order is
+    /// the derived `Ord`, and exporters pin it.
+    Policy(&'static str),
 }
 
 impl Label {
@@ -41,6 +45,7 @@ impl Label {
             Label::Node(n) => format!("{{node=\"{n}\"}}"),
             Label::Str(s) => format!("{{label=\"{s}\"}}"),
             Label::Tenant(t) => format!("{{tenant=\"{t}\"}}"),
+            Label::Policy(p) => format!("{{policy=\"{p}\"}}"),
         }
     }
 
@@ -51,6 +56,7 @@ impl Label {
             Label::Node(n) => format!("{{node=\"{n}\",{extra}}}"),
             Label::Str(s) => format!("{{label=\"{s}\",{extra}}}"),
             Label::Tenant(t) => format!("{{tenant=\"{t}\",{extra}}}"),
+            Label::Policy(p) => format!("{{policy=\"{p}\",{extra}}}"),
         }
     }
 }

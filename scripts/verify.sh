@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo verify path: tier-1 build/tests plus the failure-scenario and
-# multi-tenant scenario harnesses, a warning-free clippy pass, formatting,
-# and a warning-free doc build. Run from the repo root.
+# Repo verify path: tier-1 build/tests plus the failure-scenario,
+# multi-tenant scenario and policy-conformance harnesses, a warning-free
+# clippy pass, formatting, and a warning-free doc build. Run from the
+# repo root.
 #
 #   scripts/verify.sh           # the full gate
 #   scripts/verify.sh --quick   # tier-1 only (release build + root tests)
@@ -35,6 +36,13 @@ DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test golden_metrics
 # snapshot holds serially and byte-identically under the parallel executor.
 cargo test -q --test tenant_scenarios
 DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test tenant_scenarios
+# Policy conformance (DESIGN.md §12): every pluggable contention-control
+# policy replays the scenario suite bit-identically on both executors, the
+# pinned competitor-policy goldens hold, and the solver family behind the
+# CE policy agrees on the optimum up to k = 16.
+cargo test -q --test policy_arena
+DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test policy_arena
+cargo test -q -p dosas --lib solvers_cross_check_to_k16
 # Incremental-fabric guarantees (DESIGN.md §10): the coalesced/dirty-set
 # fill must be bit-identical to the from-scratch fill in both substrates,
 # and zero-rate fault windows must not wedge completion tracking.
