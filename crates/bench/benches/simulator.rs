@@ -138,9 +138,11 @@ fn bench_fabric_churn(c: &mut Criterion) {
 fn bench_driver_exec_mode(c: &mut Criterion) {
     // End-to-end: contended DOSAS runs under both run loops (golden tests
     // prove the metrics bit-identical; this measures the dispatch cost).
-    // Two workload points: the toy scale where serial wins on batching
-    // overhead, and the large regime the sharded executor targets. Each
-    // point reports events/sec via the throughput rate.
+    // Three workload points: the toy scale where serial wins on batching
+    // overhead, the large regime the sharded executor targets, and the
+    // scale-up regime (4096 ranks × 256 storage nodes) where the lookahead
+    // window amortises refills across hundreds of lanes. Each point reports
+    // events/sec via the throughput rate.
     use criterion::Throughput;
     use dosas::{Driver, DriverConfig, ExecMode, Scheme, Workload};
     use kernels::KernelParams;
@@ -156,6 +158,11 @@ fn bench_driver_exec_mode(c: &mut Criterion) {
             "512r64s",
             bench::large_driver_workload(),
             bench::large_driver_cfg(),
+        ),
+        (
+            "4096r256s",
+            bench::xl_driver_workload(),
+            bench::xl_driver_cfg(),
         ),
     ];
 

@@ -8,10 +8,11 @@
 //!    total, monolithic-heap serial executor vs the sharded
 //!    `ParallelSimulation`.
 //! 2. `driver` — full contended DOSAS runs under `ExecMode::Serial` vs
-//!    `ExecMode::Parallel`, checked bit-identical before timing, at two
-//!    scales: the paper testbed (64 ranks × 1 storage node) and the large
-//!    regime the executor targets (512 ranks × 64 storage nodes). Each
-//!    point records events/sec in both modes.
+//!    `ExecMode::Parallel`, checked bit-identical before timing, at three
+//!    scales: the paper testbed (64 ranks × 1 storage node), the large
+//!    regime the executor targets (512 ranks × 64 storage nodes), and the
+//!    scale-up regime where the lookahead window amortises (4096 ranks ×
+//!    256 storage nodes). Each point records events/sec in both modes.
 //! 3. `fabric_churn` — the churn-heavy flow schedule of
 //!    [`bench::fabric_churn`] under the incremental water-filling fill vs
 //!    the pre-incremental full-recompute baseline (`FillMode::FullRescan`),
@@ -33,6 +34,13 @@
 //! breakdown (per-subsystem handler time under the serial executor, batch
 //! statistics and lane-spill counts under the parallel one) for the paper
 //! driver run, via `Driver::run_profiled`.
+//!
+//! And a `lookahead` section (DESIGN.md §13): per driver point, the
+//! lookahead-window statistics of the parallel run — refill count, events
+//! harvested through windows, mean window size, undercut count, the
+//! adaptive horizon's final value, lane spills (regression-pinned at 0 by
+//! `tests/parallel_exec.rs`), batch counts and the staging pool-bypass
+//! split.
 //!
 //! ```text
 //! cargo run -p bench --release --bin bench_baseline [out.json]
@@ -144,6 +152,32 @@ fn scenario_section() -> serde_json::Value {
     serde_json::json!({ "points": points })
 }
 
+/// Lookahead-window statistics for one driver point: one profiled parallel
+/// run, reporting how the window machinery behaved (DESIGN.md §13).
+fn lookahead_point(label: &str, cfg: DriverConfig, workload: &Workload) -> serde_json::Value {
+    let (_, p) = Driver::run_profiled(cfg, workload, ExecMode::Parallel { threads: 0 });
+    let la = p.lookahead;
+    serde_json::json!({
+        "label": label,
+        "windows": la.windows,
+        "window_events": la.window_events,
+        "mean_window_events": if la.windows == 0 {
+            0.0
+        } else {
+            la.window_events as f64 / la.windows as f64
+        },
+        "undercuts": la.undercuts,
+        "drains": la.drains,
+        "drained_events": la.drained_events,
+        "final_horizon_ns": la.horizon_ns,
+        "queue_spilled": p.queue_spilled,
+        "batches": p.batches,
+        "batch_events": p.batch_events,
+        "pool_staged": p.pool_staged,
+        "pool_bypassed": p.pool_bypassed,
+    })
+}
+
 /// Stale-tick and fill-reuse counters from an obs-enabled standard run.
 fn incremental_fabric_section(metrics: &RunMetrics) -> serde_json::Value {
     let report = metrics.obs.as_ref().expect("obs-enabled run has a report");
@@ -174,7 +208,7 @@ fn main() {
     eprintln!("timing tick_dispatch sweep ({TICK_EVENTS} events/point)...");
     let tick = executor_scaling(TICK_EVENTS, 0);
 
-    eprintln!("timing driver serial vs parallel (paper + large points)...");
+    eprintln!("timing driver serial vs parallel (paper + large + scale-up points)...");
     let driver_points = vec![
         driver_point(
             "64r1s",
@@ -187,6 +221,27 @@ fn main() {
             "512 ranks x 32 MiB gaussian2d, DOSAS scheme, 64 compute + 64 storage nodes",
             bench::large_driver_cfg(),
             bench::large_driver_workload(),
+        ),
+        driver_point(
+            "4096r256s",
+            "4096 ranks x 8 MiB gaussian2d, DOSAS scheme, 256 compute + 256 storage nodes",
+            bench::xl_driver_cfg(),
+            bench::xl_driver_workload(),
+        ),
+    ];
+
+    eprintln!("collecting lookahead-window statistics per driver point...");
+    let lookahead_points = vec![
+        lookahead_point("64r1s", paper_cfg(), &paper_workload()),
+        lookahead_point(
+            "512r64s",
+            bench::large_driver_cfg(),
+            &bench::large_driver_workload(),
+        ),
+        lookahead_point(
+            "4096r256s",
+            bench::xl_driver_cfg(),
+            &bench::xl_driver_workload(),
         ),
     ];
 
@@ -259,11 +314,13 @@ fn main() {
         "serial": serial_profile,
         "parallel": parallel_profile,
     });
+    let lookahead_section = serde_json::json!({ "points": lookahead_points });
     let report = serde_json::json!({
-        "schema": "dosas-bench-baseline/v5",
+        "schema": "dosas-bench-baseline/v6",
         "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "tick_dispatch": tick_section,
         "driver": driver_section,
+        "lookahead": lookahead_section,
         "fabric_churn": churn_section,
         "incremental_fabric": incremental_fabric,
         "scenarios": scenario_points,
@@ -291,6 +348,19 @@ fn main() {
             p["parallel_secs"].as_f64().unwrap_or(f64::NAN),
             p["speedup"].as_f64().unwrap_or(f64::NAN),
             p["serial_events_per_sec"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+    for p in report["lookahead"]["points"].as_array().unwrap() {
+        println!(
+            "  lookahead {}: {} windows, {:.1} ev/window, {} drains, {} undercuts, {} spills, pool {}/{} staged/bypassed",
+            p["label"].as_str().unwrap_or("?"),
+            p["windows"],
+            p["mean_window_events"].as_f64().unwrap_or(f64::NAN),
+            p["drains"],
+            p["undercuts"],
+            p["queue_spilled"],
+            p["pool_staged"],
+            p["pool_bypassed"],
         );
     }
     for p in report["fabric_churn"]["points"].as_array().unwrap() {

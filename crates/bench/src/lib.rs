@@ -91,6 +91,30 @@ pub fn large_driver_workload() -> Workload {
     )
 }
 
+/// Driver configuration for the scale-up benchmark point: 256 compute +
+/// 256 storage nodes, the regime where the lookahead window pays for
+/// itself (hundreds of concurrently armed lanes per refill).
+pub fn xl_driver_cfg() -> DriverConfig {
+    let mut cfg = DriverConfig::paper(Scheme::dosas_default());
+    cfg.cluster = ClusterConfig {
+        compute_nodes: 256,
+        storage_nodes: 256,
+        ..ClusterConfig::discfarm()
+    };
+    cfg
+}
+
+/// Workload for the scale-up point: 4096 ranks, 16 per storage node.
+pub fn xl_driver_workload() -> Workload {
+    Workload::uniform_active(
+        16,
+        256,
+        8 * 1024 * 1024,
+        "gaussian2d",
+        KernelParams::with_width(1024),
+    )
+}
+
 /// Seconds of makespan, averaged over `seeds` replications.
 pub fn mean_makespan(scheme: Scheme, op: &str, size_mb: u64, n: usize, seeds: &[u64]) -> f64 {
     seeds

@@ -337,6 +337,9 @@ impl Driver {
                 cpu_work: BTreeMap::new(),
                 slots: KernelSlots::new(fifo_kernels),
                 staged: StagedTicks::default(),
+                run_seen: Vec::new(),
+                stage_pooled: 0,
+                stage_inline: 0,
             },
             control: Control {
                 policy,
@@ -489,6 +492,9 @@ impl Driver {
                 let cancelled = sim.scheduler().cancelled_count();
                 let mut profile = sim.take_profile().expect("profiling enabled");
                 profile.queue_spilled = sim.scheduler().spilled_count();
+                profile.lookahead = sim.scheduler().lookahead_stats();
+                profile.pool_staged = sim.world.server.stage_pooled;
+                profile.pool_bypassed = sim.world.server.stage_inline;
                 let metrics = sim.world.collect_metrics(
                     scheme_name,
                     total_bytes,

@@ -21,7 +21,7 @@ use pfs::{DataServer, RequestId};
 use simkit::component::Component;
 use simkit::fifo::{Completion as DiskCompletion, ReqId as DiskReqId};
 use simkit::{BatchWorld, Scheduler, SimTime, TaskId, World};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What a completed CPU task was doing.
 #[derive(Debug)]
@@ -103,6 +103,13 @@ pub(super) struct Servers {
     pub(super) cpu_work: BTreeMap<(usize, TaskId), CpuWork>,
     pub(super) slots: KernelSlots,
     pub(super) staged: StagedTicks,
+    /// Reused scratch for [`BatchWorld::handle_batch`]'s run cutting — node
+    /// keys seen in the current run (tiny, so linear scans beat a set).
+    pub(super) run_seen: Vec<usize>,
+    /// Tick runs staged on the thread pool vs. run inline because they fell
+    /// below the adaptive pool-bypass threshold (profile surfacing only).
+    pub(super) stage_pooled: u64,
+    pub(super) stage_inline: u64,
 }
 
 /// Completions harvested in the parallel staging phase (A) of a tick run,
@@ -447,7 +454,7 @@ impl Driver {
     /// Only `take_completed` moves here; everything order-sensitive (stall
     /// filtering, kernel starts, the jitter RNG) stays in phase B, which
     /// replays the exact serial (time, seq) order.
-    fn stage_ticks(&mut self, run: &[Ev], now: SimTime, pool: &rayon::ThreadPool) {
+    fn stage_ticks(&mut self, run: &[Ev], now: SimTime, pool: &simkit::ExecPool) {
         let mut disk_want: Vec<usize> = Vec::new();
         let mut cpu_want: Vec<usize> = Vec::new();
         for ev in run {
@@ -461,7 +468,15 @@ impl Driver {
                 _ => {} // stale tick: phase B drops it via the epoch check
             }
         }
-        if disk_want.len() + cpu_want.len() < 2 || pool.current_num_threads() <= 1 {
+        // Pool bypass: staging fans out only when there are enough fresh
+        // ticks to amortise the scope/spawn overhead across the workers a
+        // pool actually has — a couple of ticks per worker at minimum. Tiny
+        // runs (and every run on a 1-worker pool) harvest inline on the
+        // caller; the arithmetic and resulting state are identical.
+        let threads = pool.workers();
+        let fresh = disk_want.len() + cpu_want.len();
+        if fresh < 2 || threads <= 1 || fresh < (2 * threads).max(4) {
+            self.server.stage_inline += 1;
             for o in disk_want {
                 let c = self.cluster.disks[o].take_completed(now);
                 self.server.staged.disks.insert(o, c);
@@ -472,6 +487,7 @@ impl Driver {
             }
             return;
         }
+        self.server.stage_pooled += 1;
         disk_want.sort_unstable();
         cpu_want.sort_unstable();
         let mut disk_jobs: Vec<(usize, &mut cluster::Disk)> = self
@@ -492,10 +508,9 @@ impl Driver {
         disk_out.resize_with(disk_jobs.len(), Vec::new);
         let mut cpu_out: Vec<Vec<TaskId>> = Vec::new();
         cpu_out.resize_with(cpu_jobs.len(), Vec::new);
-        let threads = pool.current_num_threads();
         let dchunk = disk_jobs.len().div_ceil(threads).max(1);
         let cchunk = cpu_jobs.len().div_ceil(threads).max(1);
-        pool.scope(|s| {
+        pool.get().scope(|s| {
             for (jobs, outs) in disk_jobs
                 .chunks_mut(dchunk)
                 .zip(disk_out.chunks_mut(dchunk))
@@ -549,18 +564,28 @@ impl BatchWorld for Driver {
         &mut self,
         now: SimTime,
         batch: &mut Vec<Ev>,
-        pool: &rayon::ThreadPool,
+        pool: &simkit::ExecPool,
         sched: &mut Scheduler<Ev>,
     ) {
+        // ~1.1 events per timestamp on the paper workload: make the
+        // overwhelmingly common singleton batch cost exactly one dispatch.
+        if batch.len() == 1 {
+            let ev = batch.pop().expect("len checked");
+            self.handle(now, ev, sched);
+            return;
+        }
         let compute = self.cfg.cluster.compute_nodes;
-        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut seen = std::mem::take(&mut self.server.run_seen);
         let mut i = 0;
         while i < batch.len() {
             seen.clear();
             let mut end = i;
             while end < batch.len() {
                 match tick_node(&batch[end], compute) {
-                    Some(node) if seen.insert(node) => end += 1,
+                    Some(node) if !seen.contains(&node) => {
+                        seen.push(node);
+                        end += 1;
+                    }
                     _ => break,
                 }
             }
@@ -584,6 +609,7 @@ impl BatchWorld for Driver {
             }
         }
         batch.clear();
+        self.server.run_seen = seen;
     }
 }
 

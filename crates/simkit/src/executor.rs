@@ -16,7 +16,7 @@
 //!   executor (see `lane.rs` and DESIGN.md §8).
 
 use crate::event::EventQueue;
-use crate::lane::{Lane, LaneQueue, Laned};
+use crate::lane::{Lane, LaneQueue, Laned, LookaheadStats};
 use crate::time::{SimSpan, SimTime};
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -42,12 +42,58 @@ pub trait BatchWorld: World {
         &mut self,
         now: SimTime,
         batch: &mut Vec<Self::Event>,
-        _pool: &rayon::ThreadPool,
+        _pool: &ExecPool,
         sched: &mut Scheduler<Self::Event>,
     ) {
         for event in batch.drain(..) {
             self.handle(now, event, sched);
         }
+    }
+}
+
+/// A lazily-built rayon pool handed to [`BatchWorld::handle_batch`].
+///
+/// The worker count is resolved at construction, but the OS threads spawn
+/// only on the first [`ExecPool::get`] — a run whose every batch takes the
+/// small-run bypass (all runs on a 1-core host) never pays for thread
+/// creation at all.
+pub struct ExecPool {
+    threads: usize,
+    pool: std::sync::OnceLock<rayon::ThreadPool>,
+}
+
+impl ExecPool {
+    /// Resolve `threads` (`0` = one worker per available core) without
+    /// building anything.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        ExecPool {
+            threads,
+            pool: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Number of workers the pool has (or would have once built). Batch
+    /// worlds use this for their pool-bypass decision without forcing the
+    /// threads into existence.
+    pub fn workers(&self) -> usize {
+        self.threads
+    }
+
+    /// The rayon pool itself, spawning its worker threads on first use.
+    pub fn get(&self) -> &rayon::ThreadPool {
+        self.pool.get_or_init(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("worker threads spawn")
+        })
     }
 }
 
@@ -79,9 +125,19 @@ pub struct ExecProfile {
     pub batch_events: u64,
     /// Total wall-clock seconds spent inside `handle_batch`.
     pub batch_wall_secs: f64,
-    /// Events that missed the lane FIFO fast path (filled by callers from
-    /// [`Scheduler::spilled_count`]; always 0 for the heap backend).
+    /// Events that missed both the lane append fast path and the bounded
+    /// sorted-insert (filled by callers from [`Scheduler::spilled_count`];
+    /// always 0 for the heap backend).
     pub queue_spilled: u64,
+    /// Lookahead-window counters (filled by callers from
+    /// [`Scheduler::lookahead_stats`]; all-zero for the heap backend).
+    pub lookahead: LookaheadStats,
+    /// Tick-staging batches fanned out on the thread pool (filled by the
+    /// batch world; the driver counts its two-phase stagings here).
+    pub pool_staged: u64,
+    /// Tick-staging batches run inline because they were below the adaptive
+    /// pool-bypass threshold (filled by the batch world).
+    pub pool_bypassed: u64,
 }
 
 impl ExecProfile {
@@ -130,6 +186,10 @@ impl<E> Profiler<E> {
 
 /// The pending-event store behind a [`Scheduler`]: one monolithic heap, or
 /// per-server lanes with a deterministic merge. Pop order is identical.
+// One Backend lives per scheduler, never in collections, so the size gap
+// between the two variants costs nothing worth an indirection on every
+// queue access.
+#[allow(clippy::large_enum_variant)]
 enum Backend<E> {
     Heap(EventQueue<E>),
     Lanes(LaneQueue<E>),
@@ -269,6 +329,24 @@ impl<E> Scheduler<E> {
         }
     }
 
+    /// Lookahead-window counters (all-zero for the heap backend, which has
+    /// no window).
+    pub fn lookahead_stats(&self) -> LookaheadStats {
+        match &self.queue {
+            Backend::Heap(_) => LookaheadStats::default(),
+            Backend::Lanes(q) => q.lookahead_stats(),
+        }
+    }
+
+    /// Seed the lane queue's adaptive lookahead horizon (nanoseconds).
+    /// Purely a performance hint — dispatch order is identical for any
+    /// value. No-op for the heap backend.
+    pub fn set_lookahead_horizon(&mut self, ns: u64) {
+        if let Backend::Lanes(q) = &mut self.queue {
+            q.set_lookahead_horizon(ns);
+        }
+    }
+
     /// Timestamp of the earliest pending event, if any.
     fn peek_time(&mut self) -> Option<SimTime> {
         match &mut self.queue {
@@ -396,7 +474,7 @@ where
 {
     pub world: W,
     sched: Scheduler<W::Event>,
-    pool: rayon::ThreadPool,
+    pool: ExecPool,
     scratch: Vec<W::Event>,
     profiler: Option<Profiler<W::Event>>,
 }
@@ -410,12 +488,10 @@ where
         Self::with_threads(world, 0)
     }
 
-    /// Explicit worker count; `0` means one per available core.
+    /// Explicit worker count; `0` means one per available core. Worker
+    /// threads spawn lazily, on the first batch a world actually pools.
     pub fn with_threads(world: W, threads: usize) -> Self {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("worker threads spawn");
+        let pool = ExecPool::new(threads);
         ParallelSimulation {
             world,
             sched: Scheduler::with_lanes(<W::Event as Laned>::lane),
@@ -448,7 +524,13 @@ where
 
     /// Number of worker threads in the pool.
     pub fn threads(&self) -> usize {
-        self.pool.current_num_threads()
+        self.pool.workers()
+    }
+
+    /// Seed the lane queue's adaptive lookahead horizon (nanoseconds) — a
+    /// performance hint only; results are bit-identical for any value.
+    pub fn set_lookahead_horizon(&mut self, ns: u64) {
+        self.sched.set_lookahead_horizon(ns);
     }
 
     /// Dispatch one whole timestamp. Returns `false` when the queue is empty.
@@ -795,5 +877,175 @@ mod tests {
         // Timestamps 0, 100, 200 → 3 batches of 4 events.
         assert_eq!(sim.world.order.len(), 12);
         assert!(sim.scheduler().pending() > 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::lane::{Lane, Laned};
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// What handling an event does: where its follow-ups land and whether it
+    /// revokes a pending future event.
+    #[derive(Debug, Clone, Copy)]
+    struct Row {
+        lane: u8,
+        delay_a: u64,
+        delay_b: Option<u64>,
+        cancel: bool,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Step {
+        id: usize,
+        lane: u8,
+    }
+
+    impl Laned for Step {
+        fn lane(&self) -> Lane {
+            match self.lane {
+                0 => Lane::Global,
+                k => Lane::Server((k - 1) as usize),
+            }
+        }
+    }
+
+    /// A world whose behaviour is a pure function of a script, so any two
+    /// executors that dispatch in the same order evolve identically.
+    struct ScriptWorld {
+        script: Vec<Row>,
+        next_id: usize,
+        budget: usize,
+        /// Handles of scheduled-but-unfired follow-ups, cleared on dispatch
+        /// (the same discipline the driver uses for `net_armed`).
+        pending: BTreeMap<usize, (SimTime, EventHandle)>,
+        order: Vec<(SimTime, usize)>,
+    }
+
+    impl ScriptWorld {
+        fn new(script: Vec<Row>, budget: usize, seeds: usize) -> Self {
+            ScriptWorld {
+                script,
+                next_id: seeds,
+                budget,
+                pending: BTreeMap::new(),
+                order: vec![],
+            }
+        }
+
+        fn row(&self, id: usize) -> Row {
+            self.script[id % self.script.len()]
+        }
+    }
+
+    impl World for ScriptWorld {
+        type Event = Step;
+        fn handle(&mut self, now: SimTime, ev: Step, sched: &mut Scheduler<Step>) {
+            self.order.push((now, ev.id));
+            self.pending.remove(&ev.id);
+            let row = self.row(ev.id);
+            if row.cancel {
+                // Batch worlds may only cancel *strictly future* events —
+                // same-instant peers are already popped into the batch. A
+                // future victim may still sit inside the lookahead window,
+                // which is the path this exercises.
+                let victim = self
+                    .pending
+                    .iter()
+                    .find(|(_, (t, _))| *t > now)
+                    .map(|(&id, _)| id);
+                if let Some(id) = victim {
+                    let (_, h) = self.pending.remove(&id).expect("keyed");
+                    sched.cancel(h);
+                }
+            }
+            for delay in [Some(row.delay_a), row.delay_b].into_iter().flatten() {
+                if self.budget == 0 {
+                    break;
+                }
+                self.budget -= 1;
+                let id = self.next_id;
+                self.next_id += 1;
+                let lane = self.row(id).lane;
+                let at = now + SimSpan::from_nanos(delay);
+                let h = sched.at_cancellable(at, Step { id, lane });
+                self.pending.insert(id, (at, h));
+            }
+        }
+    }
+
+    impl BatchWorld for ScriptWorld {}
+
+    fn rows() -> impl Strategy<Value = Vec<(u8, u64, Option<u64>, bool)>> {
+        proptest::collection::vec(
+            (
+                0u8..5,
+                0u64..60,
+                (0u64..120).prop_map(|v| if v < 60 { Some(v) } else { None }),
+                (0u8..2).prop_map(|b| b == 1),
+            ),
+            1..16,
+        )
+    }
+
+    fn run_script(
+        script: &[Row],
+        threads: Option<usize>,
+        horizon: u64,
+    ) -> (Vec<(SimTime, usize)>, u64) {
+        let seeds = script.len().min(3);
+        let world = ScriptWorld::new(script.to_vec(), 150, seeds);
+        let seed_evs: Vec<Step> = (0..seeds)
+            .map(|i| Step {
+                id: i,
+                lane: script[i].lane,
+            })
+            .collect();
+        match threads {
+            None => {
+                let mut sim = Simulation::new(world);
+                for (i, ev) in seed_evs.into_iter().enumerate() {
+                    sim.scheduler().at(SimTime::from_nanos(7 * i as u64), ev);
+                }
+                sim.run();
+                let n = sim.scheduler().dispatched_count();
+                (sim.world.order, n)
+            }
+            Some(t) => {
+                let mut sim = ParallelSimulation::with_threads(world, t);
+                sim.set_lookahead_horizon(horizon);
+                for (i, ev) in seed_evs.into_iter().enumerate() {
+                    sim.scheduler().at(SimTime::from_nanos(7 * i as u64), ev);
+                }
+                sim.run();
+                let n = sim.scheduler().dispatched_count();
+                (sim.world.order, n)
+            }
+        }
+    }
+
+    proptest! {
+        /// Windowed batch execution is bit-identical to the serial executor
+        /// for arbitrary scripted worlds (cascading follow-ups, zero-delay
+        /// re-schedules, future-event cancels) across lookahead horizons and
+        /// thread counts.
+        #[test]
+        fn windowed_execution_matches_serial(
+            rows_raw in rows(),
+            horizon in (0u64..4).prop_map(|k| [0, 13, 40, 1_000_000][k as usize]),
+        ) {
+            let script: Vec<Row> = rows_raw
+                .into_iter()
+                .map(|(lane, delay_a, delay_b, cancel)| Row { lane, delay_a, delay_b, cancel })
+                .collect();
+            let (serial_order, serial_n) = run_script(&script, None, 0);
+            for threads in [1, 2, 8] {
+                let (order, n) = run_script(&script, Some(threads), horizon);
+                prop_assert_eq!(&order, &serial_order, "threads={}", threads);
+                prop_assert_eq!(n, serial_n, "threads={}", threads);
+            }
+        }
     }
 }

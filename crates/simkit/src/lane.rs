@@ -1,4 +1,4 @@
-//! Sharded event queue: one FIFO-stable lane per storage server.
+//! Sharded event queue with lookahead-window batching.
 //!
 //! [`LaneQueue`] splits the pending-event set into per-server lanes plus one
 //! global lane (rank/control traffic), keyed by [`Laned`]. Every push is
@@ -7,24 +7,49 @@
 //! key across lanes — so the pop order is *identical* to the single heap
 //! (proven by the proptest oracle below and by the golden-metrics suite).
 //!
-//! Why it is faster than one big heap:
+//! Since PR 8 the queue is organised around a **lookahead window**: a sorted
+//! staging buffer refilled by harvesting, from every armed lane in one pass,
+//! all events up to a conservative bound. The bound is the head of the
+//! global lane — a cross-lane event is a barrier no server lane may be read
+//! past blindly — stretched by an adaptive horizon that grows while handlers
+//! keep scheduling *ahead* of the window and shrinks whenever one schedules
+//! *into* it (an undercut). Correctness never depends on the bound: a small
+//! min-heap over the lane heads tracks the exact earliest still-laned key,
+//! and the window front is only dispatched while it does not exceed that
+//! minimum; otherwise a *patch* refill merges everything up to the front's
+//! timestamp first. The dispatch order is therefore exactly `(time, seq)`
+//! for *any* horizon — the horizon is purely a performance knob.
+//!
+//! Why this is faster than one big heap:
 //!
 //! * Ticks for one server are scheduled in almost-nondecreasing time order,
-//!   so each lane is a plain `VecDeque` with O(1) push/pop; the rare
-//!   out-of-order push (e.g. a share-resource completion moving *earlier*
-//!   after an interrupt) lands in a small per-lane spill heap.
-//! * [`LaneQueue::pop_batch`] drains a whole timestamp at once: one O(lanes)
-//!   head scan amortised over every event in the batch, instead of an
-//!   O(log n) heap sift per event. Tick-dominated phases, where most lanes
-//!   fire at the same instant, approach O(1) per event.
+//!   so each lane is a plain `VecDeque` with O(1) push at either end;
+//!   mid-lane pushes are absorbed by a bounded back-scan insertion, and only
+//!   entries displaced deeper than that land in a small per-lane spill heap.
+//! * The head min-heap is over *lanes*, not events: its size is the number
+//!   of armed lanes, and it only takes traffic when a lane's head actually
+//!   changes — an in-order append costs O(1), no sift at all.
+//! * One harvest is amortised over every event in the window — typically
+//!   many timestamps — and a patch refill touches only the lanes that
+//!   undercut the front plus the window's front run, never the whole window.
+//! * [`LaneQueue::pop_batch`] drains a whole timestamp straight off the
+//!   window front: no allocation, no sort (the window is already globally
+//!   ordered).
+//! * When the window is empty and a *single* lane owns the earliest
+//!   timestamp — the chain regime, where each handler schedules the next
+//!   event and windowing has nothing to amortise — the batch is drained
+//!   directly off that lane's head run, bypassing the harvest/sort/window
+//!   machinery altogether. The lane-head heap proves the run is globally
+//!   minimal, so dispatch order is unaffected.
 //!
 //! The batch is also the unit [`ParallelSimulation`](crate::ParallelSimulation)
 //! hands to the world, which is what makes same-timestamp parallel tick
 //! execution possible at all.
 
-use crate::time::SimTime;
-use std::cmp::Ordering;
+use crate::time::{SimSpan, SimTime};
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Which lane an event belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,6 +67,64 @@ pub enum Lane {
 pub trait Laned {
     fn lane(&self) -> Lane;
 }
+
+/// Lookahead-window telemetry, surfaced through
+/// [`ExecProfile`](crate::ExecProfile) and the bench baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct LookaheadStats {
+    /// Window refills: harvest passes over the armed lanes (fresh fills and
+    /// patch merges combined).
+    pub windows: u64,
+    /// Live events brought into the window across all refills.
+    pub window_events: u64,
+    /// Patch refills forced because a handler scheduled an event *earlier*
+    /// than work the window had already harvested (shrinks the horizon).
+    pub undercuts: u64,
+    /// Chain-mode fast-path batches: the window was empty and exactly one
+    /// lane owned the earliest timestamp, so its head run was drained
+    /// straight into the batch with no harvest, sort or window traffic.
+    pub drains: u64,
+    /// Events dispatched through the chain-mode fast path.
+    pub drained_events: u64,
+    /// Current adaptive lookahead horizon in nanoseconds.
+    pub horizon_ns: u64,
+}
+
+/// How far back [`LaneBuf::push`] scans for an in-place insertion slot
+/// before giving up and spilling to the per-lane heap. Pushes earlier than
+/// the whole resident run take an O(1) front insertion instead.
+const INSERT_SCAN: usize = 64;
+
+/// Adaptive horizon bounds (nanoseconds): floor after the first growth step
+/// and hard cap. Growth doubles on every fresh refill, undercuts divide by 4.
+const HORIZON_MIN: u64 = 1_000;
+const HORIZON_CAP: u64 = 1_000_000_000;
+
+/// Largest previous-batch size at which `pop_batch` still probes the
+/// chain-mode direct drain. Driver batches run a handful of events even
+/// when lanes interleave, so the probe must survive those; genuine flood
+/// batches (every lane tied on one timestamp) blow well past this and
+/// switch the queue to pure windowed harvesting.
+const CHAIN_PROBE_MAX: usize = 8;
+
+/// Multiply-shift hasher for the tombstone set: seqs are dense counters, so
+/// a Fibonacci hash mixes them plenty and skips SipHash on a hot path.
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("seq tombstones hash through write_u64")
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SeqSet = HashSet<u64, BuildHasherDefault<SeqHasher>>;
 
 struct Entry<E> {
     time: SimTime,
@@ -76,12 +159,17 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// One lane: an O(1) FIFO for in-order pushes plus a spill heap for the
-/// out-of-order remainder. Seq numbers are globally increasing, so entries
-/// appended while `time >= back.time` are already (time, seq)-sorted.
+/// One lane: a key-sorted `VecDeque` absorbing in-order appends and
+/// earliest-yet pushes in O(1), near-order pushes via a bounded back-scan
+/// insertion, plus a spill heap for entries displaced deeper than
+/// [`INSERT_SCAN`]. Seq numbers are globally increasing, so an append with
+/// `time >= back.time` is already (time, seq)-sorted.
 struct LaneBuf<E> {
     fifo: VecDeque<Entry<E>>,
     spill: BinaryHeap<Entry<E>>,
+    /// The head key this lane currently advertises in [`LaneQueue::heads`].
+    /// Invariant: equals `head_key()` exactly — `Some` iff non-empty.
+    armed: Option<(SimTime, u64)>,
 }
 
 impl<E> Default for LaneBuf<E> {
@@ -89,17 +177,39 @@ impl<E> Default for LaneBuf<E> {
         LaneBuf {
             fifo: VecDeque::new(),
             spill: BinaryHeap::new(),
+            armed: None,
         }
     }
 }
 
 impl<E> LaneBuf<E> {
-    /// Returns true when the entry missed the FIFO fast path.
+    /// Returns true when the entry missed the append, front-insert and
+    /// bounded sorted-insert fast paths, landing in the spill heap.
     fn push(&mut self, entry: Entry<E>) -> bool {
         match self.fifo.back() {
             Some(back) if entry.time < back.time => {
-                self.spill.push(entry);
-                true
+                if self.fifo.front().is_some_and(|f| entry.time < f.time) {
+                    // Earlier than the whole resident run (the common shape
+                    // once the window has harvested the near-term prefix).
+                    self.fifo.push_front(entry);
+                    return false;
+                }
+                // Walk back at most INSERT_SCAN slots looking for the
+                // insertion point. The new entry's seq is larger than every
+                // resident seq, so `time <= entry.time` at a predecessor
+                // means its whole key is smaller.
+                let mut i = self.fifo.len();
+                let mut steps = 0;
+                while i > 0 && self.fifo[i - 1].time > entry.time {
+                    if steps == INSERT_SCAN {
+                        self.spill.push(entry);
+                        return true;
+                    }
+                    i -= 1;
+                    steps += 1;
+                }
+                self.fifo.insert(i, entry);
+                false
             }
             _ => {
                 self.fifo.push_back(entry);
@@ -118,38 +228,40 @@ impl<E> LaneBuf<E> {
         }
     }
 
-    fn pop_min(&mut self) -> Option<Entry<E>> {
-        match (self.fifo.front(), self.spill.peek()) {
-            (Some(f), Some(s)) if s.key() < f.key() => self.spill.pop(),
-            (Some(_), _) => self.fifo.pop_front(),
-            (None, _) => self.spill.pop(),
+    /// Move every entry with `time <= bound` into `out` (unordered across
+    /// lanes; the caller sorts the combined harvest once).
+    fn harvest_into(&mut self, bound: SimTime, out: &mut Vec<Entry<E>>) {
+        while self.fifo.front().is_some_and(|e| e.time <= bound) {
+            out.push(self.fifo.pop_front().expect("checked front"));
+        }
+        while self.spill.peek().is_some_and(|e| e.time <= bound) {
+            out.push(self.spill.pop().expect("checked top"));
         }
     }
 
-    /// Drop cancelled entries from this lane's head until both the FIFO
-    /// front and the spill top are live, so `head_key` never reports a
-    /// tombstone. Removed seqs are taken out of `dead`; the removal count
-    /// is returned so the queue can fix its length.
-    fn purge_dead(&mut self, dead: &mut HashSet<u64>) -> usize {
-        let mut removed = 0;
-        while !dead.is_empty() {
-            if self.fifo.front().is_some_and(|e| dead.contains(&e.seq)) {
-                let e = self.fifo.pop_front().expect("checked front");
-                dead.remove(&e.seq);
-                removed += 1;
-            } else if self.spill.peek().is_some_and(|e| dead.contains(&e.seq)) {
-                let e = self.spill.pop().expect("checked top");
-                dead.remove(&e.seq);
-                removed += 1;
-            } else {
-                break;
-            }
+    /// Pop every entry with `time == t` into `out` in (time, seq) order,
+    /// merging the fifo front run with same-time spill entries. Returns the
+    /// number drained. The chain-mode fast path: no allocation, no sort.
+    fn drain_run(&mut self, t: SimTime, out: &mut Vec<E>) -> usize {
+        let mut n = 0;
+        loop {
+            let f = self.fifo.front().filter(|e| e.time == t).map(Entry::key);
+            let s = self.spill.peek().filter(|e| e.time == t).map(Entry::key);
+            let e = match (f, s) {
+                (Some(fk), Some(sk)) if sk < fk => self.spill.pop().expect("peeked"),
+                (Some(_), _) => self.fifo.pop_front().expect("peeked"),
+                (None, Some(_)) => self.spill.pop().expect("peeked"),
+                (None, None) => break,
+            };
+            out.push(e.event);
+            n += 1;
         }
-        removed
+        n
     }
 }
 
-/// A time-ordered event queue sharded into per-server lanes.
+/// A time-ordered event queue sharded into per-server lanes, batched through
+/// a lookahead window.
 ///
 /// Drop-in order-equivalent to [`EventQueue`](crate::EventQueue): `push`,
 /// `pop`, `peek_time` and the traffic counters behave identically. The
@@ -159,15 +271,50 @@ pub struct LaneQueue<E> {
     lane_of: fn(&E) -> Lane,
     global: LaneBuf<E>,
     servers: Vec<LaneBuf<E>>,
-    /// Cancelled-but-still-enqueued seqs (tombstones), purged lazily from
-    /// lane heads. Contract: only pending seqs are ever cancelled, so every
-    /// tombstone is still in some lane.
-    dead: HashSet<u64>,
+    /// Lazy min-heap over lane heads: `(head key, lane index)` with index 0
+    /// the global lane and `i + 1` server lane `i`. An entry is current iff
+    /// it equals its lane's `armed` key; anything else is a stale leftover
+    /// from a head that has since moved, dropped on sight. Only pushes that
+    /// *lower* a lane's head and post-harvest re-arms feed it, so in-order
+    /// appends never touch it.
+    heads: BinaryHeap<Reverse<((SimTime, u64), u32)>>,
+    /// Arming events not yet folded into `heads`: pushes that lowered a
+    /// lane's head append here in O(1), and [`LaneQueue::fold_arms`] merges
+    /// them right before the heap is actually consulted. In flood regimes
+    /// (every lane re-armed every timestamp, then fully harvested) the heap
+    /// is never ordered at all — arms go vec → unordered drain, no sifts.
+    pending_arms: Vec<((SimTime, u64), u32)>,
+    /// The lookahead window: entries harvested from the lanes, globally
+    /// (time, seq)-sorted, logically still pending. Always dispatched from
+    /// the front.
+    window: VecDeque<Entry<E>>,
+    /// Scratch for the per-refill lane harvest, reused across refills.
+    harvest: Vec<Entry<E>>,
+    /// Adaptive lookahead horizon (ns) added past the global-lane head when
+    /// bounding a fresh harvest. Performance-only: any value yields
+    /// identical dispatch order.
+    horizon: u64,
+    /// Cancelled-but-still-enqueued seqs (tombstones), dropped lazily when
+    /// they surface at the window front or flow through a refill. Contract:
+    /// only pending seqs are ever cancelled, so every tombstone is still in
+    /// some lane or in the window.
+    dead: SeqSet,
     seq: u64,
     popped: u64,
     cancelled: u64,
     spilled: u64,
+    /// Physical entries held (lanes + window), tombstones included.
     len: usize,
+    /// Size of the last `pop_batch` result: the chain fast path is only
+    /// probed while batches stay small (flood batches make the probe a
+    /// guaranteed-miss fold of every armed lane). Purely adaptive — the
+    /// value depends only on the event stream, so replay is deterministic.
+    last_batch: usize,
+    windows: u64,
+    window_events: u64,
+    undercuts: u64,
+    drains: u64,
+    drained_events: u64,
 }
 
 impl<E> LaneQueue<E> {
@@ -177,24 +324,23 @@ impl<E> LaneQueue<E> {
             lane_of,
             global: LaneBuf::default(),
             servers: Vec::new(),
-            dead: HashSet::new(),
+            heads: BinaryHeap::new(),
+            pending_arms: Vec::new(),
+            window: VecDeque::new(),
+            harvest: Vec::new(),
+            horizon: 0,
+            dead: SeqSet::default(),
             seq: 0,
             popped: 0,
             cancelled: 0,
             spilled: 0,
             len: 0,
-        }
-    }
-
-    fn buf_mut(&mut self, lane: Lane) -> &mut LaneBuf<E> {
-        match lane {
-            Lane::Global => &mut self.global,
-            Lane::Server(i) => {
-                if i >= self.servers.len() {
-                    self.servers.resize_with(i + 1, LaneBuf::default);
-                }
-                &mut self.servers[i]
-            }
+            last_batch: 0,
+            windows: 0,
+            window_events: 0,
+            undercuts: 0,
+            drains: 0,
+            drained_events: 0,
         }
     }
 
@@ -204,102 +350,324 @@ impl<E> LaneQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
-        let lane = (self.lane_of)(&event);
-        if self.buf_mut(lane).push(Entry { time, seq, event }) {
+        let key = (time, seq);
+        let (buf, idx) = match (self.lane_of)(&event) {
+            Lane::Global => (&mut self.global, 0u32),
+            Lane::Server(i) => {
+                if i >= self.servers.len() {
+                    self.servers.resize_with(i + 1, LaneBuf::default);
+                }
+                (&mut self.servers[i], (i + 1) as u32)
+            }
+        };
+        // Seqs only grow, so the head can only drop when the new *time* is
+        // strictly earlier; an equal-time push never changes the head.
+        let lowered = buf.armed.is_none_or(|h| key < h);
+        if buf.push(Entry { time, seq, event }) {
             self.spilled += 1;
+        }
+        if lowered {
+            buf.armed = Some(key);
+            self.pending_arms.push((key, idx));
         }
         seq
     }
 
+    /// Merge deferred arming events into the head heap. Called right before
+    /// any ordered read of `heads`; until then arms are plain O(1) appends.
+    #[inline]
+    fn fold_arms(&mut self) {
+        if !self.pending_arms.is_empty() {
+            self.heads.extend(self.pending_arms.drain(..).map(Reverse));
+        }
+    }
+
     /// Cancel the pending entry with the given seq: it will never be
     /// dispatched and does not count toward `dispatched_count`. The caller
-    /// must guarantee the entry is still pending (not yet popped).
+    /// must guarantee the entry is still pending (not yet popped) — it may
+    /// already sit inside the lookahead window, which is still pending.
     pub fn cancel(&mut self, seq: u64) {
         self.dead.insert(seq);
         self.cancelled += 1;
     }
 
-    /// Purge tombstones from every lane head so head keys are live.
-    fn purge_dead(&mut self) {
+    /// Exact minimum key still sitting in a lane (not yet windowed),
+    /// dropping stale head-heap leftovers on the way.
+    fn lane_min(&mut self) -> Option<(SimTime, u64)> {
+        self.fold_arms();
+        while let Some(&Reverse((key, idx))) = self.heads.peek() {
+            let armed = if idx == 0 {
+                self.global.armed
+            } else {
+                self.servers[(idx - 1) as usize].armed
+            };
+            if armed == Some(key) {
+                return Some(key);
+            }
+            self.heads.pop();
+        }
+        None
+    }
+
+    /// Drain every armed lane with head `<= bound` into `harvest` and
+    /// re-arm the survivors. Only lanes that actually hold work below the
+    /// bound are touched — idle lanes cost nothing.
+    fn harvest_up_to(&mut self, bound: SimTime) {
+        if bound == SimTime::MAX {
+            // Everything armed goes: no ordering needed, so drain the heap
+            // and the deferred arms without a single sift. In pure flood
+            // regimes (no global barrier pending) the heap never orders.
+            self.pending_arms
+                .extend(self.heads.drain().map(|Reverse(e)| e));
+            let mut i = 0;
+            while i < self.pending_arms.len() {
+                let (key, idx) = self.pending_arms[i];
+                i += 1;
+                let buf = if idx == 0 {
+                    &mut self.global
+                } else {
+                    &mut self.servers[(idx - 1) as usize]
+                };
+                if buf.armed != Some(key) {
+                    continue; // stale leftover or duplicate arm
+                }
+                buf.harvest_into(bound, &mut self.harvest);
+                buf.armed = None;
+            }
+            self.pending_arms.clear();
+            return;
+        }
+        self.fold_arms();
+        while let Some(&Reverse((key, idx))) = self.heads.peek() {
+            // Stale entries are never *earlier* than their lane's armed key
+            // …except when a later push lowered the head, which also pushed
+            // the new lower key — so a top above the bound proves every
+            // armed lane is above it too.
+            if key.0 > bound {
+                break;
+            }
+            self.heads.pop();
+            let buf = if idx == 0 {
+                &mut self.global
+            } else {
+                &mut self.servers[(idx - 1) as usize]
+            };
+            if buf.armed != Some(key) {
+                continue; // stale leftover
+            }
+            buf.harvest_into(bound, &mut self.harvest);
+            buf.armed = buf.head_key();
+            if let Some(h) = buf.armed {
+                self.heads.push(Reverse((h, idx)));
+            }
+        }
+    }
+
+    /// Drop tombstoned entries from the harvest (they are consumed here:
+    /// removed from the dead set and from the physical length).
+    fn filter_harvest(&mut self) {
         if self.dead.is_empty() {
             return;
         }
-        let mut removed = self.global.purge_dead(&mut self.dead);
-        for lane in self.servers.iter_mut() {
-            if self.dead.is_empty() {
-                break;
-            }
-            removed += lane.purge_dead(&mut self.dead);
-        }
-        self.len -= removed;
+        let dead = &mut self.dead;
+        let before = self.harvest.len();
+        self.harvest.retain(|e| !dead.remove(&e.seq));
+        self.len -= before - self.harvest.len();
     }
 
-    /// Index (global = `usize::MAX` sentinel not used; we scan directly) of
-    /// the lane holding the minimum (time, seq) key, if any.
-    fn min_lane(&mut self) -> Option<(Option<usize>, (SimTime, u64))> {
-        self.purge_dead();
-        let mut best: Option<(Option<usize>, (SimTime, u64))> =
-            self.global.head_key().map(|k| (None, k));
-        for (i, lane) in self.servers.iter().enumerate() {
-            if let Some(k) = lane.head_key() {
-                if best.as_ref().is_none_or(|(_, bk)| k < *bk) {
-                    best = Some((Some(i), k));
-                }
-            }
+    /// Fill an empty window: harvest every lane up to the global-lane head
+    /// (the next cross-lane barrier) stretched by the adaptive horizon, or
+    /// everything when the global lane is idle.
+    fn refill_fresh(&mut self) {
+        debug_assert!(self.window.is_empty());
+        let bound = match self.global.armed {
+            Some((g, _)) => g + SimSpan::from_nanos(self.horizon),
+            None => SimTime::MAX,
+        };
+        self.harvest.clear();
+        self.harvest_up_to(bound);
+        self.filter_harvest();
+        self.harvest.sort_unstable_by_key(Entry::key);
+        self.windows += 1;
+        self.window_events += self.harvest.len() as u64;
+        self.window.extend(self.harvest.drain(..));
+        self.horizon = self
+            .horizon
+            .saturating_mul(2)
+            .clamp(HORIZON_MIN, HORIZON_CAP);
+    }
+
+    /// Merge everything the lanes hold up to `bound` (the window front's
+    /// timestamp) into the window front. Entries past the front's timestamp
+    /// are untouched: the merge set all sorts before them, so only the
+    /// window's same-time front run needs to take part.
+    fn refill_patch(&mut self, bound: SimTime) {
+        self.harvest.clear();
+        self.harvest_up_to(bound);
+        self.filter_harvest();
+        let live = self.harvest.len() as u64;
+        while self.window.front().is_some_and(|e| e.time <= bound) {
+            self.harvest
+                .push(self.window.pop_front().expect("checked front"));
         }
-        best
+        self.harvest.sort_unstable_by_key(Entry::key);
+        for e in self.harvest.drain(..).rev() {
+            self.window.push_front(e);
+        }
+        self.windows += 1;
+        self.window_events += live;
+    }
+
+    /// Make the window front the globally minimal *live* key, refilling and
+    /// dropping tombstones as needed. Returns false iff the queue is empty.
+    fn ensure_front(&mut self) -> bool {
+        loop {
+            let Some(fkey) = self.window.front().map(Entry::key) else {
+                // Window empty: `len` now counts exactly the lanes'
+                // physical entries, and every non-empty lane is armed, so a
+                // fresh refill always makes progress.
+                if self.len == 0 {
+                    return false;
+                }
+                self.refill_fresh();
+                continue;
+            };
+            // The front is safe to dispatch only if no laned entry
+            // undercuts it; a patch merge pulls the undercutters in.
+            if self.lane_min().is_some_and(|m| m < fkey) {
+                self.undercuts += 1;
+                self.horizon /= 4;
+                self.refill_patch(fkey.0);
+                continue;
+            }
+            if !self.dead.is_empty() && self.dead.remove(&fkey.1) {
+                self.window.pop_front();
+                self.len -= 1;
+                continue;
+            }
+            return true;
+        }
     }
 
     /// Remove and return the earliest event (exact `EventQueue` pop order).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let (lane, _) = self.min_lane()?;
-        let buf = match lane {
-            None => &mut self.global,
-            Some(i) => &mut self.servers[i],
-        };
-        let e = buf.pop_min().expect("min lane is non-empty");
+        if !self.ensure_front() {
+            return None;
+        }
+        let e = self.window.pop_front().expect("ensure_front checked");
         self.popped += 1;
         self.len -= 1;
         Some((e.time, e.event))
     }
 
+    /// Chain-mode fast path: with the window empty and no tombstones, if
+    /// exactly one lane owns the earliest timestamp then that lane's head
+    /// run *is* the complete next batch — drain it straight into `out`,
+    /// skipping harvest, sort and window traffic entirely. This is the
+    /// regime where events arrive one handler-step at a time (tick chains
+    /// with far-future residue elsewhere), where windowing has nothing to
+    /// amortise.
+    fn try_drain(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        self.lane_min()?; // validate the top, shedding stale leftovers
+        let Reverse((key, idx)) = self.heads.pop().expect("lane_min validated the top");
+        // Runner-up head: skip stale leftovers and stale twins of the
+        // popped top (that lane's armed key is already accounted for).
+        let second = loop {
+            match self.heads.peek() {
+                None => break None,
+                Some(&Reverse((k2, i2))) => {
+                    let armed = if i2 == 0 {
+                        self.global.armed
+                    } else {
+                        self.servers[(i2 - 1) as usize].armed
+                    };
+                    if i2 != idx && armed == Some(k2) {
+                        break Some(k2);
+                    }
+                    self.heads.pop();
+                }
+            }
+        };
+        if second.is_some_and(|s| s.0 == key.0) {
+            // Another lane ties the earliest timestamp: the batch needs the
+            // cross-lane merge, so hand back to the window path.
+            self.heads.push(Reverse((key, idx)));
+            return None;
+        }
+        let buf = if idx == 0 {
+            &mut self.global
+        } else {
+            &mut self.servers[(idx - 1) as usize]
+        };
+        let n = buf.drain_run(key.0, out);
+        buf.armed = buf.head_key();
+        if let Some(h) = buf.armed {
+            self.heads.push(Reverse((h, idx)));
+        }
+        self.popped += n as u64;
+        self.len -= n;
+        self.drains += 1;
+        self.drained_events += n as u64;
+        Some(key.0)
+    }
+
     /// Remove *all* events carrying the earliest timestamp, appending them
     /// to `out` in (time, seq) order, and return that timestamp.
     ///
-    /// One head scan is amortised over the whole batch, so tick-dominated
-    /// phases (every server lane firing at the same instant) cost O(1) per
-    /// event instead of a heap sift.
+    /// Straight drain off the window front — no allocation, no sort. One
+    /// lane harvest is amortised over every timestamp in the window.
     pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
-        let (_, (t, _)) = self.min_lane()?;
-        let mut batch: Vec<(u64, E)> = Vec::new();
-        let lanes = std::iter::once(&mut self.global).chain(self.servers.iter_mut());
-        for lane in lanes {
-            loop {
-                // A tombstone may sit between same-timestamp live entries,
-                // so re-purge after every pop, not just at the lane head.
-                self.len -= lane.purge_dead(&mut self.dead);
-                if lane.head_key().is_none_or(|(lt, _)| lt != t) {
-                    break;
-                }
-                let e = lane.pop_min().expect("head checked non-empty");
-                batch.push((e.seq, e.event));
+        let start = out.len();
+        let t = self.pop_batch_inner(out)?;
+        self.last_batch = out.len() - start;
+        Some(t)
+    }
+
+    fn pop_batch_inner(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        // Probe the chain fast path only while batches run small: a flood
+        // batch (many lanes tied on one timestamp) makes the probe a
+        // guaranteed miss that pointlessly orders every armed lane.
+        if self.last_batch <= CHAIN_PROBE_MAX && self.window.is_empty() && self.dead.is_empty() {
+            if let Some(t) = self.try_drain(out) {
+                return Some(t);
             }
         }
-        batch.sort_unstable_by_key(|(seq, _)| *seq);
-        self.popped += batch.len() as u64;
-        self.len -= batch.len();
-        out.extend(batch.into_iter().map(|(_, e)| e));
+        if !self.ensure_front() {
+            return None;
+        }
+        let t = self.window.front().expect("ensure_front checked").time;
+        // Same-timestamp events may still sit in the lanes (e.g.
+        // `immediately` follow-ups, seq above the front's); pull them in so
+        // the batch is complete. Later-time entries can stay put.
+        if self.lane_min().is_some_and(|(mt, _)| mt == t) {
+            self.refill_patch(t);
+        }
+        while let Some(front) = self.window.front() {
+            if front.time != t {
+                break;
+            }
+            let e = self.window.pop_front().expect("front checked");
+            self.len -= 1;
+            if !self.dead.is_empty() && self.dead.remove(&e.seq) {
+                continue;
+            }
+            self.popped += 1;
+            out.push(e.event);
+        }
         Some(t)
     }
 
     /// Timestamp of the earliest pending live event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        self.min_lane().map(|(_, (t, _))| t)
+        if !self.ensure_front() {
+            return None;
+        }
+        Some(self.window.front().expect("ensure_front checked").time)
     }
 
     pub fn len(&self) -> usize {
         // `len` counts physical entries; tombstones still buried in lanes
-        // are in `dead` and must not show as pending.
+        // or the window are in `dead` and must not show as pending.
         self.len - self.dead.len()
     }
 
@@ -322,11 +690,32 @@ impl<E> LaneQueue<E> {
         self.cancelled
     }
 
-    /// Number of pushes that missed the per-lane FIFO fast path and landed
-    /// in a spill heap (an observability health signal: high spill rates
-    /// mean out-of-order scheduling is defeating the O(1) path).
+    /// Number of pushes that missed the per-lane append, front-insert and
+    /// bounded sorted-insert fast paths, landing in a spill heap (an
+    /// observability health signal: high spill rates mean deeply
+    /// out-of-order scheduling is defeating the O(1) paths).
     pub fn spilled_count(&self) -> u64 {
         self.spilled
+    }
+
+    /// Lookahead-window counters (refills, events windowed, undercuts,
+    /// current horizon).
+    pub fn lookahead_stats(&self) -> LookaheadStats {
+        LookaheadStats {
+            windows: self.windows,
+            window_events: self.window_events,
+            undercuts: self.undercuts,
+            drains: self.drains,
+            drained_events: self.drained_events,
+            horizon_ns: self.horizon,
+        }
+    }
+
+    /// Seed the adaptive lookahead horizon (nanoseconds). Purely a
+    /// performance hint — the dispatch order is bit-identical for any value
+    /// (see the proptest oracle); adaptivity keeps adjusting from here.
+    pub fn set_lookahead_horizon(&mut self, ns: u64) {
+        self.horizon = ns.min(HORIZON_CAP);
     }
 }
 
@@ -379,16 +768,93 @@ mod tests {
     }
 
     #[test]
-    fn out_of_order_push_lands_in_spill_and_still_sorts() {
+    fn out_of_order_push_sorted_inserts_without_spilling() {
         let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
         q.push(t(50), (0, 1));
-        q.push(t(10), (1, 1)); // earlier than the lane's FIFO tail → spill
+        q.push(t(10), (1, 1)); // earlier than the whole lane → front insert
         q.push(t(60), (2, 1));
-        q.push(t(55), (3, 1)); // spill again
+        q.push(t(55), (3, 1)); // mid-lane → back-scan insert
+        assert_eq!(q.spilled_count(), 0);
         assert_eq!(q.pop(), Some((t(10), (1, 1))));
         assert_eq!(q.pop(), Some((t(50), (0, 1))));
         assert_eq!(q.pop(), Some((t(55), (3, 1))));
         assert_eq!(q.pop(), Some((t(60), (2, 1))));
+    }
+
+    #[test]
+    fn earliest_yet_push_front_inserts_without_spilling() {
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        for i in 0..(INSERT_SCAN + 10) {
+            q.push(t(100 + i as u64), (i, 1));
+        }
+        // Earlier than the whole resident run: O(1) front insert, no spill
+        // even though the displacement exceeds the back-scan budget.
+        q.push(t(1), (999, 1));
+        assert_eq!(q.spilled_count(), 0);
+        assert_eq!(q.pop(), Some((t(1), (999, 1))));
+        assert_eq!(q.pop(), Some((t(100), (0, 1))));
+    }
+
+    #[test]
+    fn deeply_displaced_push_spills_and_still_sorts() {
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        for i in 0..200 {
+            q.push(t(100 + i as u64), (i, 1));
+        }
+        // Mid-lane (not earliest) and displaced past the back-scan budget:
+        // misses every fast path and spills.
+        q.push(t(105), (999, 1));
+        assert_eq!(q.spilled_count(), 1);
+        assert_eq!(q.pop(), Some((t(100), (0, 1))));
+        for i in 1..=5 {
+            assert_eq!(q.pop(), Some((t(100 + i as u64), (i, 1))));
+        }
+        assert_eq!(q.pop(), Some((t(105), (999, 1))));
+        assert_eq!(q.pop(), Some((t(106), (6, 1))));
+    }
+
+    #[test]
+    fn cross_lane_event_truncates_window() {
+        let s = SimTime::from_secs_f64;
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        q.push(s(1.0), (0, 1));
+        q.push(s(2.0), (1, 0)); // global barrier
+        q.push(s(3.0), (2, 1)); // same server lane, past the barrier
+        assert_eq!(q.peek_time(), Some(s(1.0)));
+        // The refill harvested up to the global barrier plus a horizon far
+        // smaller than the 1 s gap; the 3.0 s server event stays laned.
+        assert_eq!(q.window.len(), 2);
+        assert_eq!(q.pop(), Some((s(1.0), (0, 1))));
+        assert_eq!(q.pop(), Some((s(2.0), (1, 0))));
+        // Barrier consumed: the next refill may take everything.
+        assert_eq!(q.pop(), Some((s(3.0), (2, 1))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn empty_global_lane_windows_everything() {
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        q.push(t(10), (0, 1));
+        q.push(t(20), (1, 2));
+        q.push(t(30), (2, 1));
+        assert_eq!(q.peek_time(), Some(t(10)));
+        assert_eq!(q.window.len(), 3);
+        let stats = q.lookahead_stats();
+        assert_eq!(stats.windows, 1);
+        assert_eq!(stats.window_events, 3);
+    }
+
+    #[test]
+    fn undercutting_push_is_merged_before_dispatch() {
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        q.push(t(10), (0, 1));
+        q.push(t(30), (1, 2));
+        assert_eq!(q.peek_time(), Some(t(10))); // window = [10, 30]
+        assert_eq!(q.pop(), Some((t(10), (0, 1))));
+        q.push(t(20), (2, 1)); // undercuts the harvested 30
+        assert_eq!(q.pop(), Some((t(20), (2, 1))));
+        assert_eq!(q.pop(), Some((t(30), (1, 2))));
+        assert!(q.lookahead_stats().undercuts >= 1);
     }
 
     #[test]
@@ -406,6 +872,18 @@ mod tests {
         assert_eq!(out, vec![(2, 1)]);
         assert!(q.is_empty());
         assert_eq!(q.pop_batch(&mut out), None);
+    }
+
+    #[test]
+    fn same_timestamp_push_after_refill_joins_the_batch() {
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        q.push(t(5), (0, 1));
+        q.push(t(9), (1, 2));
+        assert_eq!(q.peek_time(), Some(t(5))); // windowed both
+        q.push(t(5), (2, 2)); // same-timestamp straggler, still laned
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), Some(t(5)));
+        assert_eq!(out, vec![(0, 1), (2, 2)]);
     }
 
     #[test]
@@ -429,6 +907,21 @@ mod tests {
         assert_eq!(q.scheduled_count(), 4);
         assert_eq!(q.dispatched_count(), 2);
         assert_eq!(q.cancelled_count(), 2);
+    }
+
+    #[test]
+    fn cancel_inside_the_window_is_honoured() {
+        let mut q: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+        let _a = q.push(t(1), (0, 1));
+        let b = q.push(t(2), (1, 2));
+        let _c = q.push(t(3), (2, 1));
+        assert_eq!(q.peek_time(), Some(t(1))); // all three windowed
+        assert_eq!(q.window.len(), 3);
+        q.cancel(b); // cancel an already-harvested entry
+        assert_eq!(q.pop(), Some((t(1), (0, 1))));
+        assert_eq!(q.pop(), Some((t(3), (2, 1))));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.dispatched_count(), 2);
     }
 
     #[test]
@@ -467,12 +960,20 @@ mod proptests {
         proptest::collection::vec((0u64..40, 0u8..6, 0u8..2), 0..250)
     }
 
+    /// Lookahead horizons spanning "window = single barrier bound" through
+    /// "window swallows the whole 40 ns script range".
+    fn horizons() -> impl Strategy<Value = u64> {
+        (0u64..4).prop_map(|k| [0, 7, 40, 1_000_000][k as usize])
+    }
+
     proptest! {
-        /// The sharded queue's pop order equals the monolithic heap's for
-        /// arbitrary interleaved push/pop sequences across lanes.
+        /// The windowed queue's pop order equals the monolithic heap's for
+        /// arbitrary interleaved push/pop sequences across lanes, at any
+        /// lookahead horizon (pushes mid-drain exercise the undercut path).
         #[test]
-        fn lane_queue_matches_event_queue(script in ops()) {
+        fn lane_queue_matches_event_queue(script in ops(), horizon in horizons()) {
             let mut lanes: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+            lanes.set_lookahead_horizon(horizon);
             let mut heap: EventQueue<Tagged> = EventQueue::new();
             for (i, &(time, lane, pop)) in script.iter().enumerate() {
                 let ev = (i, lane);
@@ -498,8 +999,9 @@ mod proptests {
         /// Concatenated `pop_batch` output equals the single-heap pop
         /// sequence, and each batch holds exactly one timestamp.
         #[test]
-        fn pop_batch_concatenation_matches_heap(script in ops()) {
+        fn pop_batch_concatenation_matches_heap(script in ops(), horizon in horizons()) {
             let mut lanes: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+            lanes.set_lookahead_horizon(horizon);
             let mut heap: EventQueue<Tagged> = EventQueue::new();
             for (i, &(time, lane, _)) in script.iter().enumerate() {
                 lanes.push(SimTime::from_nanos(time), (i, lane));
@@ -513,6 +1015,42 @@ mod proptests {
                 }
             }
             prop_assert_eq!(heap.pop(), None);
+        }
+
+        /// Cancellations — including of entries already harvested into the
+        /// window — never change the surviving pop order vs the heap.
+        #[test]
+        fn cancels_match_heap_with_window(script in ops(), horizon in horizons()) {
+            let mut lanes: LaneQueue<Tagged> = LaneQueue::new(tag_lane);
+            lanes.set_lookahead_horizon(horizon);
+            let mut heap: EventQueue<Tagged> = EventQueue::new();
+            // Seqs still pending in both queues (identical by construction).
+            let mut pending: Vec<u64> = Vec::new();
+            for (i, &(time, lane, op)) in script.iter().enumerate() {
+                let ev = (i, lane);
+                let sa = lanes.push(SimTime::from_nanos(time), ev);
+                let sb = heap.push(SimTime::from_nanos(time), ev);
+                prop_assert_eq!(sa, sb);
+                pending.push(sa);
+                // Peek first so the lanes harvest a window — cancels after
+                // this exercise the in-window tombstone path.
+                prop_assert_eq!(lanes.peek_time(), heap.peek_time());
+                if op == 1 && !pending.is_empty() {
+                    let victim = pending.remove((time as usize) % pending.len());
+                    lanes.cancel(victim);
+                    heap.cancel(victim);
+                }
+                prop_assert_eq!(lanes.len(), heap.len());
+            }
+            loop {
+                let (a, b) = (lanes.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(lanes.dispatched_count(), heap.dispatched_count());
+            prop_assert_eq!(lanes.cancelled_count(), heap.cancelled_count());
         }
     }
 }

@@ -11,9 +11,10 @@
 //! * [`component`] — [`component::Component`]/[`component::Routed`]: split a
 //!   world into event-routed subsystems without changing its event schedule.
 //! * [`lane`] — [`lane::LaneQueue`]/[`lane::Laned`]: the event queue sharded
-//!   into per-server lanes with a deterministic k-way merge; order-identical
-//!   to [`event::EventQueue`] but with O(1) lane operations and whole-
-//!   timestamp batch pops, the substrate for [`ParallelSimulation`].
+//!   into per-server lanes and batched through an adaptive lookahead window;
+//!   order-identical to [`event::EventQueue`] but with O(1) lane operations
+//!   and alloc-free whole-timestamp batch pops, the substrate for
+//!   [`ParallelSimulation`].
 //! * [`share`] — a generalized processor-sharing resource with max-min fair
 //!   allocation and epoch-based completion-event invalidation; models
 //!   multi-core CPUs and fair-share network links.
@@ -50,12 +51,12 @@ pub mod time;
 pub use component::{Component, Routed};
 pub use event::EventQueue;
 pub use executor::{
-    BatchWorld, DispatchStat, EventHandle, ExecProfile, ParallelSimulation, Scheduler, Simulation,
-    World,
+    BatchWorld, DispatchStat, EventHandle, ExecPool, ExecProfile, ParallelSimulation, Scheduler,
+    Simulation, World,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use fifo::FifoServer;
-pub use lane::{Lane, LaneQueue, Laned};
+pub use lane::{Lane, LaneQueue, Laned, LookaheadStats};
 pub use rng::RngFactory;
 pub use share::{ShareResource, TaskId};
 pub use time::{SimSpan, SimTime};

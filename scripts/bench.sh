@@ -5,10 +5,12 @@
 #
 # The simulator suite includes the `fabric_churn` group (incremental vs
 # full-rescan water-filling under flow churn at 64 / 1024 / 8192 flows) and
-# the two-point `driver_exec_mode` group (paper-testbed and 512-rank /
-# 64-server scales, events/sec in both); bench_baseline emits the same
-# comparisons into BENCH_simulator.json (schema v4, including the
-# multi-tenant scenario suite of crates/bench/src/scenarios.rs).
+# the three-point `driver_exec_mode` group (paper-testbed, 512-rank /
+# 64-server and 4096-rank / 256-server scales, events/sec in both modes);
+# bench_baseline emits the same comparisons into BENCH_simulator.json
+# (schema v6, including the multi-tenant scenario suite of
+# crates/bench/src/scenarios.rs and the lookahead-window statistics of
+# DESIGN.md §13).
 #
 #   scripts/bench.sh            # everything (criterion suites are slow)
 #   scripts/bench.sh baseline   # just refresh BENCH_simulator.json

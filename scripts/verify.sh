@@ -30,12 +30,19 @@ cargo test -q --test property_driver
 cargo test -q --test property_tenants
 # The same determinism suites must hold under the sharded parallel executor
 # (DESIGN.md §8): metrics are bit-identical to serial at any thread count.
-DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test failure_scenarios
-DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test golden_metrics
+# The lookahead-window gate (DESIGN.md §13) reruns every golden suite at
+# both a low and a high thread count so window harvesting, batch staging
+# and the pool-bypass heuristic are all exercised against the snapshots.
+for t in 2 8; do
+  DOSAS_EXEC=parallel DOSAS_THREADS=$t cargo test -q --test failure_scenarios
+  DOSAS_EXEC=parallel DOSAS_THREADS=$t cargo test -q --test golden_metrics
+done
 # Multi-tenant scenario suite (DESIGN.md §11): every scenario's golden
 # snapshot holds serially and byte-identically under the parallel executor.
 cargo test -q --test tenant_scenarios
-DOSAS_EXEC=parallel DOSAS_THREADS=2 cargo test -q --test tenant_scenarios
+for t in 2 8; do
+  DOSAS_EXEC=parallel DOSAS_THREADS=$t cargo test -q --test tenant_scenarios
+done
 # Policy conformance (DESIGN.md §12): every pluggable contention-control
 # policy replays the scenario suite bit-identically on both executors, the
 # pinned competitor-policy goldens hold, and the solver family behind the

@@ -79,6 +79,49 @@ fn parallel_runs_distinguish_seeds() {
     assert_ne!(a, b, "seeds 7 and 8 produced identical metrics");
 }
 
+/// PR 8 regression — lane-spill pathology. The paper workload used to push
+/// 1601 of its ~2038 events through the per-lane spill heaps (BENCH v5);
+/// with the lookahead window keeping lanes short and the bounded
+/// sorted-insert absorbing near-order pushes, spills must stay eliminated.
+/// The window must also genuinely batch: every dispatched event flows
+/// through a window, and refills are amortised over many timestamps.
+#[test]
+fn paper_workload_has_no_lane_spills_and_windows_its_events() {
+    let cfg = DriverConfig::paper(Scheme::dosas_default());
+    let workload = Workload::uniform_active(
+        64,
+        1,
+        256 * MIB,
+        "gaussian2d",
+        KernelParams::with_width(1024),
+    );
+    let (metrics, profile) =
+        Driver::run_profiled(cfg, &workload, ExecMode::Parallel { threads: 2 });
+    assert!(
+        metrics.events > 1_000,
+        "paper point should stay non-trivial"
+    );
+    assert_eq!(
+        profile.queue_spilled, 0,
+        "lane spills must stay eliminated (was 1601 pre-window)"
+    );
+    assert!(profile.lookahead.windows > 0, "window machinery engaged");
+    assert!(
+        profile.lookahead.drains > 0,
+        "chain-mode direct drains engaged"
+    );
+    assert!(
+        profile.lookahead.window_events + profile.lookahead.drained_events >= profile.batch_events,
+        "every dispatched event is either windowed or chain-drained"
+    );
+    assert!(
+        profile.lookahead.windows < profile.batches,
+        "refills ({}) must be amortised over timestamps ({})",
+        profile.lookahead.windows,
+        profile.batches,
+    );
+}
+
 /// Scheduled-vs-dispatched accounting: a run-to-drain simulation dispatches
 /// every event it ever scheduled except the stale `NetTick`s the incremental
 /// fabric revoked before they could fire, in both modes.
@@ -100,5 +143,71 @@ fn run_to_drain_dispatches_every_scheduled_event() {
             metrics.events_cancelled > 0,
             "a contended workload must supersede at least one NetTick"
         );
+    }
+}
+
+/// Randomized bit-identity: for arbitrary small workloads (cluster size,
+/// rank fan-out, request size, scheme, optional mid-run fault) the windowed
+/// parallel executor at 1 / 2 / 8 threads serializes `RunMetrics` to exactly
+/// the bytes the serial reference produces.
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn random_cfg(scheme: Scheme, seed: u64, storage: usize, fault: bool) -> DriverConfig {
+        let mut cfg = contended_cfg(scheme, seed);
+        cfg.cluster = ClusterConfig {
+            storage_nodes: storage,
+            ..ClusterConfig::discfarm()
+        };
+        if !fault {
+            cfg.fault_plan = FaultPlan::new();
+        }
+        cfg
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn random_workloads_are_bit_identical_across_modes(
+            seed in 0u64..1_000,
+            per_server in 1usize..4,
+            storage in 1usize..3,
+            mib in 1u64..8,
+            scheme_ix in 0usize..3,
+            fault in (0u8..2).prop_map(|b| b == 1),
+        ) {
+            let scheme = match scheme_ix {
+                0 => Scheme::Traditional,
+                1 => Scheme::ActiveStorage,
+                _ => Scheme::dosas_default(),
+            };
+            let workload = Workload::uniform_active(
+                per_server,
+                storage,
+                mib * MIB,
+                "gaussian2d",
+                KernelParams::with_width(1024),
+            );
+            let serial = serde_json::to_string_pretty(&Driver::run_with(
+                random_cfg(scheme.clone(), seed, storage, fault),
+                &workload,
+                ExecMode::Serial,
+            ))
+            .expect("RunMetrics serializes");
+            for threads in [1usize, 2, 8] {
+                let parallel = serde_json::to_string_pretty(&Driver::run_with(
+                    random_cfg(scheme.clone(), seed, storage, fault),
+                    &workload,
+                    ExecMode::Parallel { threads },
+                ))
+                .expect("RunMetrics serializes");
+                prop_assert_eq!(
+                    &serial, &parallel,
+                    "scheme {:?} seed {} threads {}: diverged from serial",
+                    scheme, seed, threads
+                );
+            }
+        }
     }
 }
