@@ -3,21 +3,25 @@
 //! ```text
 //! cargo run -p bench --bin scenario -- --list
 //! cargo run -p bench --bin scenario -- <name> [--policy <name>] [--matrix]
-//!                                             [--stream <file>] [--obs-out <dir>] [--summary]
+//!                                             [--stream <file>] [--obs-out <dir>]
+//!                                             [--summary] [--explain]
 //! ```
 //!
 //! Prints the full serialized `RunMetrics` to stdout (the same JSON the
 //! golden snapshots pin down); `--summary` prints a short per-tenant table
-//! to stderr instead of the full JSON. `--policy <name>` re-bases the
-//! scenario onto a different contention-control policy (see `--list` for
-//! the arena); `--matrix` runs *every* policy against the named scenario
-//! and prints the comparison table instead of `RunMetrics`. `--stream
-//! <file>` points the obs timeline at a JSONL file on disk (the soak
-//! scenario's mode of operation); `--obs-out <dir>` streams
-//! `timeline.jsonl` into `dir` the same way and adds `metrics.prom` +
-//! `trace.json` at the end, producing a directory `dosas-sim --check-obs`
-//! accepts. The executor is environment-selected as everywhere else:
-//! `DOSAS_EXEC=parallel` runs the sharded executor.
+//! to stderr instead of the full JSON. `--explain` enables per-request
+//! causal tracing and prints the contention-attribution report (wait by
+//! cause / tenant / node, the run's critical path, the slowest requests)
+//! instead of the JSON — the "why was this run slow" view. `--policy
+//! <name>` re-bases the scenario onto a different contention-control
+//! policy (see `--list` for the arena); `--matrix` runs *every* policy
+//! against the named scenario and prints the comparison table instead of
+//! `RunMetrics`. `--stream <file>` points the obs timeline at a JSONL file
+//! on disk (the soak scenario's mode of operation); `--obs-out <dir>`
+//! streams `timeline.jsonl` into `dir` the same way and adds
+//! `metrics.prom`, `trace.json` and `profile.json` at the end, producing
+//! a directory `dosas-sim --check-obs` accepts. The executor is environment-selected
+//! as everywhere else: `DOSAS_EXEC=parallel` runs the sharded executor.
 
 use bench::{policy_matrix, scenarios};
 use dosas::policy::PolicyConfig;
@@ -25,7 +29,7 @@ use dosas::policy::PolicyConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: scenario --list | <name> [--policy <name>] [--matrix] \
-         [--stream <file>] [--obs-out <dir>] [--summary]"
+         [--stream <file>] [--obs-out <dir>] [--summary] [--explain]"
     );
     eprintln!("scenarios:");
     for s in scenarios::all() {
@@ -43,6 +47,7 @@ fn main() {
     let mut stream: Option<String> = None;
     let mut obs_out: Option<String> = None;
     let mut summary_only = false;
+    let mut explain = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -58,6 +63,7 @@ fn main() {
             "--stream" => stream = Some(it.next().unwrap_or_else(|| usage())),
             "--obs-out" => obs_out = Some(it.next().unwrap_or_else(|| usage())),
             "--summary" => summary_only = true,
+            "--explain" => explain = true,
             _ if name.is_none() => name = Some(a),
             _ => usage(),
         }
@@ -92,7 +98,15 @@ fn main() {
         s.cfg.obs.stream_path = Some(format!("{dir}/timeline.jsonl"));
         s.cfg.trace = true;
     }
-    let m = s.run();
+    if explain {
+        s.cfg.autopsy = true;
+    }
+    let (m, profile) = if obs_out.is_some() {
+        let (m, p) = s.run_profiled();
+        (m, Some(p))
+    } else {
+        (s.run(), None)
+    };
     if let Some(dir) = &obs_out {
         let report = m.obs.as_ref().expect("obs enabled by --obs-out");
         std::fs::write(format!("{dir}/metrics.prom"), report.to_prometheus())
@@ -103,6 +117,12 @@ fn main() {
             dosas::driver::trace::to_chrome_json(trace),
         )
         .expect("write trace.json");
+        let profile = profile.as_ref().expect("profiled run under --obs-out");
+        std::fs::write(
+            format!("{dir}/profile.json"),
+            serde_json::to_string_pretty(profile).expect("profile serializes"),
+        )
+        .expect("write profile.json");
     }
 
     if let Some(t) = &m.tenants {
@@ -136,7 +156,14 @@ fn main() {
     if let Some(obs) = &m.obs {
         eprintln!("  obs: {} records streamed", obs.records_streamed);
     }
-    if !summary_only {
+    if explain {
+        let report = m.autopsy.as_ref().expect("autopsy enabled by --explain");
+        println!("{}", report.render(10));
+        print!(
+            "{}",
+            bench::plot::critical_path_table(&report.critical_path).render()
+        );
+    } else if !summary_only {
         println!(
             "{}",
             serde_json::to_string_pretty(&m).expect("RunMetrics serializes")

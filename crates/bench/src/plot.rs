@@ -196,6 +196,41 @@ pub fn timeline_plot(jsonl: &str) -> Result<String, String> {
     Ok(line_plot(&table, 0, &[1, 2, 3], "per-server mean"))
 }
 
+/// Render a run's critical path (`RunMetrics::autopsy`) as a [`Table`]:
+/// one row per segment with its node, interval, service/wait split and
+/// wait cause. The rows tile `[0, finish]`, so the service and wait
+/// columns each sum to their report totals exactly — the table *is* the
+/// makespan, decomposed.
+pub fn critical_path_table(cp: &dosas::CriticalPath) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "critical path (rank {}, finish {:.6} s = service {:.6} s + wait {:.6} s)",
+            cp.rank, cp.finish_secs, cp.service_secs, cp.wait_secs
+        ),
+        &[
+            "stage",
+            "node",
+            "start_secs",
+            "end_secs",
+            "service_secs",
+            "wait_secs",
+            "cause",
+        ],
+    );
+    for seg in &cp.segments {
+        t.push(vec![
+            seg.stage.to_string(),
+            seg.node.to_string(),
+            format!("{:.6}", seg.start.as_secs_f64()),
+            format!("{:.6}", seg.end.as_secs_f64()),
+            format!("{:.6}", seg.service_secs),
+            format!("{:.6}", seg.wait_secs),
+            seg.cause.unwrap_or("-").to_string(),
+        ]);
+    }
+    t
+}
+
 fn format_tick(v: f64) -> String {
     if v >= 100.0 {
         format!("{v:.0}")
@@ -264,6 +299,40 @@ mod tests {
     #[test]
     fn timeline_rejects_garbage() {
         assert!(timeline_table("not json\n", 10).is_err());
+    }
+
+    #[test]
+    fn critical_path_table_tiles_the_run() {
+        use dosas::{CpSegment, CriticalPath};
+        use simkit::SimTime;
+        let seg = |stage, s: f64, e: f64, svc: f64, cause: Option<&'static str>| CpSegment {
+            stage,
+            node: 8,
+            start: SimTime::from_secs_f64(s),
+            end: SimTime::from_secs_f64(e),
+            service_secs: svc,
+            wait_secs: (e - s) - svc,
+            cause,
+            app: Some(0),
+        };
+        let cp = CriticalPath {
+            rank: 2,
+            finish_secs: 1.0,
+            service_secs: 0.7,
+            wait_secs: 0.3,
+            segments: vec![
+                seg("disk", 0.0, 0.4, 0.2, Some("disk-queue")),
+                seg("kernel", 0.4, 1.0, 0.5, Some("cpu-share")),
+            ],
+        };
+        let t = critical_path_table(&cp);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "disk");
+        assert_eq!(t.rows[1][6], "cpu-share");
+        let svc: f64 = t.rows.iter().map(|r| r[4].parse::<f64>().unwrap()).sum();
+        let wait: f64 = t.rows.iter().map(|r| r[5].parse::<f64>().unwrap()).sum();
+        assert!((svc - 0.7).abs() < 1e-9 && (wait - 0.3).abs() < 1e-9);
+        assert!(t.render().contains("critical path (rank 2"));
     }
 
     #[test]

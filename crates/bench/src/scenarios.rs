@@ -38,6 +38,16 @@ impl Scenario {
     pub fn run(&self) -> dosas::RunMetrics {
         dosas::Driver::run(self.cfg.clone(), &self.workload)
     }
+
+    /// Like [`run`](Self::run), but also returns the executor's wall-clock
+    /// profile (`scenario --obs-out` ships it as `profile.json`).
+    pub fn run_profiled(&self) -> (dosas::RunMetrics, simkit::ExecProfile) {
+        dosas::Driver::run_profiled(
+            self.cfg.clone(),
+            &self.workload,
+            dosas::ExecMode::from_env(),
+        )
+    }
 }
 
 /// Deterministic base config: no jitter, fixed seed, `storage_nodes`-wide
@@ -56,6 +66,7 @@ fn base_cfg(storage_nodes: usize, fault_plan: FaultPlan, slos: Vec<TenantSlo>) -
         fault_plan,
         slos,
         obs: obs::ObsConfig::default(),
+        autopsy: false,
     }
 }
 

@@ -19,6 +19,7 @@ mod types;
 
 pub(super) use types::{AppIo, AppIoId, FileSpan, IssueKind, Piece, Req};
 
+use super::autopsy::ReqStage;
 use super::server::CpuWork;
 use super::{Driver, Ev, Subsystem};
 use crate::asc::ClientAction;
@@ -141,7 +142,14 @@ impl Driver {
             };
             (r.server, kind, r.bytes, r.client, r.is_write)
         };
-        self.io.reqs.get_mut(&id).expect("req").t_arrive = now;
+        {
+            let r = self.io.reqs.get_mut(&id).expect("req");
+            r.t_arrive = now;
+            // Autopsy: the submit hop is the fixed request-message latency.
+            if let Some(ch) = r.chain.as_mut() {
+                ch.record_service(ReqStage::Submit, client.0, now);
+            }
+        }
         self.obs_inc("io_path", "requests_arrived", obs::Label::Node(server.0));
         self.server
             .servers
@@ -194,7 +202,16 @@ impl Driver {
     ) -> FlowId {
         let flow = self.cluster.fabric.start_flow(now, src, dst, bytes);
         self.io.flow_req.insert(flow, id);
-        self.io.reqs.get_mut(&id).expect("req").t_flow_start = now;
+        {
+            let nominal = self.cfg.cluster.nic_bandwidth;
+            let r = self.io.reqs.get_mut(&id).expect("req");
+            r.t_flow_start = now;
+            // Autopsy: the transfer's ideal is a solo run of the nominal
+            // link; the hop closes when the flow completes.
+            if let Some(ch) = r.chain.as_mut() {
+                ch.arm(bytes / nominal);
+            }
+        }
         // A policy rate cap on the issuing rank applies from the first byte.
         if !self.io.rank_caps.is_empty() {
             let rank = self.io.apps[&self.io.reqs[&id].app].rank;
@@ -316,6 +333,30 @@ impl Driver {
                 .flow_req
                 .remove(&c.id)
                 .expect("flow completion maps to a request");
+            // Autopsy: close the transfer hop (doomed shipments included —
+            // their lost transfer is part of the request's causal chain).
+            // Writes stream client → server; every read-side flow streams
+            // server → client.
+            if self.io.reqs[&id].chain.is_some() {
+                let (rank, src, dst, start) = {
+                    let r = &self.io.reqs[&id];
+                    let (src, dst) = if r.is_write {
+                        (r.client, r.server)
+                    } else {
+                        (r.server, r.client)
+                    };
+                    let rank = self.io.apps[&r.app].rank;
+                    (rank, src, dst, r.chain.as_ref().expect("checked").cursor())
+                };
+                let cause = self.autopsy_cause_net(rank, src.0, dst.0, start, now);
+                let r = self.io.reqs.get_mut(&id).expect("req");
+                r.chain.as_mut().expect("checked").record(
+                    ReqStage::Transfer,
+                    src.0,
+                    now,
+                    Some(cause),
+                );
+            }
             if self.io.doomed_flows.remove(&c.id) {
                 self.on_checkpoint_ship_failed(id, now, sched);
                 continue;
@@ -327,6 +368,14 @@ impl Driver {
                 let ordinal = self.cluster.storage_ordinal(server);
                 let disk_id = self.cluster.disks[ordinal].submit_write(now, bytes);
                 self.server.disk_req.insert((ordinal, disk_id), id);
+                // Autopsy: arm the disk hop with the write's solo service
+                // time; the hop closes at disk completion.
+                let ideal = self.cluster.disks[ordinal]
+                    .service_time(bytes)
+                    .as_secs_f64();
+                if let Some(ch) = self.io.reqs.get_mut(&id).expect("req").chain.as_mut() {
+                    ch.arm(ideal);
+                }
                 self.schedule_disk(ordinal, sched);
                 continue;
             }
@@ -342,13 +391,39 @@ impl Driver {
         // untouched).
         let observed = (now - self.io.reqs[&id].t_arrive).as_secs_f64();
         self.note_delivery_telemetry(server, observed);
+        // Autopsy: the delivery hop is the fixed transfer-end → client
+        // latency; recorded before the trace span so the span can carry
+        // the transfer hop's wait/cause as Perfetto args.
         {
-            let (start, track, write) = {
+            let client = self.io.reqs[&id].client;
+            if let Some(ch) = self.io.reqs.get_mut(&id).expect("req").chain.as_mut() {
+                ch.record_service(ReqStage::Deliver, client.0, now);
+            }
+        }
+        {
+            let (start, track, write, tenant, wait) = {
                 let r = &self.io.reqs[&id];
-                (r.t_flow_start, r.app.0, r.is_write)
+                let wait = r.chain.as_ref().and_then(|ch| {
+                    ch.hops()
+                        .iter()
+                        .rev()
+                        .find(|h| matches!(h.kind, ReqStage::Transfer))
+                        .and_then(|h| h.cause.map(|c| (h.wait_secs, c)))
+                });
+                let tenant = self.io.apps[&r.app].tenant;
+                (r.t_flow_start, r.app.0, r.is_write, tenant, wait)
             };
             let name = if write { "write-xfer+disk" } else { "transfer" };
-            self.trace_span(|| name.into(), "net", start, now, server.0, track);
+            self.trace_span(
+                || name.into(),
+                "net",
+                start,
+                now,
+                server.0,
+                track,
+                tenant,
+                wait,
+            );
         }
         if self.io.reqs[&id].is_write {
             // Ack received: the write is durable and the request is done.
@@ -358,10 +433,12 @@ impl Driver {
                 .expect("server")
                 .complete(now, id)
                 .expect("request was queued");
-            let r = self.io.reqs.remove(&id).expect("req");
+            let mut r = self.io.reqs.remove(&id).expect("req");
             let app = self.io.apps.get_mut(&r.app).expect("app");
             app.parts_pending -= 1;
             if app.parts_pending == 0 {
+                // The part that completed the write carries its causal chain.
+                app.chain = r.chain.take();
                 self.finish_app(r.app, now, sched);
             }
             return;
@@ -465,6 +542,9 @@ impl Driver {
         let app = self.io.apps.get_mut(&app_id).expect("app");
         app.parts_pending -= 1;
         if app.parts_pending == 0 {
+            // The part whose delivery completed the I/O carries its chain
+            // forward as the app's causal chain.
+            app.chain = r.chain.take();
             if app.client_bytes > 0.0 {
                 let op = app
                     .rate_op
@@ -474,6 +554,10 @@ impl Driver {
                 let rank = app.rank;
                 app.t_client_start = now;
                 let core_seconds = self.cpu_cost(client_bytes / self.cfg.rates.per_core(&op));
+                // Autopsy: the client compute's ideal is its solo run.
+                if let Some(ch) = self.io.apps.get_mut(&app_id).expect("app").chain.as_mut() {
+                    ch.arm(core_seconds);
+                }
                 let node = self.ranks.states[rank].node.0;
                 let task = self.cluster.cpus[node].submit(now, core_seconds);
                 self.server
@@ -492,10 +576,29 @@ impl Driver {
         self.control
             .telemetry
             .note_app_complete(app.tenant, app.total_bytes);
+        // Autopsy: close the client-compute hop (if any), freeze the
+        // request's breakdown, and stamp the whole I/O onto the issuing
+        // rank's program-level chain.
+        let mut chain = app.chain.take();
+        if let Some(ch) = chain.as_mut() {
+            if app.client_bytes > 0.0 {
+                let node = self.ranks.states[app.rank].node.0;
+                let cause = self.autopsy_cause_cpu(node, ch.cursor(), now);
+                ch.record(ReqStage::ClientCompute, node, now, Some(cause));
+            }
+        }
         if app.client_bytes > 0.0 {
             let node = self.ranks.states[app.rank].node.0;
             let start = app.t_client_start;
             let op = app.rate_op.clone().unwrap_or_default();
+            let tenant = app.tenant;
+            let wait = chain.as_ref().and_then(|ch| {
+                ch.hops()
+                    .iter()
+                    .rev()
+                    .find(|h| matches!(h.kind, ReqStage::ClientCompute))
+                    .and_then(|h| h.cause.map(|c| (h.wait_secs, c)))
+            });
             self.trace_span(
                 || format!("client-compute({op})"),
                 "cpu",
@@ -503,6 +606,31 @@ impl Driver {
                 now,
                 node,
                 app_id.0,
+                tenant,
+                wait,
+            );
+        }
+        if let Some(ch) = chain {
+            self.telemetry
+                .autopsies
+                .push(super::autopsy::RequestAutopsy {
+                    app: app_id.0,
+                    rank: app.rank,
+                    tenant: app.tenant,
+                    op: app
+                        .op
+                        .clone()
+                        .or_else(|| app.client_op.as_ref().map(|(op, _)| op.clone())),
+                    bytes: app.total_bytes,
+                    issued_at: app.issued_at,
+                    completed_at: now,
+                    hops: ch.into_hops(),
+                });
+            let node = self.ranks.states[app.rank].node.0;
+            self.telemetry.rank_chains[app.rank].record_service(
+                super::autopsy::RankSeg::Io(app_id.0),
+                node,
+                now,
             );
         }
         if self.cfg.data_plane {

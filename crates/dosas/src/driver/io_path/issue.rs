@@ -84,6 +84,7 @@ impl Driver {
                 any_demoted: false,
                 any_migrated: false,
                 t_client_start: SimTime::ZERO,
+                chain: None,
             },
         );
 
@@ -135,6 +136,10 @@ impl Driver {
                     t_arrive: SimTime::ZERO,
                     t_kernel_start: SimTime::ZERO,
                     t_flow_start: SimTime::ZERO,
+                    chain: self
+                        .cfg
+                        .autopsy
+                        .then(|| crate::driver::autopsy::ReqChain::start(now)),
                 },
             );
             sched.after(self.cfg.cluster.net_latency, Ev::Arrive(id));

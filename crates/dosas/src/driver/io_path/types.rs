@@ -44,6 +44,8 @@ pub(in super::super) struct Req {
     pub(in super::super) t_arrive: SimTime,
     pub(in super::super) t_kernel_start: SimTime,
     pub(in super::super) t_flow_start: SimTime,
+    /// Causal span chain from issue to delivery (`cfg.autopsy` only).
+    pub(in super::super) chain: Option<crate::driver::autopsy::ReqChain>,
 }
 
 /// Piece of an app I/O awaiting client-side assembly (data plane).
@@ -75,6 +77,9 @@ pub(in super::super) struct AppIo {
     pub(in super::super) any_demoted: bool,
     pub(in super::super) any_migrated: bool,
     pub(in super::super) t_client_start: SimTime,
+    /// The chain of the part whose delivery completed the I/O — the causal
+    /// chain of the app's latency (`cfg.autopsy` only).
+    pub(in super::super) chain: Option<crate::driver::autopsy::ReqChain>,
 }
 
 /// Byte span of one file targeted by an I/O call.

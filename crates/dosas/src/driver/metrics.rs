@@ -234,6 +234,12 @@ pub struct RunMetrics {
     /// [`obs::ObsReport::to_prometheus`] / `timeline_jsonl`.
     #[serde(skip)]
     pub obs: Option<obs::ObsReport>,
+    /// Request autopsy (per-request additive latency breakdowns, wait
+    /// attribution, critical path) when `DriverConfig::autopsy` was set.
+    /// Omitted from the serialized form otherwise, so pre-existing golden
+    /// snapshots are unchanged.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub autopsy: Option<crate::driver::autopsy::AutopsyReport>,
 }
 
 impl RunMetrics {
@@ -337,6 +343,7 @@ mod tests {
             events_scheduled: 0,
             events_cancelled: 0,
             obs: None,
+            autopsy: None,
         };
         assert!((m.mean_latency_secs() - 3.0).abs() < 1e-9);
         assert_eq!(m.site_histogram()["Storage"], 2);

@@ -33,6 +33,7 @@
 //! | [`faults`]    | `Faults`    | `Fault`                                |
 //! | [`telemetry`] | `Telemetry` | — (passive; written to mid-dispatch)   |
 
+pub mod autopsy;
 pub mod metrics;
 pub mod trace;
 
@@ -43,6 +44,10 @@ mod ranks;
 mod server;
 mod telemetry;
 
+pub use autopsy::{
+    AutopsyReport, CauseWait, CpSegment, CriticalPath, NodeWait, ReqHop, ReqStage, RequestAutopsy,
+    TenantWait, WaitCause,
+};
 pub use metrics::{
     AppIoRecord, PolicyLogEntry, PolicyStats, RunMetrics, TenantReport, TenantSloOutcome,
     TenantStats,
@@ -97,6 +102,13 @@ pub struct DriverConfig {
     /// tenant aggregates (no mid-run enforcement). Only meaningful when the
     /// workload carries tenant labels.
     pub slos: Vec<crate::config::TenantSlo>,
+    /// Request autopsy: record per-request causal span chains and attach
+    /// an [`AutopsyReport`] (per-request additive latency breakdowns,
+    /// wait-cause attribution, the run's critical path) to the metrics.
+    /// Purely observational — enabling it never changes scheme results —
+    /// and zero-cost when off (no chains are allocated, `RunMetrics`
+    /// serializes without the report, so golden snapshots are unchanged).
+    pub autopsy: bool,
 }
 
 impl DriverConfig {
@@ -112,6 +124,7 @@ impl DriverConfig {
             fault_plan: FaultPlan::default(),
             obs: obs::ObsConfig::default(),
             slos: Vec::new(),
+            autopsy: false,
         }
     }
 }
@@ -351,7 +364,7 @@ impl Driver {
                 telemetry: crate::policy::PolicyTelemetry::default(),
             },
             faults: Faults::default(),
-            telemetry: Telemetry::new(&cfg.obs),
+            telemetry: Telemetry::new(&cfg.obs, cfg.autopsy.then(|| workload.rank_count())),
             cfg,
         }
     }

@@ -7,6 +7,7 @@
 //! [`io_path`](super::io_path) subsystem; `Op::Compute` charges the rank's
 //! node CPU via the [`server`](super::server) subsystem's work map.
 
+use super::autopsy::{RankSeg, WaitCause};
 use super::io_path::{FileSpan, IssueKind};
 use super::server::CpuWork;
 use super::{Driver, Ev, Subsystem};
@@ -242,6 +243,11 @@ impl Driver {
             }
             Op::Compute { span } => {
                 let node = self.ranks.states[rank].node.0;
+                if !self.telemetry.rank_chains.is_empty() {
+                    // The op's nominal duration is the ideal; processor-
+                    // sharing stretch beyond it is attributed at completion.
+                    self.telemetry.rank_chains[rank].arm(span.as_secs_f64());
+                }
                 let task = self.cluster.cpus[node].submit(now, span.as_secs_f64());
                 self.server
                     .cpu_work
@@ -269,6 +275,22 @@ impl Driver {
                     let delay = simkit::SimSpan::from_nanos(
                         self.cfg.cluster.net_latency.as_nanos() * rounds as u64,
                     );
+                    if !self.telemetry.rank_chains.is_empty() {
+                        // Each rank's hop spans arrival → release: straggler
+                        // wait beyond the tree's signalling delay is barrier
+                        // time.
+                        for r in 0..self.ranks.len() {
+                            let node = self.ranks.states[r].node.0;
+                            let ch = &mut self.telemetry.rank_chains[r];
+                            ch.arm(delay.as_secs_f64());
+                            ch.record(
+                                RankSeg::Barrier,
+                                node,
+                                now + delay,
+                                Some(WaitCause::CollectiveBarrier),
+                            );
+                        }
+                    }
                     for r in 0..self.ranks.len() {
                         self.ranks.states[r].at_barrier = false;
                         self.ranks.states[r].pc += 1;
@@ -342,6 +364,21 @@ impl Driver {
     pub(super) fn finish_collective(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
         self.ranks.collective = None;
         let delay = self.cfg.cluster.net_latency;
+        if !self.telemetry.rank_chains.is_empty() {
+            // Arrival → release: tree transfers and straggler wait beyond
+            // the final delivery latency count as collective time.
+            for r in 0..self.ranks.len() {
+                let node = self.ranks.states[r].node.0;
+                let ch = &mut self.telemetry.rank_chains[r];
+                ch.arm(delay.as_secs_f64());
+                ch.record(
+                    RankSeg::Collective,
+                    node,
+                    now + delay,
+                    Some(WaitCause::CollectiveBarrier),
+                );
+            }
+        }
         for r in 0..self.ranks.len() {
             self.ranks.states[r].at_barrier = false;
             self.ranks.states[r].pc += 1;

@@ -12,6 +12,7 @@
 //! [`io_path`](super::io_path), rank compute hands back to
 //! [`ranks`](super::ranks).
 
+use super::autopsy::{RankSeg, ReqStage, WaitCause};
 use super::io_path::AppIoId;
 use super::{Driver, Ev, Subsystem};
 use crate::runtime::{ActiveIoRuntime, ServiceMode};
@@ -177,6 +178,14 @@ impl Driver {
         let disk_bytes = self.cache_filter_read(server, id, bytes);
         let disk_id = self.cluster.disks[ordinal].submit_read(now, disk_bytes);
         self.server.disk_req.insert((ordinal, disk_id), id);
+        // Autopsy: the solo service time for the bytes that actually hit
+        // the platter is this hop's ideal; queueing beyond it is wait.
+        let ideal = self.cluster.disks[ordinal]
+            .service_time(disk_bytes)
+            .as_secs_f64();
+        if let Some(ch) = self.io.reqs.get_mut(&id).expect("req").chain.as_mut() {
+            ch.arm(ideal);
+        }
         self.schedule_disk(ordinal, sched);
     }
 
@@ -214,6 +223,20 @@ impl Driver {
 
     fn on_disk_done(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
         let server = self.io.reqs[&id].server;
+        // Autopsy: close the disk hop — queueing (or a fault stall) beyond
+        // the armed solo service time is this hop's wait.
+        if self.io.reqs[&id].chain.is_some() {
+            let start = self.io.reqs[&id].chain.as_ref().expect("checked").cursor();
+            let cause = self.autopsy_cause_disk(server.0, start, now);
+            self.io
+                .reqs
+                .get_mut(&id)
+                .expect("req")
+                .chain
+                .as_mut()
+                .expect("checked")
+                .record(ReqStage::Disk, server.0, now, Some(cause));
+        }
         if self.io.reqs[&id].is_write {
             // Disk write finished: invalidate cached blocks, persist the
             // payload (data plane) and return the ack.
@@ -264,9 +287,16 @@ impl Driver {
             self.io.reqs.get_mut(&id).expect("req").data = Some(data);
         }
         {
-            let (arrived, track) = {
+            let (arrived, track, tenant, wait) = {
                 let r = &self.io.reqs[&id];
-                (r.t_arrive, r.app.0)
+                let wait = r.chain.as_ref().and_then(|ch| {
+                    ch.hops()
+                        .iter()
+                        .rev()
+                        .find(|h| matches!(h.kind, ReqStage::Disk))
+                        .and_then(|h| h.cause.map(|c| (h.wait_secs, c)))
+                });
+                (r.t_arrive, r.app.0, self.io.apps[&r.app].tenant, wait)
             };
             self.trace_span(
                 || "queue+disk".into(),
@@ -275,6 +305,8 @@ impl Driver {
                 now,
                 server.0,
                 track,
+                tenant,
+                wait,
             );
             self.obs_inc("server", "disk_reads_done", obs::Label::Node(server.0));
         }
@@ -318,6 +350,18 @@ impl Driver {
         let r = self.io.reqs.get_mut(&id).expect("req");
         r.cpu_task = Some(task);
         r.t_kernel_start = now;
+        if let Some(ch) = r.chain.as_mut() {
+            // Time between disk completion and this start is FIFO slot
+            // queueing (dropped when the kernel was admitted immediately);
+            // arm the solo compute cost for the kernel hop that follows.
+            ch.record(
+                ReqStage::KernelWait,
+                server.0,
+                now,
+                Some(WaitCause::KernelSlot),
+            );
+            ch.arm(core_seconds);
+        }
         if self.cfg.data_plane {
             r.kernel = Some(
                 self.registry
@@ -360,6 +404,16 @@ impl Driver {
                 CpuWork::Kernel(id) => self.on_kernel_done(id, now, sched),
                 CpuWork::ClientCompute(app) => self.finish_app(app, now, sched),
                 CpuWork::RankCompute(rank) => {
+                    if !self.telemetry.rank_chains.is_empty() {
+                        let start = self.telemetry.rank_chains[rank].cursor();
+                        let cause = self.autopsy_cause_cpu(node, start, now);
+                        self.telemetry.rank_chains[rank].record(
+                            RankSeg::Compute,
+                            node,
+                            now,
+                            Some(cause),
+                        );
+                    }
                     self.ranks.states[rank].pc += 1;
                     sched.immediately(Ev::RankStep(rank));
                 }
@@ -370,10 +424,37 @@ impl Driver {
 
     fn on_kernel_done(&mut self, id: RequestId, now: SimTime, sched: &mut Scheduler<Ev>) {
         let server = self.io.reqs[&id].server;
+        // Autopsy: close the kernel hop — processor-sharing stretch (or a
+        // CPU fault) beyond the armed solo compute cost is wait.
+        if self.io.reqs[&id].chain.is_some() {
+            let start = self.io.reqs[&id].chain.as_ref().expect("checked").cursor();
+            let cause = self.autopsy_cause_cpu(server.0, start, now);
+            self.io
+                .reqs
+                .get_mut(&id)
+                .expect("req")
+                .chain
+                .as_mut()
+                .expect("checked")
+                .record(ReqStage::Kernel, server.0, now, Some(cause));
+        }
         {
-            let (op, start, track) = {
+            let (op, start, track, tenant, wait) = {
                 let r = &self.io.reqs[&id];
-                (r.op.clone().unwrap_or_default(), r.t_kernel_start, r.app.0)
+                let wait = r.chain.as_ref().and_then(|ch| {
+                    ch.hops()
+                        .iter()
+                        .rev()
+                        .find(|h| matches!(h.kind, ReqStage::Kernel))
+                        .and_then(|h| h.cause.map(|c| (h.wait_secs, c)))
+                });
+                (
+                    r.op.clone().unwrap_or_default(),
+                    r.t_kernel_start,
+                    r.app.0,
+                    self.io.apps[&r.app].tenant,
+                    wait,
+                )
             };
             self.trace_span(
                 || format!("kernel({op})"),
@@ -382,6 +463,8 @@ impl Driver {
                 now,
                 server.0,
                 track,
+                tenant,
+                wait,
             );
             self.obs_observe(
                 "server",

@@ -14,6 +14,7 @@
 //! runtimes, fabric) and only *writes* observer state, which no simulated
 //! path reads back, so enabling observability never changes scheme results.
 
+use super::autopsy::{AutopsyReport, RankChain, RequestAutopsy, WaitCause};
 use super::metrics::{AppIoRecord, PolicyLogEntry, RunMetrics, TenantReport};
 use super::trace::TraceEvent;
 use super::{Driver, Ev, Subsystem};
@@ -31,12 +32,21 @@ pub(super) struct Telemetry {
     /// Live observability state; `None` when `DriverConfig::obs` is
     /// disabled, keeping every instrumentation call a branch on an Option.
     pub(super) obs: Option<Observer>,
+    /// Completed request breakdowns (`DriverConfig::autopsy` only).
+    pub(super) autopsies: Vec<RequestAutopsy>,
+    /// One program-level span chain per rank; empty when the autopsy is
+    /// off — non-emptiness is the handlers' "autopsy on" test for
+    /// rank-level recording.
+    pub(super) rank_chains: Vec<RankChain>,
 }
 
 impl Telemetry {
-    pub(super) fn new(cfg: &ObsConfig) -> Self {
+    pub(super) fn new(cfg: &ObsConfig, autopsy_ranks: Option<usize>) -> Self {
         Telemetry {
             obs: cfg.enabled.then(|| Observer::new(cfg.clone())),
+            rank_chains: autopsy_ranks
+                .map(|n| vec![RankChain::start(SimTime::ZERO); n])
+                .unwrap_or_default(),
             ..Telemetry::default()
         }
     }
@@ -59,7 +69,13 @@ impl Component<Driver> for TelemetryComponent {
 
 impl Driver {
     /// Record one timeline span (the name closure only runs when tracing is
-    /// on, so disabled runs pay no formatting or allocation).
+    /// on, so disabled runs pay no formatting or allocation). `tenant`
+    /// labels the span's issuing tenant and `wait` attaches the hop's
+    /// recorded wait time and cause (autopsy runs only); both surface as
+    /// Perfetto `args` together with the active policy name. The argument
+    /// count mirrors the span tuple itself — splitting it into a struct
+    /// would just move the same fields one level down at every call site.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn trace_span(
         &mut self,
         name: impl FnOnce() -> String,
@@ -68,16 +84,30 @@ impl Driver {
         end: SimTime,
         node: usize,
         track: u64,
+        tenant: Option<usize>,
+        wait: Option<(f64, WaitCause)>,
     ) {
         if self.cfg.trace {
-            self.telemetry.trace.push(TraceEvent::new(
-                name(),
-                cat,
-                start.as_secs_f64(),
-                end.as_secs_f64(),
-                node,
-                track,
-            ));
+            let policy =
+                (self.control.policy_name != "none").then(|| self.control.policy_name.to_string());
+            let args =
+                (tenant.is_some() || policy.is_some() || wait.is_some()).then(|| obs::SpanArgs {
+                    tenant,
+                    policy,
+                    wait_us: wait.map(|(w, _)| w * 1e6),
+                    cause: wait.map(|(_, c)| c.as_str().to_string()),
+                });
+            self.telemetry.trace.push(
+                TraceEvent::new(
+                    name(),
+                    cat,
+                    start.as_secs_f64(),
+                    end.as_secs_f64(),
+                    node,
+                    track,
+                )
+                .with_args(args),
+            );
         }
     }
 
@@ -268,6 +298,21 @@ impl Driver {
             })
         });
 
+        // Request autopsy: fold the recorded chains into per-request
+        // breakdowns, wait attribution and the critical path. Consumes the
+        // chains; computed before the obs close-out so the attribution can
+        // surface as `dosas_attr_*` gauges.
+        let autopsy = (!w.telemetry.rank_chains.is_empty()).then(|| {
+            let rank_tenants: Vec<Option<usize>> =
+                w.ranks.states.iter().map(|r| r.tenant).collect();
+            AutopsyReport::compute(
+                std::mem::take(&mut w.telemetry.autopsies),
+                std::mem::take(&mut w.telemetry.rank_chains),
+                &rank_tenants,
+                w.control.policy_name,
+            )
+        });
+
         // Close out the observability run: one last sample at the final sim
         // time plus end-of-run summary gauges, then freeze the report.
         if w.telemetry.obs.is_some() {
@@ -343,6 +388,63 @@ impl Driver {
                     );
                 }
             }
+            // Contention attribution (`dosas_attr_*`): the autopsy's wait
+            // partitions by cause / tenant / node, plus the critical-path
+            // split and a per-policy total.
+            if let Some(rep) = &autopsy {
+                r.set_gauge(
+                    "attr",
+                    "total_wait_seconds",
+                    Label::None,
+                    rep.total_wait_secs,
+                );
+                r.set_gauge(
+                    "attr",
+                    "total_service_seconds",
+                    Label::None,
+                    rep.total_service_secs,
+                );
+                r.set_gauge(
+                    "attr",
+                    "critical_path_wait_seconds",
+                    Label::None,
+                    rep.critical_path.wait_secs,
+                );
+                for c in &rep.wait_by_cause {
+                    r.set_gauge(
+                        "attr",
+                        "cause_wait_seconds",
+                        Label::Str(c.cause),
+                        c.wait_secs,
+                    );
+                }
+                for t in &rep.per_tenant {
+                    if let Some(tenant) = t.tenant {
+                        r.set_gauge(
+                            "attr",
+                            "tenant_wait_seconds",
+                            Label::Tenant(tenant),
+                            t.wait_secs,
+                        );
+                    }
+                }
+                for n in &rep.per_node {
+                    r.set_gauge(
+                        "attr",
+                        "node_wait_seconds",
+                        Label::Node(n.node),
+                        n.wait_secs,
+                    );
+                }
+                if w.control.policy_name != "none" {
+                    r.set_gauge(
+                        "attr",
+                        "policy_wait_seconds",
+                        Label::Policy(w.control.policy_name),
+                        rep.total_wait_secs,
+                    );
+                }
+            }
         }
         let obs = w.telemetry.obs.take().map(Observer::into_report);
 
@@ -376,6 +478,7 @@ impl Driver {
             events_scheduled,
             events_cancelled,
             obs,
+            autopsy,
         }
     }
 }

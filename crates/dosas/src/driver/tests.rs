@@ -24,6 +24,7 @@ fn det_config(scheme: Scheme) -> DriverConfig {
         fault_plan: FaultPlan::default(),
         slos: Vec::new(),
         obs: obs::ObsConfig::default(),
+        autopsy: false,
     }
 }
 

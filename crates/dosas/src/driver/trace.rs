@@ -23,6 +23,9 @@ pub struct TraceEvent {
     pub node: usize,
     /// Thread lane: the request (or app) id.
     pub track: u64,
+    /// Optional annotations: tenant, policy, attributed wait+cause.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub args: Option<obs::SpanArgs>,
 }
 
 impl TraceEvent {
@@ -42,7 +45,14 @@ impl TraceEvent {
             dur_us: (end_secs - start_secs) * 1e6,
             node,
             track,
+            args: None,
         }
+    }
+
+    /// Attach annotations (builder style).
+    pub fn with_args(mut self, args: Option<obs::SpanArgs>) -> Self {
+        self.args = args;
+        self
     }
 
     pub fn end_secs(&self) -> f64 {
@@ -66,6 +76,7 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
                 e.node,
                 e.track,
             )
+            .with_args(e.args.clone())
         })
         .collect();
     obs::chrome_trace_json(&spans)

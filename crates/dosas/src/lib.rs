@@ -53,6 +53,10 @@ pub mod workload;
 
 pub use config::{DosasConfig, OpRates, ProbeConfig, Scheme, TenantSlo};
 pub use cost::{CostModel, Item, RequestSpec, ResultModel};
+pub use driver::{
+    AutopsyReport, CauseWait, CpSegment, CriticalPath, NodeWait, ReqHop, ReqStage, RequestAutopsy,
+    TenantWait, WaitCause,
+};
 pub use driver::{Driver, DriverConfig, ExecMode, RunMetrics};
 pub use driver::{TenantReport, TenantSloOutcome, TenantStats};
 pub use estimator::{

@@ -9,6 +9,24 @@
 
 use serde::Serialize;
 
+/// Optional key/value annotations attached to a span (`args` in the
+/// trace-event format; shown by Perfetto in the span detail pane).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SpanArgs {
+    /// Tenant of the issuing rank, when the workload is tenanted.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub tenant: Option<usize>,
+    /// Active contention-control policy, when one is enabled.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub policy: Option<String>,
+    /// Contention wait inside the span, microseconds.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub wait_us: Option<f64>,
+    /// Wait-cause tag (e.g. `disk-queue`), when `wait_us` is attributed.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cause: Option<String>,
+}
+
 /// One complete ("ph": "X") span in the chrome trace-event format.
 ///
 /// Times are microseconds, per the format; `pid` groups tracks (we use the
@@ -29,6 +47,9 @@ pub struct TraceSpan {
     pub pid: usize,
     /// Thread id (per-node track).
     pub tid: u64,
+    /// Optional annotations (tenant, policy, attributed wait).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub args: Option<SpanArgs>,
 }
 
 impl TraceSpan {
@@ -42,7 +63,14 @@ impl TraceSpan {
             dur,
             pid,
             tid,
+            args: None,
         }
+    }
+
+    /// Attach annotations (builder style).
+    pub fn with_args(mut self, args: Option<SpanArgs>) -> Self {
+        self.args = args;
+        self
     }
 }
 

@@ -39,7 +39,7 @@ pub mod observer;
 pub mod registry;
 pub mod series;
 
-pub use export::{chrome_trace_json, validate_prometheus, TraceSpan};
+pub use export::{chrome_trace_json, validate_prometheus, SpanArgs, TraceSpan};
 pub use hist::Histogram;
 pub use log::{EventLog, LogRecord, Severity};
 pub use observer::{ObsConfig, ObsReport, Observer, TimelineRecord};

@@ -122,6 +122,21 @@ impl FaultPlan {
             .filter(move |e| e.node == node && e.active_at(now))
     }
 
+    /// Fault windows on `node` overlapping the half-open interval
+    /// `[start, end)` — used for after-the-fact wait attribution: a hop
+    /// that spent `[start, end)` queued on a node can ask whether a stall
+    /// window intersected it.
+    pub fn overlapping(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        node: usize,
+    ) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.node == node && e.start < end && start < e.end)
+    }
+
     /// Combined CPU capacity factor for `node` at `now` (product of active
     /// slowdowns; `1.0` when healthy).
     pub fn cpu_factor(&self, now: SimTime, node: usize) -> f64 {
@@ -322,6 +337,16 @@ mod tests {
             plan.transition_times(),
             vec![secs(1.0), secs(2.0), secs(3.0)]
         );
+    }
+
+    #[test]
+    fn overlapping_uses_half_open_intersection() {
+        let plan = FaultPlan::new().inject(5, FaultKind::DiskStall, secs(2.0), span(1.0));
+        assert_eq!(plan.overlapping(secs(0.0), secs(2.0), 5).count(), 0);
+        assert_eq!(plan.overlapping(secs(2.5), secs(4.0), 5).count(), 1);
+        assert_eq!(plan.overlapping(secs(0.0), secs(9.0), 5).count(), 1);
+        assert_eq!(plan.overlapping(secs(3.0), secs(9.0), 5).count(), 0);
+        assert_eq!(plan.overlapping(secs(2.0), secs(4.0), 6).count(), 0);
     }
 
     #[test]

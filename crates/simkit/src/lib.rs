@@ -24,6 +24,9 @@
 //! * [`rng`] — seed-derived deterministic random streams.
 //! * [`fault`] — deterministic, seed-driven fault plans (time-windowed
 //!   resource degradation, probe loss/delay) applied by the owning world.
+//! * [`span`] — causal span chains: contiguous hop tiling of an interval
+//!   with an exact service/wait split per hop, the substrate for
+//!   per-request latency attribution.
 //!
 //! Design notes:
 //!
@@ -45,6 +48,7 @@ pub mod fifo;
 pub mod lane;
 pub mod rng;
 pub mod share;
+pub mod span;
 pub mod stats;
 pub mod time;
 
@@ -59,4 +63,5 @@ pub use fifo::FifoServer;
 pub use lane::{Lane, LaneQueue, Laned, LookaheadStats};
 pub use rng::RngFactory;
 pub use share::{ShareResource, TaskId};
+pub use span::{Hop, SpanChain};
 pub use time::{SimSpan, SimTime};

@@ -84,4 +84,30 @@ test -s "$SOAK_DIR/timeline.jsonl" || {
 cargo run -q --release --bin dosas-sim -- --check-obs "$SOAK_DIR"
 cargo test -q --test obs_determinism
 
+# Request-autopsy gate (DESIGN.md §14): the additivity/partition proptests
+# must hold on both executors, and the rendered attribution report for a
+# faulted scenario — the artifact `--autopsy` / `--explain` ship — must be
+# byte-identical between serial and parallel runs.
+cargo test -q --test property_autopsy
+for t in 2 8; do
+  DOSAS_EXEC=parallel DOSAS_THREADS=$t cargo test -q --test property_autopsy
+done
+AUT_SERIAL="$(mktemp)"
+AUT_PAR="$(mktemp)"
+trap 'rm -rf "$OBS_DIR" "$SOAK_DIR" "$AUT_SERIAL" "$AUT_PAR"' EXIT
+cargo run -q --release -p bench --bin scenario -- straggler --explain \
+    >"$AUT_SERIAL" 2>/dev/null
+DOSAS_EXEC=parallel DOSAS_THREADS=2 \
+    cargo run -q --release -p bench --bin scenario -- straggler --explain \
+    >"$AUT_PAR" 2>/dev/null
+cmp -s "$AUT_SERIAL" "$AUT_PAR" || {
+  echo "verify: autopsy report diverged between serial and parallel" >&2
+  diff "$AUT_SERIAL" "$AUT_PAR" | head >&2
+  exit 1
+}
+grep -q '^# request autopsy' "$AUT_SERIAL" || {
+  echo "verify: --explain produced no autopsy report" >&2
+  exit 1
+}
+
 echo "verify: OK"

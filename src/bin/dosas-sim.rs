@@ -23,6 +23,7 @@ struct Args {
     json: bool,
     trace: Option<String>,
     obs_out: Option<String>,
+    autopsy: Option<String>,
 }
 
 impl Default for Args {
@@ -38,6 +39,7 @@ impl Default for Args {
             json: false,
             trace: None,
             obs_out: None,
+            autopsy: None,
         }
     }
 }
@@ -60,8 +62,12 @@ OPTIONS:
     --json               emit one JSON object per scheme
     --trace <path>       write a chrome://tracing timeline (last scheme)
     --obs-out <dir>      enable observability and write metrics.prom,
-                         timeline.jsonl and trace.json into <dir>
+                         timeline.jsonl, trace.json and profile.json
+                         (executor counters) into <dir>
                          (last scheme; directory is created if absent)
+    --autopsy <dir>      enable per-request causal tracing and write the
+                         contention-attribution report (autopsy.txt,
+                         autopsy.json) into <dir> for each scheme
     --check-obs <dir>    validate a previously written --obs-out directory
                          (Prometheus snapshot parses, timeline round-trips
                          through serde) and exit
@@ -113,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--trace" => args.trace = Some(value("--trace")?),
             "--obs-out" => args.obs_out = Some(value("--obs-out")?),
+            "--autopsy" => args.autopsy = Some(value("--autopsy")?),
             "--check-obs" => {
                 let dir = value("--check-obs")?;
                 match check_obs_dir(&dir) {
@@ -212,8 +219,14 @@ fn main() {
         if args.obs_out.is_some() {
             cfg.obs = ObsConfig::enabled();
         }
+        cfg.autopsy = args.autopsy.is_some();
         let label = scheme_label(scheme);
-        let m = Driver::run(cfg, &workload);
+        let (m, profile) = if args.obs_out.is_some() {
+            let (m, p) = Driver::run_profiled(cfg, &workload, ExecMode::from_env());
+            (m, Some(p))
+        } else {
+            (Driver::run(cfg, &workload), None)
+        };
         if args.json {
             println!(
                 "{}",
@@ -256,17 +269,56 @@ fn main() {
             }
         }
         if let Some(dir) = &args.obs_out {
-            if let Err(e) = write_obs_dir(dir, &m, args.json) {
+            let profile = profile.as_ref().expect("profiled run under --obs-out");
+            if let Err(e) = write_obs_dir(dir, &m, profile, args.json) {
                 eprintln!("warning: could not write observability output to {dir}: {e}");
+            }
+        }
+        if let Some(dir) = &args.autopsy {
+            if let Err(e) = write_autopsy_dir(dir, label, &m, args.json) {
+                eprintln!("warning: could not write autopsy report to {dir}: {e}");
             }
         }
     }
 }
 
-/// Write the three observability artifacts — `metrics.prom` (Prometheus
-/// text exposition), `timeline.jsonl` (merged samples + events) and
-/// `trace.json` (chrome://tracing) — into `dir`.
-fn write_obs_dir(dir: &str, m: &RunMetrics, quiet: bool) -> std::io::Result<()> {
+/// Write the contention-attribution report for one scheme: `autopsy.txt`
+/// (the deterministic rendered report, byte-identical across executors) and
+/// `autopsy.json` (the full structured breakdown). Files are prefixed with
+/// the scheme label so a multi-scheme run keeps every report.
+fn write_autopsy_dir(dir: &str, label: &str, m: &RunMetrics, quiet: bool) -> std::io::Result<()> {
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir)?;
+    let report = m
+        .autopsy
+        .as_ref()
+        .expect("autopsy enabled by --autopsy, so the run carries a report");
+    let txt = dir.join(format!("{}-autopsy.txt", label.to_lowercase()));
+    let json = dir.join(format!("{}-autopsy.json", label.to_lowercase()));
+    std::fs::write(&txt, report.render(10))?;
+    std::fs::write(
+        &json,
+        serde_json::to_string_pretty(report).expect("autopsy serializes"),
+    )?;
+    if !quiet {
+        println!(
+            "          (autopsy written to {} and {})",
+            txt.display(),
+            json.display()
+        );
+    }
+    Ok(())
+}
+
+/// Write the observability artifacts — `metrics.prom` (Prometheus text
+/// exposition), `timeline.jsonl` (merged samples + events), `trace.json`
+/// (chrome://tracing) and `profile.json` (executor counters) — into `dir`.
+fn write_obs_dir(
+    dir: &str,
+    m: &RunMetrics,
+    profile: &ExecProfile,
+    quiet: bool,
+) -> std::io::Result<()> {
     let dir = std::path::Path::new(dir);
     std::fs::create_dir_all(dir)?;
     let report = m
@@ -280,9 +332,13 @@ fn write_obs_dir(dir: &str, m: &RunMetrics, quiet: bool) -> std::io::Result<()> 
         dir.join("trace.json"),
         dosas::driver::trace::to_chrome_json(trace),
     )?;
+    std::fs::write(
+        dir.join("profile.json"),
+        serde_json::to_string_pretty(profile).expect("profile serializes"),
+    )?;
     if !quiet {
         println!(
-            "          (observability written to {}/{{metrics.prom,timeline.jsonl,trace.json}})",
+            "          (observability written to {}/{{metrics.prom,timeline.jsonl,trace.json,profile.json}})",
             dir.display()
         );
     }
@@ -316,6 +372,13 @@ fn check_obs_dir(dir: &str) -> Result<(usize, usize), String> {
     let trace = std::fs::read_to_string(dir.join("trace.json"))
         .map_err(|e| format!("read trace.json: {e}"))?;
     serde_json::from_str::<serde_json::Value>(&trace).map_err(|e| format!("trace.json: {e}"))?;
+    let profile = std::fs::read_to_string(dir.join("profile.json"))
+        .map_err(|e| format!("read profile.json: {e}"))?;
+    let p: serde_json::Value =
+        serde_json::from_str(&profile).map_err(|e| format!("profile.json: {e}"))?;
+    if p.get("batches").is_none() {
+        return Err("profile.json: missing executor counters".into());
+    }
     Ok((samples, lines))
 }
 

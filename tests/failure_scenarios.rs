@@ -27,6 +27,7 @@ fn det(scheme: Scheme, fault_plan: FaultPlan) -> DriverConfig {
         fault_plan,
         slos: Vec::new(),
         obs: ObsConfig::default(),
+        autopsy: false,
     }
 }
 

@@ -14,6 +14,7 @@ fn det(scheme: Scheme) -> DriverConfig {
         fault_plan: FaultPlan::default(),
         slos: Vec::new(),
         obs: ObsConfig::default(),
+        autopsy: false,
     }
 }
 

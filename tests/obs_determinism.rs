@@ -40,6 +40,7 @@ fn obs_cfg(scheme: Scheme) -> DriverConfig {
         ),
         slos: Vec::new(),
         obs: ObsConfig::default(),
+        autopsy: false,
     };
     cfg.obs = ObsConfig::enabled();
     cfg

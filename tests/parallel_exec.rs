@@ -34,6 +34,7 @@ fn contended_cfg(scheme: Scheme, seed: u64) -> DriverConfig {
         ),
         slos: Vec::new(),
         obs: ObsConfig::default(),
+        autopsy: false,
     }
 }
 
