@@ -135,6 +135,42 @@ fn bench_fabric_churn(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_topology_churn(c: &mut Criterion) {
+    // The multi-hop graph fill: pod-local churn on a small fat-tree under
+    // the incremental fill vs the full-rescan baseline. A deliberately
+    // small point (k = 8, 128 hosts) — the acceptance-scale 1k/10k-host
+    // points live in bench_baseline's `topology` section, where each run
+    // happens once instead of per criterion sample.
+    use bench::topology_churn::{self, TopoPoint, OPS_PER_TICK, TICKS};
+    use cluster::FillMode;
+
+    let point = TopoPoint {
+        k: 8,
+        flows_per_host: 8,
+    };
+    let mut g = c.benchmark_group("topology_churn");
+    for (label, mode, ticks) in [
+        ("incremental", FillMode::Incremental, TICKS),
+        ("full_rescan", FillMode::FullRescan, 1),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, point.hosts()), &point, |b, p| {
+            b.iter(|| {
+                let (mut f, mut ids, pairs) = topology_churn::build(p);
+                f.set_fill_mode(mode);
+                black_box(topology_churn::run(
+                    p,
+                    &mut f,
+                    &mut ids,
+                    &pairs,
+                    ticks,
+                    OPS_PER_TICK,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_driver_exec_mode(c: &mut Criterion) {
     // End-to-end: contended DOSAS runs under both run loops (golden tests
     // prove the metrics bit-identical; this measures the dispatch cost).
@@ -214,6 +250,6 @@ criterion_group! {
 criterion_group! {
     name = churn;
     config = churn_quick();
-    targets = bench_fabric_churn
+    targets = bench_fabric_churn, bench_topology_churn
 }
 criterion_main!(benches, churn);

@@ -17,14 +17,23 @@
 //!    [`bench::fabric_churn`] under the incremental water-filling fill vs
 //!    the pre-incremental full-recompute baseline (`FillMode::FullRescan`),
 //!    at 64 / 1024 / 8192 flows.
-//! 4. `incremental_fabric` — stale-`NetTick` suppression and fill-reuse
+//! 4. `topology` — the fat-tree fill-scaling schedule of
+//!    [`bench::topology_churn`] at the acceptance points (k = 16 / 1 024
+//!    hosts and k = 34 / 9 826 hosts, the latter with 100k+ flows in
+//!    flight): seconds of fill work per churn event under the incremental
+//!    graph fill vs `FillMode::FullRescan`, and their ratio. The 10k-host
+//!    full rescan is measured over a single churn event — every mutation
+//!    re-fills all ~108k flows, so one event already costs two global
+//!    fills and more would only repeat the figure.
+//! 5. `incremental_fabric` — stale-`NetTick` suppression and fill-reuse
 //!    counters from an observability-enabled standard DOSAS run: the ticks
 //!    the incremental fabric proved redundant and never dispatched.
-//! 5. `scenarios` — the multi-tenant scenario suite of
+//! 6. `scenarios` — the multi-tenant scenario suite of
 //!    [`bench::scenarios`] (storm, straggler, join/leave, heterogeneous,
-//!    SLO, soak): events/sec per scenario plus the fairness outcome, so
-//!    the cost of the failure-rich multi-tenant regime is tracked.
-//! 6. `policies` — the policy arena of [`bench::policy_matrix`]: every
+//!    SLO, soak, open-loop burst, fat-tree): events/sec per scenario plus
+//!    the fairness outcome, so the cost of the failure-rich multi-tenant
+//!    regime is tracked.
+//! 7. `policies` — the policy arena of [`bench::policy_matrix`]: every
 //!    contention-control policy (`ce`, `restripe`, `token-bucket`, `pi`)
 //!    run against every scenario, recording makespan, bandwidth, Jain
 //!    fairness, SLO verdicts, demotions/interrupts and rate-cap activity
@@ -49,7 +58,7 @@
 //! Run via `scripts/bench.sh`, which regenerates the committed file at the
 //! repository root.
 
-use bench::{executor_scaling, fabric_churn};
+use bench::{executor_scaling, fabric_churn, topology_churn};
 use cluster::FillMode;
 use dosas::{Driver, DriverConfig, ExecMode, RunMetrics, Scheme, Workload};
 use kernels::KernelParams;
@@ -265,6 +274,64 @@ fn main() {
         })
         .collect();
 
+    eprintln!(
+        "timing topology_churn fat-tree fills (1k + 10k hosts; the 10k full \
+         rescan alone costs two global fills of ~108k flows)..."
+    );
+    let topology_points: Vec<serde_json::Value> = topology_churn::POINTS
+        .iter()
+        .map(|p| {
+            // At the 10k-host point one full-rescan churn event already
+            // pays two global fills (~minutes of fill work); measure a
+            // single event there and the usual one-tick burst elsewhere.
+            let big = p.hosts() > 2048;
+            let (full_ops, reps) = if big {
+                (1, 1)
+            } else {
+                (topology_churn::OPS_PER_TICK, 3)
+            };
+            let inc = topology_churn::churn_event_secs(
+                p,
+                FillMode::Incremental,
+                topology_churn::TICKS,
+                topology_churn::OPS_PER_TICK,
+                reps,
+            );
+            let full = topology_churn::churn_event_secs(p, FillMode::FullRescan, 1, full_ops, reps);
+            let c = topology_churn::incremental_counters(p, topology_churn::TICKS);
+            let ratio = full / inc;
+            if p.hosts() >= 9000 {
+                assert!(
+                    ratio >= 20.0,
+                    "acceptance: incremental fill must beat full rescan >= 20x \
+                     on the 10k-host churn bench (got {ratio:.1}x)"
+                );
+            }
+            eprintln!(
+                "  topology k={} ({} hosts, {} flows): inc {:.6}s/event  \
+                 full {:.4}s/event  ({ratio:.0}x)",
+                p.k,
+                p.hosts(),
+                p.flows(),
+                inc,
+                full,
+            );
+            serde_json::json!({
+                "k": p.k,
+                "hosts": p.hosts(),
+                "flows_in_flight": p.flows(),
+                "incremental_fill_secs_per_churn_event": inc,
+                "full_rescan_secs_per_churn_event": full,
+                "incremental_vs_full_ratio": ratio,
+                "full_rescan_events_measured": full_ops,
+                "churn_ops": c.churn_ops,
+                "fills": c.fills,
+                "flows_refilled": c.flows_refilled,
+                "flows_reused": c.flows_reused,
+            })
+        })
+        .collect();
+
     eprintln!("timing the multi-tenant scenario suite...");
     let scenario_points = scenario_section();
 
@@ -315,13 +382,24 @@ fn main() {
         "parallel": parallel_profile,
     });
     let lookahead_section = serde_json::json!({ "points": lookahead_points });
+    let topology_section = serde_json::json!({
+        "schedule": format!(
+            "{} ticks x {} same-tick intra-pod replace ops, one pod per tick, \
+             one completion query per tick (full rescan measured on a reduced \
+             schedule at the 10k-host point)",
+            topology_churn::TICKS,
+            topology_churn::OPS_PER_TICK,
+        ),
+        "points": topology_points,
+    });
     let report = serde_json::json!({
-        "schema": "dosas-bench-baseline/v6",
+        "schema": "dosas-bench-baseline/v7",
         "host_threads": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "tick_dispatch": tick_section,
         "driver": driver_section,
         "lookahead": lookahead_section,
         "fabric_churn": churn_section,
+        "topology": topology_section,
         "incremental_fabric": incremental_fabric,
         "scenarios": scenario_points,
         "policies": policy_section,
@@ -370,6 +448,21 @@ fn main() {
             p["full_rescan_secs"].as_f64().unwrap_or(f64::NAN),
             p["incremental_secs"].as_f64().unwrap_or(f64::NAN),
             p["speedup"].as_f64().unwrap_or(f64::NAN),
+        );
+    }
+    for p in report["topology"]["points"].as_array().unwrap() {
+        println!(
+            "  topology k={} ({} hosts, {} flows): inc {:.6}s/event  full {:.4}s/event  ({:.0}x)",
+            p["k"],
+            p["hosts"],
+            p["flows_in_flight"],
+            p["incremental_fill_secs_per_churn_event"]
+                .as_f64()
+                .unwrap_or(f64::NAN),
+            p["full_rescan_secs_per_churn_event"]
+                .as_f64()
+                .unwrap_or(f64::NAN),
+            p["incremental_vs_full_ratio"].as_f64().unwrap_or(f64::NAN),
         );
     }
     println!(

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p bench --bin scenario -- --list
 //! cargo run -p bench --bin scenario -- <name> [--policy <name>] [--matrix]
+//!                                             [--topology <star|tree[:D]|fat-tree:K>]
 //!                                             [--stream <file>] [--obs-out <dir>]
 //!                                             [--summary] [--explain]
 //! ```
@@ -20,7 +21,10 @@
 //! on disk (the soak scenario's mode of operation); `--obs-out <dir>`
 //! streams `timeline.jsonl` into `dir` the same way and adds
 //! `metrics.prom`, `trace.json` and `profile.json` at the end, producing
-//! a directory `dosas-sim --check-obs` accepts. The executor is environment-selected
+//! a directory `dosas-sim --check-obs` accepts. `--topology <spec>`
+//! re-wires the scenario's fabric (`star`, `tree[:arity]`, `fat-tree:k`)
+//! before running — `--matrix` respects the override, so the policy arena
+//! can be replayed on an oversubscribed tree. The executor is environment-selected
 //! as everywhere else: `DOSAS_EXEC=parallel` runs the sharded executor.
 
 use bench::{policy_matrix, scenarios};
@@ -29,11 +33,17 @@ use dosas::policy::PolicyConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: scenario --list | <name> [--policy <name>] [--matrix] \
+         [--topology <star|tree[:arity]|fat-tree:k>] \
          [--stream <file>] [--obs-out <dir>] [--summary] [--explain]"
     );
     eprintln!("scenarios:");
     for s in scenarios::all() {
-        eprintln!("  {:16} {}", s.name, s.summary);
+        eprintln!(
+            "  {:16} {:12} {}",
+            s.name,
+            s.cfg.cluster.topology.to_string(),
+            s.summary
+        );
     }
     eprintln!("policies: {}", PolicyConfig::all_names().join(", "));
     std::process::exit(2);
@@ -44,6 +54,7 @@ fn main() {
     let mut name: Option<String> = None;
     let mut policy: Option<String> = None;
     let mut matrix = false;
+    let mut topology: Option<String> = None;
     let mut stream: Option<String> = None;
     let mut obs_out: Option<String> = None;
     let mut summary_only = false;
@@ -53,13 +64,19 @@ fn main() {
         match a.as_str() {
             "--list" => {
                 for s in scenarios::all() {
-                    println!("{:16} {}", s.name, s.summary);
+                    println!(
+                        "{:16} {:12} {}",
+                        s.name,
+                        s.cfg.cluster.topology.to_string(),
+                        s.summary
+                    );
                 }
                 println!("policies: {}", PolicyConfig::all_names().join(", "));
                 return;
             }
             "--policy" => policy = Some(it.next().unwrap_or_else(|| usage())),
             "--matrix" => matrix = true,
+            "--topology" => topology = Some(it.next().unwrap_or_else(|| usage())),
             "--stream" => stream = Some(it.next().unwrap_or_else(|| usage())),
             "--obs-out" => obs_out = Some(it.next().unwrap_or_else(|| usage())),
             "--summary" => summary_only = true,
@@ -73,6 +90,20 @@ fn main() {
         eprintln!("unknown scenario {name:?}");
         usage();
     };
+    if let Some(t) = &topology {
+        let spec = match cluster::TopologySpec::parse(t) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("--topology: {e}");
+                std::process::exit(2);
+            }
+        };
+        s.cfg.cluster.topology = spec;
+        if let Err(e) = s.cfg.cluster.validate() {
+            eprintln!("--topology {t}: {e}");
+            std::process::exit(2);
+        }
+    }
     if matrix {
         let cells: Vec<_> = policy_matrix::policies()
             .iter()

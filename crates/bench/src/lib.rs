@@ -13,6 +13,7 @@ pub mod policy_matrix;
 pub mod report;
 pub mod scenarios;
 pub mod tickworld;
+pub mod topology_churn;
 
 pub use experiments::*;
 pub use report::{write_csv, Table};

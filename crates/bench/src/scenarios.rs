@@ -16,9 +16,9 @@
 //! storage ordinals are positions in the storage pool, with plain node id
 //! `compute_nodes + ordinal`.
 
-use cluster::ClusterConfig;
+use cluster::{ClusterConfig, TopologySpec};
 use dosas::config::TenantSlo;
-use dosas::{DriverConfig, OpRates, Scheme, Workload};
+use dosas::{DriverConfig, OpRates, OpenLoopSpec, Scheme, Workload};
 use kernels::KernelParams;
 use simkit::{FaultKind, FaultPlan, RngFactory, SimSpan, SimTime};
 
@@ -265,6 +265,55 @@ pub fn soak() -> Scenario {
     }
 }
 
+/// Open-loop Poisson burst well past the pool's service rate: arrivals
+/// pile up tens deep on two servers, so the run is queue-dominated rather
+/// than admission-dominated. Tenant 0 runs full-output Gaussian filters —
+/// its results ship at input size, so its traffic is network-heavy and
+/// per-tenant rate caps (token-bucket, PI) bind on real data flows.
+/// Capping it measurably moves makespan, which `tests/policy_arena.rs`
+/// locks in against the default CE policy.
+pub fn open_loop_burst() -> Scenario {
+    let full_gaussian = KernelParams {
+        width: Some(1024),
+        full_output: true,
+        ..KernelParams::default()
+    };
+    Scenario {
+        name: "open-loop-burst",
+        summary: "Poisson burst piles deep queues on 2 servers; rate caps bind",
+        cfg: base_cfg(2, FaultPlan::new(), vec![]),
+        workload: Workload::open_loop(&OpenLoopSpec {
+            arrival_rate: 60.0,
+            horizon: SimSpan::from_secs_f64(1.5),
+            max_requests: 256,
+            size_min: 4 * MIB,
+            size_max: 64 * MIB,
+            alpha: 1.3,
+            tenants: vec![
+                ("gaussian2d".into(), full_gaussian, 2.0),
+                ("sum".into(), KernelParams::default(), 1.0),
+            ],
+            storage_nodes: 2,
+            seed: 2012,
+        }),
+    }
+}
+
+/// Two tenants on a k=4 fat-tree: 8 compute hosts fill pods 0–1 and the
+/// 8 storage hosts fill pods 2–3, so every transfer crosses the core layer
+/// and flows share edge/aggregation/core links, not just host NICs. The
+/// golden pins the multi-hop max-min fill end to end.
+pub fn fat_tree() -> Scenario {
+    let mut cfg = base_cfg(8, FaultPlan::new(), vec![]);
+    cfg.cluster.topology = TopologySpec::FatTree { k: 4 };
+    Scenario {
+        name: "fat-tree",
+        summary: "two tenants on a k=4 fat-tree; all transfers cross core links",
+        cfg,
+        workload: two_tenant_workload(8, 4, 32),
+    }
+}
+
 /// Every scenario, in suite order.
 pub fn all() -> Vec<Scenario> {
     vec![
@@ -274,6 +323,8 @@ pub fn all() -> Vec<Scenario> {
         heterogeneous(),
         two_tenant_slo(),
         soak(),
+        open_loop_burst(),
+        fat_tree(),
     ]
 }
 
@@ -289,7 +340,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let scenarios = all();
-        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios.len(), 8);
         for s in &scenarios {
             assert_eq!(by_name(s.name).unwrap().name, s.name);
             assert!(
@@ -302,7 +353,7 @@ mod tests {
         let mut names: Vec<_> = scenarios.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6, "duplicate scenario name");
+        assert_eq!(names.len(), 8, "duplicate scenario name");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! measured bandwidth of 118 MB/s (varying 111–120 MB/s in practice), each
 //! storage node simulated with 2 cores.
 
+use crate::topology::TopologySpec;
 use crate::MIB;
 use serde::{Deserialize, Serialize};
 use simkit::SimSpan;
@@ -36,7 +37,14 @@ pub struct ClusterConfig {
     /// One-way network latency for control messages.
     pub net_latency: SimSpan,
     /// Aggregate switch capacity (bytes/second); `None` = non-blocking.
+    /// Only meaningful with the star topology (tree/fat-tree capacity
+    /// lives on their interior links).
     pub switch_bandwidth: Option<f64>,
+    /// Fabric wiring (star, aggregation tree, or fat-tree). Defaults to
+    /// the paper's single-switch star and is skipped when serializing it,
+    /// so pre-topology configs round-trip unchanged.
+    #[serde(default, skip_serializing_if = "TopologySpec::is_star")]
+    pub topology: TopologySpec,
     /// Disk streaming bandwidth per storage node, bytes/second.
     pub disk_bandwidth: f64,
     /// Fixed per-request disk overhead (seek + request handling).
@@ -66,6 +74,7 @@ impl Default for ClusterConfig {
             flow_bandwidth_jitter: Some((111.0 * MIB, 120.0 * MIB)),
             net_latency: SimSpan::from_micros(100),
             switch_bandwidth: None,
+            topology: TopologySpec::Star,
             disk_bandwidth: 1000.0 * MIB,
             disk_overhead: SimSpan::from_millis(5),
             storage_memory: 16.0 * 1024.0 * MIB,
@@ -131,7 +140,14 @@ impl ClusterConfig {
             if !(sw.is_finite() && sw > 0.0) {
                 return Err("switch_bandwidth must be positive".into());
             }
+            if !self.topology.is_star() {
+                return Err(format!(
+                    "switch_bandwidth only applies to the star topology, not {}",
+                    self.topology
+                ));
+            }
         }
+        self.topology.validate(self.total_nodes())?;
         if !(self.server_cache_bytes.is_finite() && self.server_cache_bytes >= 0.0) {
             return Err("server_cache_bytes must be >= 0".into());
         }
@@ -193,9 +209,71 @@ mod tests {
                 server_cache_bytes: -1.0,
                 ..Default::default()
             },
+            // Odd fat-tree k, a fat-tree too small for the cluster, a
+            // degenerate tree, and a switch cap on a non-star wiring.
+            ClusterConfig {
+                topology: TopologySpec::FatTree { k: 3 },
+                ..Default::default()
+            },
+            ClusterConfig {
+                topology: TopologySpec::FatTree { k: 2 },
+                ..Default::default()
+            },
+            ClusterConfig {
+                topology: TopologySpec::Tree { arity: 1 },
+                ..Default::default()
+            },
+            ClusterConfig {
+                topology: TopologySpec::Tree { arity: 3 },
+                switch_bandwidth: Some(100.0 * MIB),
+                ..Default::default()
+            },
         ];
         for c in bad {
             assert!(c.validate().is_err(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn topology_field_defaults_to_star_and_roundtrips() {
+        let c = ClusterConfig::default();
+        assert!(c.topology.is_star());
+        // Star serializes exactly as before the field existed…
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(!json.contains("topology"), "{json}");
+        // …and non-star wirings survive a round trip.
+        let ft = ClusterConfig {
+            topology: TopologySpec::FatTree { k: 4 },
+            storage_nodes: 8,
+            ..Default::default()
+        };
+        ft.validate().unwrap();
+        let back: ClusterConfig =
+            serde_json::from_str(&serde_json::to_string(&ft).unwrap()).unwrap();
+        assert_eq!(back.topology, ft.topology);
+    }
+
+    #[test]
+    fn topology_spec_parses_cli_spellings() {
+        assert_eq!(TopologySpec::parse("star").unwrap(), TopologySpec::Star);
+        assert_eq!(
+            TopologySpec::parse("tree").unwrap(),
+            TopologySpec::Tree { arity: 4 }
+        );
+        assert_eq!(
+            TopologySpec::parse("tree:8").unwrap(),
+            TopologySpec::Tree { arity: 8 }
+        );
+        assert_eq!(
+            TopologySpec::parse("fat-tree:4").unwrap(),
+            TopologySpec::FatTree { k: 4 }
+        );
+        assert_eq!(
+            TopologySpec::parse("fat-tree:4").unwrap().to_string(),
+            "fat-tree:4"
+        );
+        for bad in ["mesh", "star:2", "fat-tree", "tree:x"] {
+            assert!(TopologySpec::parse(bad).is_err(), "{bad}");
         }
     }
 

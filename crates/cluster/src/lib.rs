@@ -9,9 +9,12 @@
 //! * [`cpu`] — multi-core CPU with processor-sharing among tasks, expressed
 //!   in *core-seconds* so kernels with different per-op rates mix naturally.
 //! * [`disk`] — FIFO disk with per-request overhead plus bandwidth.
-//! * [`net`] — star-topology fabric with global max-min fair bandwidth
-//!   allocation and per-flow bandwidth jitter (the paper's 111–120 MB/s).
-//! * [`topology`] — assembles per-node resources into a [`ClusterState`].
+//! * [`net`] — multi-hop fabric with global max-min fair bandwidth
+//!   allocation over per-flow routes and per-flow bandwidth jitter (the
+//!   paper's 111–120 MB/s).
+//! * [`topology`] — fabric wirings (star / tree / fat-tree) with
+//!   deterministic routing, and assembly of per-node resources into a
+//!   [`ClusterState`].
 //!
 //! None of these components schedules simulation events itself; each exposes
 //! `next_*` time queries plus an epoch, and the simulation driver (in the
@@ -30,7 +33,7 @@ pub use cpu::Cpu;
 pub use disk::Disk;
 pub use net::{Fabric, FillMode, FlowCompletion, FlowId, NetFillCounters};
 pub use node::{NodeId, NodeRole};
-pub use topology::ClusterState;
+pub use topology::{ClusterState, Topology, TopologySpec};
 
 // Per-server resources are plain data with no interior mutability, which is
 // what lets `ParallelSimulation` hand disjoint `&mut Disk` / `&mut Cpu`

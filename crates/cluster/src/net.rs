@@ -1,11 +1,17 @@
-//! Star-topology network fabric with global max-min fair bandwidth sharing.
+//! Multi-hop network fabric with global max-min fair bandwidth sharing.
 //!
-//! Every node hangs off one logical switch through a full-duplex link: a flow
-//! from `src` to `dst` consumes `src`'s transmit link, `dst`'s receive link,
-//! and (optionally) the switch core. Rates are assigned by **progressive
-//! filling**: all unfrozen flows grow at the same rate until a link (or a
-//! per-flow cap) saturates, the flows it constrains freeze, and the rest keep
-//! growing. This converges to the unique max-min fair allocation.
+//! The fabric is a graph of capacity-weighted links described by a
+//! [`Topology`]: every host owns a full-duplex access pair (tx link `2n`,
+//! rx link `2n + 1`), and tree / fat-tree topologies add interior links
+//! with ids `≥ 2·hosts`. A flow from `src` to `dst` follows its
+//! deterministic multi-hop route — `[tx(src), interior…, rx(dst)]`, plus
+//! the star's switch core when that is capped — and consumes capacity on
+//! every link of the route. Rates are assigned by **progressive filling**
+//! over the route link sets: all unfrozen flows grow at the same rate until
+//! a link (or a per-flow cap) saturates, the flows it constrains freeze,
+//! and the rest keep growing. This converges to the unique max-min fair
+//! allocation. With the star topology this reduces bit-for-bit to the
+//! original per-node-uplink fill.
 //!
 //! Per-flow rate caps model end-to-end bandwidth variability: the paper
 //! measured its GigE at 118 MB/s nominal but 111–120 MB/s in practice; the
@@ -37,6 +43,7 @@
 //! `next_completion` + `epoch`.
 
 use crate::node::NodeId;
+use crate::topology::Topology;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use simkit::{SimSpan, SimTime};
@@ -62,6 +69,10 @@ struct Flow {
     policy_cap: f64,
     /// Generation of this flow's live heap entry (`u64::MAX` = none).
     gen: u64,
+    /// The deterministic route: every link id this flow occupies, computed
+    /// once at [`Fabric::start_flow`]. Always `[tx(src), …, rx(dst)]`
+    /// (with the star's capped switch core appended); links are distinct.
+    route: Vec<u32>,
 }
 
 impl Flow {
@@ -118,17 +129,25 @@ pub struct NetFillCounters {
 /// The cluster interconnect.
 #[derive(Debug, Clone)]
 pub struct Fabric {
-    tx_capacity: Vec<f64>,
-    rx_capacity: Vec<f64>,
+    topo: Topology,
+    /// Sampled capacity of every link. Host access links (tx `2n`,
+    /// rx `2n + 1`) draw from the jitter range; interior links carry
+    /// `link_bw × scale`, unjittered (aggregation trunking averages out
+    /// per-cable variation).
+    link_capacity: Vec<f64>,
     // Per-node degradation in [0, 1] (injected faults); scales both
-    // directions of the node's link. Base capacities stay untouched so
-    // recovery restores the exact sampled bandwidth.
+    // directions of the node's access link. Base capacities stay untouched
+    // so recovery restores the exact sampled bandwidth.
     link_factor: Vec<f64>,
     // Cluster membership: an offline node's links carry nothing (elastic
     // leave/join). Kept separate from `link_factor` so a fault-degraded
     // factor survives a leave/rejoin cycle unchanged.
     online: Vec<bool>,
     switch_capacity: Option<f64>,
+    /// Link id of the star's aggregate switch core; `Some` only when the
+    /// topology is a star *and* the switch is capped (an uncapped core
+    /// constrains nothing, so it never appears on routes).
+    switch_slot: Option<usize>,
     latency: SimSpan,
     jitter: Option<(f64, f64)>,
     rng: ChaCha8Rng,
@@ -140,7 +159,8 @@ pub struct Fabric {
     /// True when a mutation has invalidated `rate` fields and the heap.
     dirty: bool,
     /// Link ids touched since the last fill (tx n → 2n, rx n → 2n+1,
-    /// switch → 2·nodes). Bounds the incremental pass to their components.
+    /// interior/switch ≥ 2·hosts). Bounds the incremental pass to their
+    /// components.
     dirty_links: BTreeSet<usize>,
     /// Min-heap of projected completions `(done_at, generation, id)`.
     /// `done_at` is invariant under [`advance`](Fabric::advance) at constant
@@ -152,35 +172,75 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// A fabric for `nodes` nodes with per-link bandwidth `link_bw`
-    /// (bytes/second, each direction).
+    /// A star fabric for `nodes` nodes with per-link bandwidth `link_bw`
+    /// (bytes/second, each direction). Equivalent to
+    /// [`Fabric::with_topology`] over [`Topology::star`].
     pub fn new(
         nodes: usize,
         link_bw: f64,
         switch_capacity: Option<f64>,
         latency: SimSpan,
         jitter: Option<(f64, f64)>,
+        rng: ChaCha8Rng,
+    ) -> Self {
+        Self::with_topology(
+            Topology::star(nodes),
+            link_bw,
+            switch_capacity,
+            latency,
+            jitter,
+            rng,
+        )
+    }
+
+    /// A fabric wired by `topo`, with host access-link bandwidth `link_bw`
+    /// (bytes/second, each direction). Interior links carry `link_bw`
+    /// scaled by the topology's per-link capacity weights.
+    pub fn with_topology(
+        topo: Topology,
+        link_bw: f64,
+        switch_capacity: Option<f64>,
+        latency: SimSpan,
+        jitter: Option<(f64, f64)>,
         mut rng: ChaCha8Rng,
     ) -> Self {
-        assert!(nodes > 0);
+        let hosts = topo.hosts();
+        assert!(hosts > 0);
         assert!(link_bw.is_finite() && link_bw > 0.0);
+        assert!(
+            switch_capacity.is_none() || topo.spec().is_star(),
+            "switch_bandwidth models the star's aggregate core; \
+             tree/fat-tree capacity lives on interior links"
+        );
         // The paper measured its nominal-118 MB/s GigE at 111–120 MB/s
         // "depending on the system and network environment": the variation
         // affects the shared path, not just individual connections. Model
-        // it by sampling every link's capacity from the jitter range once
-        // per run (per-flow caps below add connection-level variation).
+        // it by sampling every host link's capacity from the jitter range
+        // once per run (per-flow caps below add connection-level
+        // variation). Draw order — all tx, then all rx — is byte-identical
+        // to the original star fabric, keeping every golden stable.
         let sample_link = |rng: &mut ChaCha8Rng| match jitter {
             Some((lo, hi)) => rng.random_range(lo..=hi),
             None => link_bw,
         };
-        let tx_capacity = (0..nodes).map(|_| sample_link(&mut rng)).collect();
-        let rx_capacity = (0..nodes).map(|_| sample_link(&mut rng)).collect();
+        let mut link_capacity = vec![0.0; topo.num_links()];
+        for n in 0..hosts {
+            link_capacity[2 * n] = sample_link(&mut rng);
+        }
+        for n in 0..hosts {
+            link_capacity[2 * n + 1] = sample_link(&mut rng);
+        }
+        for (i, &scale) in topo.interior_scales().iter().enumerate() {
+            link_capacity[2 * hosts + i] = link_bw * scale;
+        }
+        let switch_slot = switch_capacity.is_some().then_some(2 * hosts);
         Fabric {
-            tx_capacity,
-            rx_capacity,
-            link_factor: vec![1.0; nodes],
-            online: vec![true; nodes],
+            topo,
+            link_capacity,
+            link_factor: vec![1.0; hosts],
+            online: vec![true; hosts],
             switch_capacity,
+            switch_slot,
             latency,
             jitter,
             rng,
@@ -227,6 +287,16 @@ impl Fabric {
         self.counters
     }
 
+    /// The topology wiring this fabric.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of hosts hanging off the fabric.
+    pub fn hosts(&self) -> usize {
+        self.topo.hosts()
+    }
+
     /// Link id of node `n`'s transmit side.
     fn tx_link(n: usize) -> usize {
         2 * n
@@ -235,11 +305,6 @@ impl Fabric {
     /// Link id of node `n`'s receive side.
     fn rx_link(n: usize) -> usize {
         2 * n + 1
-    }
-
-    /// Link id of the switch core (only meaningful when capped).
-    fn switch_link(&self) -> usize {
-        2 * self.tx_capacity.len()
     }
 
     /// Degrade (or restore) node `n`'s link bandwidth, both directions, to
@@ -293,53 +358,44 @@ impl Fabric {
         if !self.online[n] {
             return 0.0;
         }
-        self.tx_capacity[n] * self.link_factor[n]
+        self.link_capacity[Self::tx_link(n)] * self.link_factor[n]
     }
 
     fn eff_rx(&self, n: usize) -> f64 {
         if !self.online[n] {
             return 0.0;
         }
-        self.rx_capacity[n] * self.link_factor[n]
+        self.link_capacity[Self::rx_link(n)] * self.link_factor[n]
     }
 
-    /// Effective capacity of a link id (`tx`/`rx`/switch).
+    /// Effective capacity of a link id (host access / interior / switch).
     fn eff_link(&self, link: usize) -> f64 {
-        if link == self.switch_link() {
-            self.switch_capacity.unwrap_or(f64::INFINITY)
-        } else if link.is_multiple_of(2) {
-            self.eff_tx(link / 2)
+        if Some(link) == self.switch_slot {
+            self.switch_capacity.expect("switch slot implies a cap")
+        } else if link < 2 * self.hosts() {
+            if link.is_multiple_of(2) {
+                self.eff_tx(link / 2)
+            } else {
+                self.eff_rx(link / 2)
+            }
         } else {
-            self.eff_rx(link / 2)
+            self.link_capacity[link]
         }
     }
 
-    /// The link ids flow `f` occupies.
-    fn flow_links(&self, f: &Flow) -> [Option<usize>; 3] {
-        [
-            Some(Self::tx_link(f.src.0)),
-            Some(Self::rx_link(f.dst.0)),
-            self.switch_capacity
-                .is_some()
-                .then_some(2 * self.tx_capacity.len()),
-        ]
-    }
-
-    /// Mark every link of `f` dirty (the flow's component must be refilled).
-    fn mark_flow_dirty(&mut self, src: NodeId, dst: NodeId) {
-        self.dirty_links.insert(Self::tx_link(src.0));
-        self.dirty_links.insert(Self::rx_link(dst.0));
-        if self.switch_capacity.is_some() {
-            let sw = self.switch_link();
-            self.dirty_links.insert(sw);
+    /// Mark every link of a route dirty (the flow's component must be
+    /// refilled).
+    fn mark_route_dirty(&mut self, route: &[u32]) {
+        for &link in route {
+            self.dirty_links.insert(link as usize);
         }
     }
 
     /// Start a transfer of `bytes` from `src` to `dst`.
     pub fn start_flow(&mut self, now: SimTime, src: NodeId, dst: NodeId, bytes: f64) -> FlowId {
         assert!(bytes >= 0.0);
-        assert!(src.0 < self.tx_capacity.len(), "unknown src {src}");
-        assert!(dst.0 < self.rx_capacity.len(), "unknown dst {dst}");
+        assert!(src.0 < self.hosts(), "unknown src {src}");
+        assert!(dst.0 < self.hosts(), "unknown dst {dst}");
         assert_ne!(
             src, dst,
             "loopback transfers are free; model them as zero-cost"
@@ -349,8 +405,13 @@ impl Fabric {
             Some((lo, hi)) => self.rng.random_range(lo..=hi),
             None => f64::INFINITY,
         };
+        let mut route = self.topo.route_links(src.0, dst.0);
+        if let Some(sw) = self.switch_slot {
+            route.push(sw as u32);
+        }
         let id = FlowId(self.next_id);
         self.next_id += 1;
+        self.mark_route_dirty(&route);
         self.flows.insert(
             id,
             Flow {
@@ -362,9 +423,9 @@ impl Fabric {
                 cap,
                 policy_cap: f64::INFINITY,
                 gen: u64::MAX,
+                route,
             },
         );
-        self.mark_flow_dirty(src, dst);
         self.bump();
         id
     }
@@ -389,8 +450,8 @@ impl Fabric {
         self.advance(now);
         let f = self.flows.get_mut(&id).expect("flow checked above");
         f.policy_cap = cap;
-        let (src, dst) = (f.src, f.dst);
-        self.mark_flow_dirty(src, dst);
+        let route = f.route.clone();
+        self.mark_route_dirty(&route);
         self.bump();
         true
     }
@@ -404,7 +465,7 @@ impl Fabric {
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<CancelledFlow> {
         self.advance(now);
         let f = self.flows.remove(&id)?;
-        self.mark_flow_dirty(f.src, f.dst);
+        self.mark_route_dirty(&f.route);
         self.bump();
         let progress = if f.total > 0.0 {
             ((f.total - f.remaining) / f.total).clamp(0.0, 1.0)
@@ -483,7 +544,7 @@ impl Fabric {
         for id in done {
             let f = self.flows.remove(&id).expect("listed flow exists");
             self.bytes_delivered += f.total;
-            self.mark_flow_dirty(f.src, f.dst);
+            self.mark_route_dirty(&f.route);
             out.push(FlowCompletion {
                 id,
                 src: f.src,
@@ -588,11 +649,14 @@ impl Fabric {
         }
 
         // Union links into components via the current flow set; a component
-        // needs refilling iff it contains a dirtied link.
-        let mut uf = UnionFind::new(self.switch_link() + 1);
+        // needs refilling iff it contains a dirtied link. The `+ 1` spare
+        // slot covers the star's (possibly uncapped, hence routeless)
+        // switch core id `2·hosts`.
+        let mut uf = UnionFind::new(self.topo.num_links() + 1);
         for f in self.flows.values() {
-            for link in self.flow_links(f).into_iter().flatten() {
-                uf.union(Self::tx_link(f.src.0), link);
+            let first = f.route[0] as usize;
+            for &link in &f.route {
+                uf.union(first, link as usize);
             }
         }
         let dirty_roots: BTreeSet<usize> = self.dirty_links.iter().map(|&l| uf.find(l)).collect();
@@ -601,7 +665,7 @@ impl Fabric {
         let refill: Vec<FlowId> = self
             .flows
             .iter()
-            .filter(|(_, f)| dirty_roots.contains(&uf.find(Self::tx_link(f.src.0))))
+            .filter(|(_, f)| dirty_roots.contains(&uf.find(f.route[0] as usize)))
             .map(|(&id, _)| id)
             .collect();
         self.counters.flows_refilled += refill.len() as u64;
@@ -668,78 +732,101 @@ impl Fabric {
     /// long as `ids` is a union of whole components — flows outside `ids`
     /// then share no link with flows inside, so the restricted residuals
     /// equal the global ones. Pure: returns the rates without applying them.
+    ///
+    /// Hot path: components reach 10⁵ flows on the large fat-tree points,
+    /// so per-round state lives in dense link-indexed arrays instead of
+    /// ordered maps. Every floating-point operation runs in the same order
+    /// as the original map-based formulation — residual subtraction walks
+    /// flows in ascending `FlowId`, the growth limit folds links in
+    /// ascending link id — so the result is bitwise identical (the debug
+    /// oracle and the star proptests pin this).
     fn fill_subset(&self, ids: &[FlowId]) -> Vec<(FlowId, f64)> {
         if ids.is_empty() {
             return Vec::new();
         }
-        let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
-        let mut unfrozen: Vec<FlowId> = ids.to_vec();
+        // Ascending FlowId, so position order == FlowId order below.
+        let mut sorted: Vec<FlowId> = ids.to_vec();
+        sorted.sort_unstable();
+        let flows: Vec<&Flow> = sorted.iter().map(|id| &self.flows[id]).collect();
+        let caps: Vec<f64> = flows.iter().map(|f| f.eff_cap()).collect();
+        let mut touched: Vec<usize> = flows
+            .iter()
+            .flat_map(|f| f.route.iter().map(|&l| l as usize))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let width = touched.last().map_or(0, |&l| l + 1);
+        let mut res: Vec<f64> = vec![0.0; width];
+        let mut cnt: Vec<u32> = vec![0; width];
+
+        let n = sorted.len();
+        let mut frozen_rate: Vec<Option<f64>> = vec![None; n];
+        let mut unfrozen: Vec<usize> = (0..n).collect();
 
         // Iterations bounded by number of constraints (links + flows + 1).
         while !unfrozen.is_empty() {
-            // Per-link residual capacity and unfrozen-flow count, over the
-            // links the subset actually touches (id-ordered for determinism).
-            let mut links: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
-            for id in frozen.keys().chain(unfrozen.iter()) {
-                let f = &self.flows[id];
-                for link in self.flow_links(f).into_iter().flatten() {
-                    links
-                        .entry(link)
-                        .or_insert_with(|| (self.eff_link(link), 0));
+            // Per-link residual capacity and unfrozen-flow count. Residuals
+            // are re-derived from scratch each round — frozen rates subtract
+            // in FlowId order, keeping the rounding history identical no
+            // matter which round froze a flow.
+            for &l in &touched {
+                res[l] = self.eff_link(l);
+                cnt[l] = 0;
+            }
+            for (i, f) in flows.iter().enumerate() {
+                if let Some(rate) = frozen_rate[i] {
+                    for &link in &f.route {
+                        res[link as usize] -= rate;
+                    }
                 }
             }
-            for (id, &rate) in &frozen {
-                let f = &self.flows[id];
-                for link in self.flow_links(f).into_iter().flatten() {
-                    links.get_mut(&link).expect("seeded above").0 -= rate;
-                }
-            }
-            for id in &unfrozen {
-                let f = &self.flows[id];
-                for link in self.flow_links(f).into_iter().flatten() {
-                    links.get_mut(&link).expect("seeded above").1 += 1;
+            for &i in &unfrozen {
+                for &link in &flows[i].route {
+                    cnt[link as usize] += 1;
                 }
             }
 
             // The common growth limit.
             let mut limit = f64::INFINITY;
-            for &(res, cnt) in links.values() {
-                if cnt > 0 && res.is_finite() {
-                    limit = limit.min(res.max(0.0) / cnt as f64);
+            for &l in &touched {
+                if cnt[l] > 0 && res[l].is_finite() {
+                    limit = limit.min(res[l].max(0.0) / cnt[l] as f64);
                 }
             }
             let min_cap = unfrozen
                 .iter()
-                .map(|id| self.flows[id].eff_cap())
+                .map(|&i| caps[i])
                 .fold(f64::INFINITY, f64::min);
             let r = limit.min(min_cap);
 
             // Freeze every flow whose constraint binds at r.
             let eps = 1e-9 * r.max(1.0);
-            let mut newly_frozen = Vec::new();
-            for id in &unfrozen {
-                let f = &self.flows[id];
-                let cap_binds = f.eff_cap() <= r + eps;
-                let link_binds = self.flow_links(f).into_iter().flatten().any(|link| {
-                    let (res, cnt) = links[&link];
-                    res.is_finite() && cnt as f64 * r >= res.max(0.0) - eps
+            let mut froze_any = false;
+            for &i in &unfrozen {
+                let cap_binds = caps[i] <= r + eps;
+                let link_binds = flows[i].route.iter().any(|&link| {
+                    let l = link as usize;
+                    res[l].is_finite() && cnt[l] as f64 * r >= res[l].max(0.0) - eps
                 });
                 if cap_binds || link_binds {
-                    newly_frozen.push(*id);
+                    frozen_rate[i] = Some(caps[i].min(r));
+                    froze_any = true;
                 }
             }
             // Safety: always make progress.
-            if newly_frozen.is_empty() {
-                newly_frozen = unfrozen.clone();
+            if !froze_any {
+                for &i in &unfrozen {
+                    frozen_rate[i] = Some(caps[i].min(r));
+                }
             }
-            for id in newly_frozen {
-                let rate = self.flows[&id].eff_cap().min(r);
-                frozen.insert(id, rate);
-                unfrozen.retain(|x| *x != id);
-            }
+            unfrozen.retain(|&i| frozen_rate[i].is_none());
         }
 
-        frozen.into_iter().collect()
+        sorted
+            .into_iter()
+            .zip(frozen_rate)
+            .map(|(id, rate)| (id, rate.expect("all flows frozen")))
+            .collect()
     }
 }
 
@@ -1175,6 +1262,252 @@ mod proptests {
             let expect = nflows as f64 * bytes / bw;
             prop_assert!((t.as_secs_f64() - expect).abs() < 1e-6 * expect.max(1.0));
             prop_assert_eq!(f.take_completed(t).len(), nflows);
+        });
+    }
+
+    /// Faithful reimplementation of the *pre-topology* star fabric's
+    /// progressive fill: per-node tx/rx capacity arrays, link ids
+    /// tx = 2n / rx = 2n+1 / switch = 2·nodes, and the exact arithmetic
+    /// order of the original `fill_subset`. Used as a from-scratch bitwise
+    /// oracle for the topology-backed star builder.
+    struct LegacyStar {
+        nodes: usize,
+        bw: f64,
+        factor: Vec<f64>,
+        online: Vec<bool>,
+        switch: Option<f64>,
+        /// FlowId → (src, dst, effective cap).
+        flows: BTreeMap<FlowId, (usize, usize, f64)>,
+    }
+
+    impl LegacyStar {
+        fn new(nodes: usize, bw: f64, switch: Option<f64>) -> Self {
+            LegacyStar {
+                nodes,
+                bw,
+                factor: vec![1.0; nodes],
+                online: vec![true; nodes],
+                switch,
+                flows: BTreeMap::new(),
+            }
+        }
+
+        fn eff_link(&self, link: usize) -> f64 {
+            if link == 2 * self.nodes {
+                return self.switch.unwrap_or(f64::INFINITY);
+            }
+            let n = link / 2;
+            if !self.online[n] {
+                return 0.0;
+            }
+            self.bw * self.factor[n]
+        }
+
+        fn links(&self, src: usize, dst: usize) -> Vec<usize> {
+            let mut v = vec![2 * src, 2 * dst + 1];
+            if self.switch.is_some() {
+                v.push(2 * self.nodes);
+            }
+            v
+        }
+
+        /// The original global progressive fill, verbatim arithmetic.
+        fn fill(&self) -> BTreeMap<FlowId, f64> {
+            let mut frozen: BTreeMap<FlowId, f64> = BTreeMap::new();
+            let mut unfrozen: Vec<FlowId> = self.flows.keys().copied().collect();
+            while !unfrozen.is_empty() {
+                let mut links: BTreeMap<usize, (f64, usize)> = BTreeMap::new();
+                for id in frozen.keys().chain(unfrozen.iter()) {
+                    let &(s, d, _) = &self.flows[id];
+                    for link in self.links(s, d) {
+                        links
+                            .entry(link)
+                            .or_insert_with(|| (self.eff_link(link), 0));
+                    }
+                }
+                for (id, &rate) in &frozen {
+                    let &(s, d, _) = &self.flows[id];
+                    for link in self.links(s, d) {
+                        links.get_mut(&link).unwrap().0 -= rate;
+                    }
+                }
+                for id in &unfrozen {
+                    let &(s, d, _) = &self.flows[id];
+                    for link in self.links(s, d) {
+                        links.get_mut(&link).unwrap().1 += 1;
+                    }
+                }
+                let mut limit = f64::INFINITY;
+                for &(res, cnt) in links.values() {
+                    if cnt > 0 && res.is_finite() {
+                        limit = limit.min(res.max(0.0) / cnt as f64);
+                    }
+                }
+                let min_cap = unfrozen
+                    .iter()
+                    .map(|id| self.flows[id].2)
+                    .fold(f64::INFINITY, f64::min);
+                let r = limit.min(min_cap);
+                let eps = 1e-9 * r.max(1.0);
+                let mut newly_frozen = Vec::new();
+                for id in &unfrozen {
+                    let &(s, d, cap) = &self.flows[id];
+                    let cap_binds = cap <= r + eps;
+                    let link_binds = self.links(s, d).into_iter().any(|link| {
+                        let (res, cnt) = links[&link];
+                        res.is_finite() && cnt as f64 * r >= res.max(0.0) - eps
+                    });
+                    if cap_binds || link_binds {
+                        newly_frozen.push(*id);
+                    }
+                }
+                if newly_frozen.is_empty() {
+                    newly_frozen = unfrozen.clone();
+                }
+                for id in newly_frozen {
+                    let rate = self.flows[&id].2.min(r);
+                    frozen.insert(id, rate);
+                    unfrozen.retain(|x| *x != id);
+                }
+            }
+            frozen
+        }
+    }
+
+    /// Topology-gate oracle: the star built through the topology layer
+    /// (multi-hop routes, per-route fill) must reproduce the ORIGINAL star
+    /// fill bit for bit across random churn schedules — flow add/cancel,
+    /// link degradation, membership churn, and policy caps.
+    #[test]
+    fn star_topology_fill_matches_legacy_star() {
+        // Op encoding: kind 0 start, 1 cancel, 2 set_link_factor,
+        // 3 set_node_online, 4 set_flow_cap.
+        let op = || {
+            (
+                0u8..5,
+                0usize..8,
+                0usize..8,
+                1.0f64..1e9,
+                0.0f64..1.0,
+                0usize..64,
+            )
+        };
+        proptest!(|(batches in collection::vec(
+                        (collection::vec(op(), 1..10), 0.0f64..0.2),
+                        1..10),
+                    capped_switch in 0u8..2)| {
+            let bw = 100.0;
+            let switch = (capped_switch == 1).then_some(350.0);
+            let mut f = Fabric::new(8, bw, switch, SimSpan::ZERO, None,
+                RngFactory::new(23).stream("legacy"));
+            let mut oracle = LegacyStar::new(8, bw, switch);
+            let mut now = SimTime::ZERO;
+            let mut live: Vec<FlowId> = Vec::new();
+            for (ops, dt) in batches {
+                now += SimSpan::from_secs_f64(dt);
+                for (kind, s, d, bytes, x, victim) in ops {
+                    match kind {
+                        0 if s != d => {
+                            let id = f.start_flow(now, NodeId(s), NodeId(d), bytes);
+                            oracle.flows.insert(id, (s, d, f64::INFINITY));
+                            live.push(id);
+                        }
+                        1 if !live.is_empty() => {
+                            let id = live.remove(victim % live.len());
+                            f.cancel_flow(now, id);
+                            oracle.flows.remove(&id);
+                        }
+                        2 => {
+                            let factor = (x * 4.0).round() / 4.0;
+                            f.set_link_factor(now, NodeId(s), factor);
+                            oracle.factor[s] = factor;
+                        }
+                        3 => {
+                            f.set_node_online(now, NodeId(s), x >= 0.5);
+                            oracle.online[s] = x >= 0.5;
+                        }
+                        4 if !live.is_empty() => {
+                            let id = live[victim % live.len()];
+                            let cap = 10.0 + (x * 8.0).round() * 10.0;
+                            f.set_flow_cap(now, id, cap);
+                            oracle.flows.get_mut(&id).unwrap().2 = cap;
+                        }
+                        _ => {}
+                    }
+                }
+                for done in f.take_completed(now) {
+                    oracle.flows.remove(&done.id);
+                    live.retain(|&id| id != done.id);
+                }
+                let rates = oracle.fill();
+                for &id in &live {
+                    let got = f.rate_of(id).unwrap();
+                    let want = rates[&id];
+                    prop_assert_eq!(got.to_bits(), want.to_bits(),
+                        "flow {:?}: topology star {} vs legacy {}", id, got, want);
+                }
+            }
+        });
+    }
+
+    /// The PR-5 incremental oracle generalized to a graph topology: on a
+    /// k=4 fat-tree, batched churn under the incremental dirty-component
+    /// fill must stay bit-identical to eager FullRescan.
+    #[test]
+    fn fat_tree_incremental_fill_matches_full_rescan() {
+        let op = || {
+            (
+                0u8..3,
+                0usize..16,
+                0usize..16,
+                1.0f64..1e6,
+                0.0f64..1.0,
+                0usize..64,
+            )
+        };
+        proptest!(|(batches in collection::vec(
+                        (collection::vec(op(), 1..10), 0.0f64..0.2),
+                        1..8))| {
+            let mk = || Fabric::with_topology(
+                Topology::fat_tree(4, 16), 100.0, None, SimSpan::ZERO, None,
+                RngFactory::new(31).stream("ft"));
+            let mut inc = mk();
+            let mut full = mk();
+            full.set_fill_mode(FillMode::FullRescan);
+            let mut now = SimTime::ZERO;
+            let mut live: Vec<(FlowId, FlowId)> = Vec::new();
+            for (ops, dt) in batches {
+                now += SimSpan::from_secs_f64(dt);
+                for (kind, s, d, bytes, factor, victim) in ops {
+                    match kind {
+                        0 if s != d => {
+                            let a = inc.start_flow(now, NodeId(s), NodeId(d), bytes);
+                            let b = full.start_flow(now, NodeId(s), NodeId(d), bytes);
+                            live.push((a, b));
+                        }
+                        1 if !live.is_empty() => {
+                            let (a, b) = live.remove(victim % live.len());
+                            prop_assert_eq!(inc.cancel_flow(now, a),
+                                            full.cancel_flow(now, b));
+                        }
+                        2 => {
+                            let f = (factor * 4.0).round() / 4.0;
+                            inc.set_link_factor(now, NodeId(s), f);
+                            full.set_link_factor(now, NodeId(s), f);
+                        }
+                        _ => {}
+                    }
+                }
+                prop_assert_eq!(inc.next_completion(), full.next_completion());
+                let (da, db) = (inc.take_completed(now), full.take_completed(now));
+                prop_assert_eq!(da.len(), db.len());
+                live.retain(|&(a, _)| inc.rate_of(a).is_some());
+                live.retain(|&(_, b)| full.rate_of(b).is_some());
+                for &(a, b) in &live {
+                    prop_assert_eq!(inc.rate_of(a).unwrap().to_bits(),
+                                    full.rate_of(b).unwrap().to_bits());
+                }
+            }
         });
     }
 

@@ -121,6 +121,8 @@ pub enum RankSeg {
     Io(u64),
     /// `Op::Compute` on the rank's node.
     Compute,
+    /// `Op::Sleep`: pure delay, no CPU (open-loop arrival stagger).
+    Sleep,
     /// Barrier arrival → release.
     Barrier,
     /// Collective arrival → release (transfer rounds included).
@@ -132,6 +134,7 @@ impl RankSeg {
         match self {
             RankSeg::Io(_) => "io",
             RankSeg::Compute => "rank-compute",
+            RankSeg::Sleep => "sleep",
             RankSeg::Barrier => "barrier",
             RankSeg::Collective => "collective",
         }

@@ -254,6 +254,19 @@ impl Driver {
                     .insert((node, task), CpuWork::RankCompute(rank));
                 self.schedule_cpu(node, sched);
             }
+            Op::Sleep { span } => {
+                // Pure delay: no CPU submission, so processor-sharing load
+                // cannot stretch it — open-loop arrival schedules survive
+                // contention intact.
+                let node = self.ranks.states[rank].node.0;
+                if !self.telemetry.rank_chains.is_empty() {
+                    let ch = &mut self.telemetry.rank_chains[rank];
+                    ch.arm(span.as_secs_f64());
+                    ch.record(RankSeg::Sleep, node, now + span, None);
+                }
+                self.ranks.states[rank].pc += 1;
+                sched.after(span, Ev::RankStep(rank));
+            }
             Op::Bcast { root, bytes } => {
                 self.join_collective(rank, CollectiveKind::Bcast { root }, bytes, now, sched);
             }

@@ -66,4 +66,4 @@ pub use policy::{
     ContentionPolicy, PolicyConfig, PolicyInput, PolicyOutput, PolicyTelemetry, RateCap,
 };
 pub use schedule::{Assignment, SolverKind};
-pub use workload::Workload;
+pub use workload::{OpenLoopSpec, Workload};

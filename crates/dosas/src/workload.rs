@@ -10,8 +10,9 @@
 use kernels::KernelParams;
 use mpiio::program::{Op, RankProgram};
 use mpiio::Datatype;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simkit::SimSpan;
+use simkit::{RngFactory, SimSpan};
 
 /// How a file is placed on the storage nodes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -210,6 +211,101 @@ impl Workload {
         }
     }
 
+    /// An open-loop arrival process: requests arrive by a Poisson process
+    /// at `spec.arrival_rate` per second over `[0, horizon)`, with
+    /// heavy-tailed (bounded-Pareto) sizes and a weighted tenant mix. Each
+    /// request is one rank whose program sleeps until its arrival instant
+    /// ([`Op::Sleep`] — pure delay, so contention cannot thin the arrival
+    /// process the way closed-loop think time does) and then issues one
+    /// active read against a uniformly chosen storage node. Deterministic
+    /// in `spec` (including `seed`).
+    pub fn open_loop(spec: &OpenLoopSpec) -> Self {
+        assert!(spec.arrival_rate > 0.0 && spec.arrival_rate.is_finite());
+        assert!(spec.storage_nodes > 0 && !spec.tenants.is_empty());
+        assert!(spec.size_min > 0 && spec.size_max >= spec.size_min);
+        assert!(spec.alpha > 0.0);
+        let mut rng = RngFactory::new(spec.seed).stream("open-loop");
+        let total_weight: f64 = spec.tenants.iter().map(|(_, _, w)| *w).sum();
+        assert!(total_weight > 0.0, "tenant weights must sum > 0");
+        let horizon = spec.horizon.as_secs_f64();
+
+        // (arrival, tenant, server, bytes) in arrival order.
+        let mut requests: Vec<(f64, usize, usize, u64)> = Vec::new();
+        let mut t = 0.0;
+        while requests.len() < spec.max_requests {
+            let u: f64 = rng.random_range(0.0..1.0);
+            t += -(1.0 - u).ln() / spec.arrival_rate;
+            if t >= horizon {
+                break;
+            }
+            let mut pick = rng.random_range(0.0..total_weight);
+            let mut tenant = spec.tenants.len() - 1;
+            for (i, (_, _, w)) in spec.tenants.iter().enumerate() {
+                if pick < *w {
+                    tenant = i;
+                    break;
+                }
+                pick -= w;
+            }
+            // Bounded Pareto via inverse transform, truncated at the cap.
+            let v: f64 = rng.random_range(0.0..1.0);
+            let raw = spec.size_min as f64 / (1.0 - v).powf(1.0 / spec.alpha);
+            let bytes = (raw.min(spec.size_max as f64) as u64).max(spec.size_min);
+            let server = rng.random_range(0..spec.storage_nodes);
+            requests.push((t, tenant, server, bytes));
+        }
+        assert!(
+            !requests.is_empty(),
+            "open-loop spec generated no arrivals within the horizon"
+        );
+
+        // One file per (tenant, server) pair actually hit, sized to its
+        // largest request; enumerate pairs tenant-major for determinism.
+        let mut max_bytes = vec![vec![0u64; spec.storage_nodes]; spec.tenants.len()];
+        for &(_, tenant, server, bytes) in &requests {
+            max_bytes[tenant][server] = max_bytes[tenant][server].max(bytes);
+        }
+        let mut files = Vec::new();
+        for (tenant, row) in max_bytes.iter().enumerate() {
+            for (server, &bytes) in row.iter().enumerate() {
+                if bytes > 0 {
+                    files.push(FileSpec {
+                        path: format!("/data/open-t{tenant}-server{server}.dat"),
+                        bytes,
+                        layout: LayoutSpec::OneServer(server),
+                        content: None,
+                    });
+                }
+            }
+        }
+
+        let mut programs = Vec::with_capacity(requests.len());
+        let mut tenants = Vec::with_capacity(requests.len());
+        for &(arrival, tenant, server, bytes) in &requests {
+            let (op, params, _) = &spec.tenants[tenant];
+            programs.push(
+                RankProgram::new()
+                    .push(Op::Sleep {
+                        span: SimSpan::from_secs_f64(arrival),
+                    })
+                    .push(Op::ReadEx {
+                        path: format!("/data/open-t{tenant}-server{server}.dat"),
+                        offset: 0,
+                        count: bytes,
+                        datatype: Datatype::Byte,
+                        operation: op.clone(),
+                        params: params.clone(),
+                    }),
+            );
+            tenants.push(tenant);
+        }
+        Workload {
+            files,
+            programs,
+            tenants,
+        }
+    }
+
     /// Total bytes all ranks will request.
     pub fn total_request_bytes(&self) -> u64 {
         self.programs.iter().map(|p| p.total_request_bytes()).sum()
@@ -239,6 +335,29 @@ impl Workload {
         }
         out
     }
+}
+
+/// Parameters of [`Workload::open_loop`].
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// Aggregate Poisson arrival rate, requests per simulated second.
+    pub arrival_rate: f64,
+    /// Arrivals are generated in `[0, horizon)`.
+    pub horizon: SimSpan,
+    /// Hard cap on generated requests (bounds memory for long horizons).
+    pub max_requests: usize,
+    /// Bounded-Pareto size floor, bytes.
+    pub size_min: u64,
+    /// Bounded-Pareto size cap, bytes.
+    pub size_max: u64,
+    /// Pareto tail index; smaller = heavier tail (1.1–1.5 is typical for
+    /// storage request sizes).
+    pub alpha: f64,
+    /// Tenant mix: `(kernel op, params, weight)` — each arrival is drawn
+    /// from this distribution.
+    pub tenants: Vec<(String, KernelParams, f64)>,
+    pub storage_nodes: usize,
+    pub seed: u64,
 }
 
 /// A plain normal-read workload (no kernels anywhere) for file system tests.
@@ -388,5 +507,84 @@ mod tests {
         assert_eq!(w.tenant_count(), 0);
         assert_eq!(w.tenant_of(0), None);
         assert!(w.tenant_request_bytes().is_empty());
+    }
+
+    fn open_spec() -> OpenLoopSpec {
+        OpenLoopSpec {
+            arrival_rate: 100.0,
+            horizon: SimSpan::from_secs(2),
+            max_requests: 10_000,
+            size_min: 1 << 20,
+            size_max: 64 << 20,
+            alpha: 1.3,
+            tenants: vec![
+                ("sum".to_string(), KernelParams::default(), 3.0),
+                ("stats".to_string(), KernelParams::default(), 1.0),
+            ],
+            storage_nodes: 3,
+            seed: 2012,
+        }
+    }
+
+    #[test]
+    fn open_loop_is_deterministic_and_well_formed() {
+        let a = Workload::open_loop(&open_spec());
+        let b = Workload::open_loop(&open_spec());
+        assert_eq!(a, b, "same spec must generate the same workload");
+        // ~rate × horizon arrivals, each [Sleep, ReadEx] with
+        // non-decreasing arrival offsets.
+        assert!((100..300).contains(&a.rank_count()), "{}", a.rank_count());
+        assert_eq!(a.tenants.len(), a.rank_count());
+        let mut last = SimSpan::ZERO;
+        for p in &a.programs {
+            assert_eq!(p.ops.len(), 2);
+            let Op::Sleep { span } = p.ops[0] else {
+                panic!("first op must be the arrival sleep: {:?}", p.ops[0]);
+            };
+            assert!(span >= last, "arrivals must be sorted");
+            assert!(span < SimSpan::from_secs(2), "arrival within horizon");
+            last = span;
+            assert!(p.ops[1].is_active_io());
+        }
+        // Both tenants appear; weight 3:1 means tenant 0 dominates.
+        let t0 = a.tenants.iter().filter(|&&t| t == 0).count();
+        let t1 = a.rank_count() - t0;
+        assert!(t0 > t1 && t1 > 0, "t0={t0} t1={t1}");
+        // Sizes respect the bounded-Pareto range and files cover them.
+        for p in &a.programs {
+            let bytes = p.ops[1].request_bytes();
+            assert!((1 << 20..=64 << 20).contains(&bytes), "{bytes}");
+        }
+        for f in &a.files {
+            let covered = a
+                .programs
+                .iter()
+                .filter_map(|p| match &p.ops[1] {
+                    Op::ReadEx { path, .. } if *path == f.path => Some(p.ops[1].request_bytes()),
+                    _ => None,
+                })
+                .max()
+                .unwrap();
+            assert_eq!(f.bytes, covered, "file sized to its largest request");
+        }
+    }
+
+    #[test]
+    fn open_loop_respects_max_requests() {
+        let w = Workload::open_loop(&OpenLoopSpec {
+            max_requests: 7,
+            ..open_spec()
+        });
+        assert_eq!(w.rank_count(), 7);
+    }
+
+    #[test]
+    fn open_loop_seed_changes_schedule() {
+        let a = Workload::open_loop(&open_spec());
+        let b = Workload::open_loop(&OpenLoopSpec {
+            seed: 2013,
+            ..open_spec()
+        });
+        assert_ne!(a, b);
     }
 }

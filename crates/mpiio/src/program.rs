@@ -45,6 +45,11 @@ pub enum Op {
     },
     /// Pure local computation for `span` of simulated time.
     Compute { span: SimSpan },
+    /// Pure wall-clock delay for `span` of simulated time, consuming no
+    /// CPU. Open-loop workloads use this to stagger Poisson arrivals:
+    /// unlike [`Op::Compute`], a sleeping rank cannot be slowed by CPU
+    /// contention, so the arrival process stays intact under load.
+    Sleep { span: SimSpan },
     /// Synchronize with every other rank in the communicator.
     Barrier,
     /// Broadcast `bytes` from `root` to every rank (binomial tree).
@@ -175,6 +180,13 @@ mod tests {
             0
         );
         assert_eq!(Op::Barrier.request_bytes(), 0);
+        assert_eq!(
+            Op::Sleep {
+                span: SimSpan::from_secs(1)
+            }
+            .request_bytes(),
+            0
+        );
         assert_eq!(
             Op::Bcast {
                 root: 0,

@@ -8,9 +8,11 @@
 # the three-point `driver_exec_mode` group (paper-testbed, 512-rank /
 # 64-server and 4096-rank / 256-server scales, events/sec in both modes);
 # bench_baseline emits the same comparisons into BENCH_simulator.json
-# (schema v6, including the multi-tenant scenario suite of
-# crates/bench/src/scenarios.rs and the lookahead-window statistics of
-# DESIGN.md §13).
+# (schema v7, including the multi-tenant scenario suite of
+# crates/bench/src/scenarios.rs, the lookahead-window statistics of
+# DESIGN.md §13 and the fat-tree fill-scaling points of DESIGN.md §15 —
+# the 10k-host topology point makes the baseline refresh take several
+# extra minutes).
 #
 #   scripts/bench.sh            # everything (criterion suites are slow)
 #   scripts/bench.sh baseline   # just refresh BENCH_simulator.json

@@ -76,6 +76,11 @@ points("lookahead", "label", [],
         "queue_spilled", "batches", "batch_events"])
 points("fabric_churn", "flows", ["full_rescan_secs", "incremental_secs"],
        ["churn_ops", "fills", "flows_refilled", "flows_reused"])
+points("topology", "hosts",
+       ["incremental_fill_secs_per_churn_event",
+        "full_rescan_secs_per_churn_event"],
+       ["flows_in_flight", "churn_ops", "fills",
+        "flows_refilled", "flows_reused"])
 points("scenarios", "name", ["secs"], ["events"])
 
 print("[policies]")

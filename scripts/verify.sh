@@ -56,6 +56,30 @@ cargo test -q -p dosas --lib solvers_cross_check_to_k16
 cargo test -q -p simkit --lib coalesced_fill_matches_eager_fill
 cargo test -q -p cluster --lib incremental_fill_matches_full_rescan
 cargo test -q --test failure_scenarios zero_rate_stall_window_completes_after_recovery
+# Topology gate (DESIGN.md §15): the star builder must reproduce the legacy
+# single-switch fill bit-for-bit (so every pre-topology golden stays
+# byte-identical), the fat-tree graph fill must match a full rescan, the
+# churn schedule must stay pod-local, and the fat-tree scenario's golden
+# must hold serially and byte-identically under the parallel executor.
+cargo test -q -p cluster --lib star_topology_fill_matches_legacy_star
+cargo test -q -p cluster --lib fat_tree
+cargo test -q -p bench --lib topology_churn
+cargo test -q --test tenant_scenarios fat_tree
+for t in 2 8; do
+  DOSAS_EXEC=parallel DOSAS_THREADS=$t cargo test -q --test tenant_scenarios fat_tree
+done
+# The committed bench baseline must carry the fill-scaling acceptance: on
+# the 10k-host fat-tree churn point the incremental fill beats a full
+# rescan by >= 20x. bench_baseline asserts this at generation time; the
+# check here keeps a stale or hand-edited baseline from slipping through.
+python3 - <<'EOF'
+import json
+top = json.load(open("BENCH_simulator.json"))["topology"]
+pt = next(p for p in top["points"] if p["hosts"] >= 9000)
+ratio = pt["incremental_vs_full_ratio"]
+assert ratio >= 20.0, f"topology 10k-host ratio regressed: {ratio}"
+print(f"verify: topology 10k-host incremental-vs-full ratio {ratio:.0f}x")
+EOF
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -8,6 +8,7 @@
 //! dosas-sim --help
 //! ```
 
+use dosas_repro::cluster::TopologySpec;
 use dosas_repro::prelude::*;
 use std::process::exit;
 
@@ -18,6 +19,7 @@ struct Args {
     n: usize,
     size_mb: u64,
     storage_nodes: usize,
+    topology: Option<TopologySpec>,
     seed: u64,
     deterministic: bool,
     json: bool,
@@ -34,6 +36,7 @@ impl Default for Args {
             n: 8,
             size_mb: 128,
             storage_nodes: 1,
+            topology: None,
             seed: 42,
             deterministic: false,
             json: false,
@@ -57,6 +60,8 @@ OPTIONS:
     --n <count>          concurrent requests per storage node [default: 8]
     --size-mb <mb>       request size in MB                  [default: 128]
     --storage-nodes <k>  number of storage nodes             [default: 1]
+    --topology <spec>    fabric wiring: star | tree[:arity] | fat-tree:k
+                         [default: star — the paper's testbed]
     --seed <u64>         RNG seed                            [default: 42]
     --deterministic      disable bandwidth/CPU jitter and latencies
     --json               emit one JSON object per scheme
@@ -109,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
                 args.storage_nodes = value("--storage-nodes")?
                     .parse()
                     .map_err(|e| format!("--storage-nodes: {e}"))?;
+            }
+            "--topology" => {
+                args.topology = Some(
+                    TopologySpec::parse(&value("--topology")?)
+                        .map_err(|e| format!("--topology: {e}"))?,
+                );
             }
             "--seed" => {
                 args.seed = value("--seed")?
@@ -214,6 +225,13 @@ fn main() {
             cfg.cluster = ClusterConfig::deterministic();
         }
         cfg.cluster.storage_nodes = args.storage_nodes;
+        if let Some(topo) = &args.topology {
+            cfg.cluster.topology = topo.clone();
+            if let Err(e) = cfg.cluster.validate() {
+                eprintln!("error: --topology {topo}: {e}");
+                exit(2);
+            }
+        }
         cfg.seed = args.seed;
         cfg.trace = args.trace.is_some() || args.obs_out.is_some();
         if args.obs_out.is_some() {
